@@ -1,0 +1,157 @@
+// Command d2ctl is a client for a live D2 cluster: volume file operations
+// over the D2-FS API. The volume keypair is kept in a local file so
+// successive invocations address the same volume.
+//
+//	d2ctl -seeds 127.0.0.1:7001 mkvol home
+//	d2ctl -seeds 127.0.0.1:7001 -vol home mkdir /docs
+//	d2ctl -seeds 127.0.0.1:7001 -vol home write /docs/a.txt "hello d2"
+//	d2ctl -seeds 127.0.0.1:7001 -vol home cat /docs/a.txt
+//	d2ctl -seeds 127.0.0.1:7001 -vol home ls /docs
+//	d2ctl -seeds 127.0.0.1:7001 -vol home mv /docs/a.txt /docs/b.txt
+//	d2ctl -seeds 127.0.0.1:7001 -vol home rm /docs/b.txt
+package main
+
+import (
+	"context"
+	"crypto/ed25519"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	d2 "github.com/defragdht/d2"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "d2ctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seeds := flag.String("seeds", "127.0.0.1:7001", "comma-separated node addresses")
+	volName := flag.String("vol", "", "volume name")
+	keyFile := flag.String("keyfile", "d2ctl.key", "volume keypair file")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		return fmt.Errorf("usage: d2ctl [flags] mkvol|mkdir|write|cat|ls|stat|mv|rm ...")
+	}
+
+	client, err := d2.ConnectTCP(strings.Split(*seeds, ","), 3)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	ctx := context.Background()
+
+	cmd := args[0]
+	if cmd == "mkvol" {
+		if len(args) != 2 {
+			return fmt.Errorf("usage: mkvol <name>")
+		}
+		_, priv, err := d2.GenerateKey()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*keyFile, []byte(hex.EncodeToString(priv)), 0o600); err != nil {
+			return err
+		}
+		vol, err := client.CreateVolume(ctx, args[1], priv, d2.VolumeOptions{})
+		if err != nil {
+			return err
+		}
+		if err := vol.Sync(ctx); err != nil {
+			return err
+		}
+		fmt.Printf("volume %q created; key saved to %s\n", args[1], *keyFile)
+		return nil
+	}
+
+	if *volName == "" {
+		return fmt.Errorf("-vol is required for %s", cmd)
+	}
+	raw, err := os.ReadFile(*keyFile)
+	if err != nil {
+		return fmt.Errorf("read key file (run mkvol first): %w", err)
+	}
+	privBytes, err := hex.DecodeString(strings.TrimSpace(string(raw)))
+	if err != nil {
+		return fmt.Errorf("parse key file: %w", err)
+	}
+	priv := ed25519.PrivateKey(privBytes)
+	pub := priv.Public().(ed25519.PublicKey)
+	vol, err := client.OpenVolume(ctx, *volName, pub, priv, d2.VolumeOptions{})
+	if err != nil {
+		return err
+	}
+
+	switch cmd {
+	case "mkdir":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: mkdir <path>")
+		}
+		if err := vol.MkdirAll(ctx, args[1]); err != nil {
+			return err
+		}
+	case "write":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: write <path> <content>")
+		}
+		if err := vol.WriteFile(ctx, args[1], []byte(args[2])); err != nil {
+			return err
+		}
+	case "cat":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: cat <path>")
+		}
+		data, err := vol.ReadFile(ctx, args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+	case "ls":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: ls <path>")
+		}
+		infos, err := vol.ReadDir(ctx, args[1])
+		if err != nil {
+			return err
+		}
+		for _, fi := range infos {
+			kind := "f"
+			if fi.IsDir {
+				kind = "d"
+			}
+			fmt.Printf("%s %10d %s\n", kind, fi.Size, fi.Name)
+		}
+	case "stat":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: stat <path>")
+		}
+		fi, err := vol.Stat(ctx, args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%+v\n", fi)
+	case "mv":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: mv <old> <new>")
+		}
+		if err := vol.Rename(ctx, args[1], args[2]); err != nil {
+			return err
+		}
+	case "rm":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: rm <path>")
+		}
+		if err := vol.Remove(ctx, args[1]); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return vol.Sync(ctx)
+}

@@ -1,0 +1,50 @@
+// Command d2locality reproduces the paper's workload locality analyses:
+// Table 1 (workload summary), Figure 3 (mean nodes accessed per user-hour
+// under traditional / ordered / lower-bound), and Table 2 (objects and
+// nodes per task).
+//
+// Usage:
+//
+//	d2locality [-scale small|medium|full] [-table1] [-fig3] [-table2]
+//
+// With no selection flags, everything runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/defragdht/d2/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "d2locality:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	scaleName := flag.String("scale", "medium", "experiment scale: small, medium, or full")
+	table1 := flag.Bool("table1", false, "print Table 1 (workload summary)")
+	fig3 := flag.Bool("fig3", false, "print Figure 3 (locality scenarios)")
+	table2 := flag.Bool("table2", false, "print Table 2 (nodes per task)")
+	flag.Parse()
+
+	scale, err := experiments.ScaleByName(*scaleName)
+	if err != nil {
+		return err
+	}
+	all := !*table1 && !*fig3 && !*table2
+	if *table1 || all {
+		fmt.Println(experiments.Table1(scale))
+	}
+	if *fig3 || all {
+		fmt.Println(experiments.RenderFig3(experiments.Fig3(scale)))
+	}
+	if *table2 || all {
+		fmt.Println(experiments.RenderTable2(experiments.Table2(scale)))
+	}
+	return nil
+}

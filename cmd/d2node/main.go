@@ -1,0 +1,76 @@
+// Command d2node runs one live D2 DHT node over TCP. Start a first node,
+// then join more to it:
+//
+//	d2node -bind 127.0.0.1:7001
+//	d2node -bind 127.0.0.1:7002 -seed 127.0.0.1:7001
+//	d2node -bind 127.0.0.1:7003 -seed 127.0.0.1:7001 -balance 10m
+//
+// Use cmd/d2ctl to read and write blocks and volumes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	d2 "github.com/defragdht/d2"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "d2node:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	bind := flag.String("bind", "127.0.0.1:0", "listen address")
+	seed := flag.String("seed", "", "address of a ring member to join (empty = new ring)")
+	replicas := flag.Int("replicas", 3, "replicas per block (r)")
+	balance := flag.Duration("balance", 0, "load-balance probe interval (0 = off; paper uses 10m)")
+	pointerStab := flag.Duration("pointer-stab", time.Hour, "pointer stabilization time")
+	removeDelay := flag.Duration("remove-delay", 30*time.Second, "block removal delay")
+	statsEvery := flag.Duration("stats", 30*time.Second, "stats print interval (0 = quiet)")
+	flag.Parse()
+
+	ctx := context.Background()
+	nd, err := d2.StartNode(ctx, *bind, *seed, d2.NodeOptions{
+		Replicas:             *replicas,
+		BalanceInterval:      *balance,
+		PointerStabilization: *pointerStab,
+		RemoveDelay:          *removeDelay,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("d2node listening on %s (id %s)\n", nd.Addr(), nd.ID().Short())
+
+	stopStats := make(chan struct{})
+	if *statsEvery > 0 {
+		go func() {
+			t := time.NewTicker(*statsEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopStats:
+					return
+				case <-t.C:
+					fmt.Printf("stored: %d bytes\n", nd.StoredBytes())
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	close(stopStats)
+	fmt.Println("leaving ring...")
+	leaveCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	return nd.Leave(leaveCtx)
+}

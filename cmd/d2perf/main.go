@@ -1,0 +1,92 @@
+// Command d2perf runs the §9 performance experiments: Figure 9 (lookup
+// traffic), Figures 10–12 (speedups), Figure 13 (cache miss rates),
+// Figures 14–15 (access-group latency scatter summaries), and the
+// lookup-cache TTL ablation. One sweep feeds every figure.
+//
+// Usage:
+//
+//	d2perf [-scale small|medium|full] [-fig9] [-fig10] [-fig11] [-fig12]
+//	       [-fig13] [-fig14] [-fig15] [-ablation-cachettl]
+//
+// With no selection flags, everything runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/defragdht/d2/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "d2perf:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	scaleName := flag.String("scale", "medium", "experiment scale: small, medium, or full")
+	fig9 := flag.Bool("fig9", false, "Figure 9: lookup messages per node")
+	fig10 := flag.Bool("fig10", false, "Figure 10: speedup over traditional")
+	fig11 := flag.Bool("fig11", false, "Figure 11: speedup over traditional-file")
+	fig12 := flag.Bool("fig12", false, "Figure 12: per-user speedups")
+	fig13 := flag.Bool("fig13", false, "Figure 13: cache miss rates")
+	fig14 := flag.Bool("fig14", false, "Figure 14: latency scatter vs traditional")
+	fig15 := flag.Bool("fig15", false, "Figure 15: latency scatter vs traditional-file")
+	ablTTL := flag.Bool("ablation-cachettl", false, "ablation: lookup-cache TTL sweep")
+	ablHyb := flag.Bool("ablation-hybrid", false, "ablation: hybrid locality+hashing placement (§11)")
+	flag.Parse()
+
+	scale, err := experiments.ScaleByName(*scaleName)
+	if err != nil {
+		return err
+	}
+	all := !*fig9 && !*fig10 && !*fig11 && !*fig12 && !*fig13 && !*fig14 && !*fig15 && !*ablTTL && !*ablHyb
+
+	needSweep := all || *fig9 || *fig10 || *fig11 || *fig12 || *fig13 || *fig14 || *fig15
+	var points []experiments.PerfPoint
+	if needSweep {
+		fmt.Fprintf(os.Stderr, "running perf sweep at scale %s...\n", scale.Name)
+		points = experiments.RunPerfSweep(scale)
+	}
+	if *fig9 || all {
+		fmt.Println(experiments.Fig9(points))
+	}
+	if *fig10 || all {
+		fmt.Println(experiments.Fig10(points))
+	}
+	if *fig11 || all {
+		fmt.Println(experiments.Fig11(points))
+	}
+	if *fig12 || all {
+		fmt.Println(experiments.Fig12(points))
+	}
+	if *fig13 || all {
+		fmt.Println(experiments.Fig13(points))
+	}
+	if *fig14 || all {
+		fmt.Println(experiments.RenderScatter(
+			"Figure 14a: access-group latency, D2 vs traditional (seq)",
+			experiments.Fig14Scatter(points, false)))
+		fmt.Println(experiments.RenderScatter(
+			"Figure 14b: access-group latency, D2 vs traditional (para)",
+			experiments.Fig14Scatter(points, true)))
+	}
+	if *fig15 || all {
+		fmt.Println(experiments.RenderScatter(
+			"Figure 15a: access-group latency, D2 vs traditional-file (seq)",
+			experiments.Fig15Scatter(points, false)))
+		fmt.Println(experiments.RenderScatter(
+			"Figure 15b: access-group latency, D2 vs traditional-file (para)",
+			experiments.Fig15Scatter(points, true)))
+	}
+	if *ablTTL || all {
+		fmt.Println(experiments.AblationCacheTTL(scale))
+	}
+	if *ablHyb || all {
+		fmt.Println(experiments.AblationHybrid(scale))
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+// Command d2sim runs the event-driven simulations of the paper's
+// availability and load-balance evaluations: Figure 7 (task
+// unavailability), Figure 8 (per-user unavailability), Figure 16/17 (load
+// imbalance over time on Harvard and Webcache), Table 3 (daily churn),
+// Table 4 (write vs migration traffic), and the replica-count and
+// block-pointer ablations.
+//
+// Usage:
+//
+//	d2sim [-scale small|medium|full] [-fig7] [-fig8] [-fig16] [-fig17]
+//	      [-table3] [-table4] [-ablation-pointers] [-ablation-replicas]
+//
+// With no selection flags, everything runs (minutes at medium scale).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/defragdht/d2/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "d2sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	scaleName := flag.String("scale", "medium", "experiment scale: small, medium, or full")
+	fig7 := flag.Bool("fig7", false, "Figure 7: task unavailability vs inter")
+	fig8 := flag.Bool("fig8", false, "Figure 8: per-user unavailability, ranked")
+	fig16 := flag.Bool("fig16", false, "Figure 16: load imbalance over time (Harvard)")
+	fig17 := flag.Bool("fig17", false, "Figure 17: load imbalance over time (Webcache)")
+	table3 := flag.Bool("table3", false, "Table 3: daily churn ratios")
+	table4 := flag.Bool("table4", false, "Table 4: write vs migration traffic")
+	ablPtr := flag.Bool("ablation-pointers", false, "ablation: block pointers on/off")
+	ablRep := flag.Bool("ablation-replicas", false, "ablation: replicas r=3 vs r=4")
+	flag.Parse()
+
+	scale, err := experiments.ScaleByName(*scaleName)
+	if err != nil {
+		return err
+	}
+	all := !*fig7 && !*fig8 && !*fig16 && !*fig17 && !*table3 && !*table4 && !*ablPtr && !*ablRep
+	if *fig7 || all {
+		fmt.Println(experiments.RenderFig7(experiments.Fig7(scale)))
+	}
+	if *fig8 || all {
+		fmt.Println(experiments.RenderFig8(experiments.Fig8(scale)))
+	}
+	if *fig16 || all {
+		fmt.Println(experiments.RenderLBSeries(
+			"Figure 16: Load imbalance over time, Harvard (normalized std-dev)",
+			experiments.Fig16(scale)))
+	}
+	if *fig17 || all {
+		fmt.Println(experiments.RenderLBSeries(
+			"Figure 17: Load imbalance over time, Webcache (normalized std-dev)",
+			experiments.Fig17(scale)))
+	}
+	if *table3 || all {
+		fmt.Println(experiments.Table3(scale))
+	}
+	if *table4 || all {
+		fmt.Println(experiments.Table4(scale))
+	}
+	if *ablPtr || all {
+		fmt.Println(experiments.AblationPointers(scale))
+	}
+	if *ablRep || all {
+		fmt.Println(experiments.AblationReplicas(scale))
+	}
+	return nil
+}

@@ -1,0 +1,289 @@
+// Package d2 is a defragmented DHT-based distributed file system: blocks
+// get locality-preserving keys (files of one directory occupy contiguous
+// key ranges), clients cache node key ranges to skip lookups, and an
+// active Karger–Ruhl load balancer with block pointers keeps storage
+// balanced despite the non-uniform key distribution. It reproduces the
+// system "D2" from Pang et al., Defragmenting DHT-based Distributed File
+// Systems (ICDCS 2007).
+//
+// The public API has three layers:
+//
+//   - Cluster / Node: run DHT nodes, in-process (NewCluster) or over TCP
+//     (StartNode / ConnectTCP).
+//   - Client: block-level put/get/remove with a lookup cache (§5).
+//   - Volume: the D2-FS file-system API (CreateVolume / OpenVolume) with
+//     signed metadata, versioned blocks, inline small files, rename
+//     without data movement, and a 30 s write-back cache (§3).
+//
+// The internal packages additionally contain the paper's full evaluation
+// apparatus; see DESIGN.md and EXPERIMENTS.md.
+package d2
+
+import (
+	"context"
+	"crypto/ed25519"
+	"crypto/rand"
+	"fmt"
+	"time"
+
+	"github.com/defragdht/d2/internal/fs"
+	"github.com/defragdht/d2/internal/keys"
+	"github.com/defragdht/d2/internal/node"
+	"github.com/defragdht/d2/internal/transport"
+)
+
+// Key is a 64-byte DHT key (re-exported for block-level users).
+type Key = keys.Key
+
+// FileInfo describes a file or directory in a volume listing.
+type FileInfo = fs.FileInfo
+
+// Volume is a D2-FS file-system volume.
+type Volume = fs.Volume
+
+// VolumeOptions tunes volume behaviour.
+type VolumeOptions = fs.Options
+
+// File-system errors, re-exported for callers using errors.Is.
+var (
+	ErrNotExist = fs.ErrNotExist
+	ErrExist    = fs.ErrExist
+	ErrIsDir    = fs.ErrIsDir
+	ErrNotDir   = fs.ErrNotDir
+	ErrNotEmpty = fs.ErrNotEmpty
+	ErrReadOnly = fs.ErrReadOnly
+)
+
+// GenerateKey creates a publisher signing key pair for volumes.
+func GenerateKey() (ed25519.PublicKey, ed25519.PrivateKey, error) {
+	return ed25519.GenerateKey(rand.Reader)
+}
+
+// NodeOptions configures a DHT node.
+type NodeOptions struct {
+	// Replicas is r, copies per block (default 3).
+	Replicas int
+	// Balance enables the active load balancer with the given probe
+	// interval (zero disables; the paper uses 10 min).
+	BalanceInterval time.Duration
+	// PointerStabilization is how long a load-balance pointer is held
+	// before data moves (default 1 h).
+	PointerStabilization time.Duration
+	// RemoveDelay postpones block removals (default 30 s).
+	RemoveDelay time.Duration
+	// StabilizeInterval drives ring maintenance (default 500 ms).
+	StabilizeInterval time.Duration
+	// RepairInterval drives replica repair (default 5 s).
+	RepairInterval time.Duration
+	// Seed makes node identity deterministic (0 = random per node).
+	Seed uint64
+}
+
+func (o NodeOptions) toConfig(seed uint64) node.Config {
+	if o.Seed != 0 {
+		seed = o.Seed
+	}
+	return node.Config{
+		Replicas:             o.Replicas,
+		BalanceInterval:      o.BalanceInterval,
+		PointerStabilization: o.PointerStabilization,
+		RemoveDelay:          o.RemoveDelay,
+		StabilizeInterval:    o.StabilizeInterval,
+		RepairInterval:       o.RepairInterval,
+		Seed:                 seed,
+	}
+}
+
+// Cluster is an in-process DHT: every node runs in this process over an
+// in-memory transport. It hosts the paper's 1,000-node deployment test on
+// one machine and backs the examples.
+type Cluster struct {
+	net   *transport.MemNetwork
+	nodes []*node.Node
+	opts  NodeOptions
+}
+
+// NewCluster starts an in-process cluster of n nodes and waits for the
+// ring to form.
+func NewCluster(ctx context.Context, n int, opts NodeOptions) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("d2: cluster needs at least one node, got %d", n)
+	}
+	c := &Cluster{net: transport.NewMemNetwork(0), opts: opts}
+	for i := 0; i < n; i++ {
+		if err := c.AddNode(ctx); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// AddNode starts one more node and joins it to the ring.
+func (c *Cluster) AddNode(ctx context.Context) error {
+	nd := node.Start(c.net.NewEndpoint(), c.opts.toConfig(uint64(len(c.nodes)+1)))
+	if len(c.nodes) > 0 {
+		if err := nd.Join(ctx, c.nodes[0].Self().Addr); err != nil {
+			_ = nd.Close()
+			return fmt.Errorf("d2: add node: %w", err)
+		}
+	}
+	c.nodes = append(c.nodes, nd)
+	return nil
+}
+
+// NumNodes returns the cluster size.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// Seeds returns a few node addresses for clients.
+func (c *Cluster) Seeds() []transport.Addr {
+	var out []transport.Addr
+	for i, nd := range c.nodes {
+		out = append(out, nd.Self().Addr)
+		if i == 2 {
+			break
+		}
+	}
+	return out
+}
+
+// StoredBytes returns each node's stored volume, for balance inspection.
+func (c *Cluster) StoredBytes() []int64 {
+	out := make([]int64, len(c.nodes))
+	for i, nd := range c.nodes {
+		out[i] = nd.StoredBytes()
+	}
+	return out
+}
+
+// CloseNode crashes the i-th node (for failure testing); the ring heals
+// and replicas regenerate on the survivors.
+func (c *Cluster) CloseNode(i int) error {
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("d2: no node %d", i)
+	}
+	return c.nodes[i].Close()
+}
+
+// Client creates a block-level client attached to the cluster.
+func (c *Cluster) Client() (*Client, error) {
+	replicas := c.opts.Replicas
+	if replicas == 0 {
+		replicas = 3
+	}
+	inner, err := node.NewClient(c.net.NewEndpoint(), node.ClientConfig{
+		Seeds:    c.Seeds(),
+		Replicas: replicas,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("d2: client: %w", err)
+	}
+	return &Client{inner: inner}, nil
+}
+
+// Close shuts down every node.
+func (c *Cluster) Close() error {
+	var firstErr error
+	for _, nd := range c.nodes {
+		if err := nd.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Node is a standalone DHT node on a TCP transport, for multi-process
+// deployments (cmd/d2node wraps it).
+type Node struct {
+	inner *node.Node
+	tr    *transport.TCPTransport
+}
+
+// StartNode boots a TCP node bound to bind ("127.0.0.1:0" for an
+// ephemeral port). If seed is non-empty the node joins that ring.
+func StartNode(ctx context.Context, bind, seed string, opts NodeOptions) (*Node, error) {
+	tr, err := transport.ListenTCP(bind)
+	if err != nil {
+		return nil, fmt.Errorf("d2: start node: %w", err)
+	}
+	nd := node.Start(tr, opts.toConfig(0))
+	if seed != "" {
+		if err := nd.Join(ctx, transport.Addr(seed)); err != nil {
+			_ = nd.Close()
+			return nil, fmt.Errorf("d2: join %s: %w", seed, err)
+		}
+	}
+	return &Node{inner: nd, tr: tr}, nil
+}
+
+// Addr returns the node's listen address.
+func (n *Node) Addr() string { return string(n.inner.Self().Addr) }
+
+// ID returns the node's ring position.
+func (n *Node) ID() Key { return n.inner.Self().ID }
+
+// StoredBytes returns the node's stored data volume.
+func (n *Node) StoredBytes() int64 { return n.inner.StoredBytes() }
+
+// Close stops the node (crash-style; replicas regenerate elsewhere).
+func (n *Node) Close() error { return n.inner.Close() }
+
+// Leave departs gracefully, handing blocks to their new owners first.
+func (n *Node) Leave(ctx context.Context) error { return n.inner.Leave(ctx) }
+
+// ConnectTCP creates a client for a TCP cluster.
+func ConnectTCP(seeds []string, replicas int) (*Client, error) {
+	tr, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("d2: connect: %w", err)
+	}
+	addrs := make([]transport.Addr, len(seeds))
+	for i, s := range seeds {
+		addrs[i] = transport.Addr(s)
+	}
+	inner, err := node.NewClient(tr, node.ClientConfig{Seeds: addrs, Replicas: replicas})
+	if err != nil {
+		return nil, err
+	}
+	return &Client{inner: inner}, nil
+}
+
+// Client performs block operations against a D2 cluster, with the §5
+// lookup cache. It also implements the volume block service.
+type Client struct {
+	inner *node.Client
+}
+
+// Put stores a block under key k with r replicas.
+func (c *Client) Put(ctx context.Context, k Key, data []byte) error {
+	return c.inner.Put(ctx, k, data)
+}
+
+// Get fetches the block under key k.
+func (c *Client) Get(ctx context.Context, k Key) ([]byte, error) {
+	return c.inner.Get(ctx, k)
+}
+
+// Remove deletes the block under key k (after the node-side delay).
+func (c *Client) Remove(ctx context.Context, k Key) error {
+	return c.inner.Remove(ctx, k)
+}
+
+// CacheStats returns the lookup cache's hit and miss counts.
+func (c *Client) CacheStats() (hits, misses uint64) { return c.inner.Stats() }
+
+// Close releases the client.
+func (c *Client) Close() error { return c.inner.Close() }
+
+// CreateVolume publishes a new file-system volume signed by priv.
+func (c *Client) CreateVolume(ctx context.Context, name string, priv ed25519.PrivateKey, opts VolumeOptions) (*Volume, error) {
+	return fs.Create(ctx, c, name, priv, opts)
+}
+
+// OpenVolume attaches to an existing volume; pass priv to write, nil to
+// read.
+func (c *Client) OpenVolume(ctx context.Context, name string, pub ed25519.PublicKey, priv ed25519.PrivateKey, opts VolumeOptions) (*Volume, error) {
+	return fs.Open(ctx, c, name, pub, priv, opts)
+}
+
+var _ fs.BlockService = (*Client)(nil)

@@ -1,0 +1,3 @@
+module github.com/defragdht/d2
+
+go 1.22

@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/defragdht/d2/internal/keys"
+	"github.com/defragdht/d2/internal/placement"
+	"github.com/defragdht/d2/internal/sim"
+	"github.com/defragdht/d2/internal/simdht"
+	"github.com/defragdht/d2/internal/synth"
+	"github.com/defragdht/d2/internal/trace"
+)
+
+// WarmupBalance is the pre-trace balancing period (§8.1: "the load
+// balancing process is then simulated for 3 days so that node positions
+// stabilize").
+const WarmupBalance = 3 * 24 * time.Hour
+
+// availabilitySystems are the three designs of Figure 7.
+func availabilitySystems() []struct {
+	Name     string
+	Strategy placement.Strategy
+	Balance  bool
+} {
+	return []struct {
+		Name     string
+		Strategy placement.Strategy
+		Balance  bool
+	}{
+		{"d2", placement.D2, true},
+		{"traditional", placement.HashedBlock, false},
+		{"traditional-file", placement.HashedFile, false},
+	}
+}
+
+// availRun holds one trial's per-event read outcomes.
+type availRun struct {
+	tr       *trace.Trace
+	outcomes map[int]bool // read event index → ok
+}
+
+// runAvailabilityTrial simulates one (system, trial) pair: initial insert,
+// 3-day balance warm-up, then the workload replayed against the failure
+// schedule.
+func runAvailabilityTrial(s Scale, strategy placement.Strategy, balance bool, replicas int, trial int) *availRun {
+	tr := s.HarvardTrace()
+	fcfg := s.Failures
+	fcfg.Seed = s.Seed + uint64(trial)*1000
+	fcfg.Nodes = s.AvailNodes
+	fcfg.Duration = tr.Duration
+	fails := synth.Failures(fcfg)
+	eng := &sim.Engine{}
+	c := simdht.New(eng, simdht.Config{
+		Nodes:        s.AvailNodes,
+		Replicas:     replicas,
+		Balance:      balance,
+		MigrationBPS: s.MigrationBPS,
+		Seed:         s.Seed + uint64(trial)*7919,
+	})
+	vol := keys.NewVolumeID([]byte("d2-avail"), tr.Name)
+	rep := simdht.NewReplay(c, placement.ForStrategy(strategy, vol), tr, WarmupBalance)
+	rep.InsertInitial()
+	eng.Run(WarmupBalance) // stabilize positions before failures begin
+
+	rep.ScheduleFailures(fails)
+	run := &availRun{tr: tr, outcomes: make(map[int]bool)}
+	rep.ScheduleEvents(func(ei int, ok bool) { run.outcomes[ei] = ok })
+	eng.Run(WarmupBalance + tr.Duration + time.Hour)
+	return run
+}
+
+// taskStats segments the trial's events into tasks at the given threshold
+// and counts failures: a task fails if any of its reads failed (§8).
+func (a *availRun) taskStats(inter time.Duration) (tasks, failed int, perUser map[int32][2]int) {
+	segmented := trace.Tasks(a.tr, inter, 5*time.Minute)
+	perUser = make(map[int32][2]int)
+	for ti := range segmented {
+		task := &segmented[ti]
+		sawRead := false
+		ok := true
+		for _, ei := range task.Events {
+			verdict, observed := a.outcomes[ei]
+			if !observed {
+				continue // not a read, or skipped
+			}
+			sawRead = true
+			if !verdict {
+				ok = false
+			}
+		}
+		if !sawRead {
+			continue
+		}
+		tasks++
+		pu := perUser[task.User]
+		pu[0]++
+		if !ok {
+			failed++
+			pu[1]++
+		}
+		perUser[task.User] = pu
+	}
+	return tasks, failed, perUser
+}
+
+// Fig7Result holds Figure 7's bars: per-system, per-inter, per-trial task
+// unavailability.
+type Fig7Result struct {
+	Inters []time.Duration
+	// Unavail[system][interIdx][trial] is the fraction of failed tasks.
+	Unavail map[string][][]float64
+}
+
+// Fig7 reproduces Figure 7: task unavailability under each system while
+// varying inter, over several trials with different random node IDs.
+func Fig7(s Scale) *Fig7Result {
+	return fig7WithReplicas(s, 3)
+}
+
+func fig7WithReplicas(s Scale, replicas int) *Fig7Result {
+	inters := []time.Duration{time.Second, 5 * time.Second, 15 * time.Second, time.Minute}
+	res := &Fig7Result{Inters: inters, Unavail: make(map[string][][]float64)}
+	for _, sys := range availabilitySystems() {
+		series := make([][]float64, len(inters))
+		for trial := 0; trial < s.Trials; trial++ {
+			run := runAvailabilityTrial(s, sys.Strategy, sys.Balance, replicas, trial)
+			for ii, inter := range inters {
+				tasks, failed, _ := run.taskStats(inter)
+				frac := 0.0
+				if tasks > 0 {
+					frac = float64(failed) / float64(tasks)
+				}
+				series[ii] = append(series[ii], frac)
+			}
+		}
+		res.Unavail[sys.Name] = series
+	}
+	return res
+}
+
+// RenderFig7 formats Figure 7 with min/mean/max over trials.
+func RenderFig7(r *Fig7Result) *Table {
+	t := &Table{
+		Title:   "Figure 7: Task unavailability vs inter (min / mean / max over trials)",
+		Headers: []string{"inter", "system", "min", "mean", "max"},
+	}
+	for ii, inter := range r.Inters {
+		for _, sys := range []string{"d2", "traditional", "traditional-file"} {
+			trials := r.Unavail[sys][ii]
+			mn, mx, sum := trials[0], trials[0], 0.0
+			for _, v := range trials {
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+				sum += v
+			}
+			t.Rows = append(t.Rows, []string{
+				inter.String(), sys, sci(mn), sci(sum / float64(len(trials))), sci(mx),
+			})
+		}
+	}
+	return t
+}
+
+// Fig8Row is one user's unavailability in the ranked Figure 8 plot.
+type Fig8Row struct {
+	System  string
+	Rank    int
+	Unavail float64
+}
+
+// Fig8 reproduces Figure 8: per-user task unavailability at inter = 5 s,
+// ranked by decreasing unavailability; users with none are omitted, as in
+// the paper.
+func Fig8(s Scale) []Fig8Row {
+	var rows []Fig8Row
+	for _, sys := range availabilitySystems() {
+		run := runAvailabilityTrial(s, sys.Strategy, sys.Balance, 3, 0)
+		_, _, perUser := run.taskStats(5 * time.Second)
+		var fracs []float64
+		for _, pu := range perUser {
+			if pu[1] > 0 {
+				fracs = append(fracs, float64(pu[1])/float64(pu[0]))
+			}
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(fracs)))
+		for i, f := range fracs {
+			rows = append(rows, Fig8Row{System: sys.Name, Rank: i + 1, Unavail: f})
+		}
+	}
+	return rows
+}
+
+// RenderFig8 formats Figure 8.
+func RenderFig8(rows []Fig8Row) *Table {
+	t := &Table{
+		Title:   "Figure 8: Per-user task unavailability, ranked (inter = 5s; users with zero omitted)",
+		Headers: []string{"system", "rank", "unavailability"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.System, fmt.Sprintf("%d", r.Rank), sci(r.Unavail)})
+	}
+	return t
+}
+
+// AblationReplicas compares task unavailability at r = 3 vs r = 4 (§8.2:
+// with 4 replicas D2 had no failures while the traditional system did).
+func AblationReplicas(s Scale) *Table {
+	t := &Table{
+		Title:   "Ablation: replicas r ∈ {3, 4}, task unavailability at inter = 5s (mean over trials)",
+		Headers: []string{"system", "r=3", "r=4"},
+	}
+	collect := func(replicas int) map[string]float64 {
+		out := map[string]float64{}
+		for _, sys := range availabilitySystems() {
+			var sum float64
+			for trial := 0; trial < s.Trials; trial++ {
+				run := runAvailabilityTrial(s, sys.Strategy, sys.Balance, replicas, trial)
+				tasks, failed, _ := run.taskStats(5 * time.Second)
+				if tasks > 0 {
+					sum += float64(failed) / float64(tasks)
+				}
+			}
+			out[sys.Name] = sum / float64(s.Trials)
+		}
+		return out
+	}
+	r3 := collect(3)
+	r4 := collect(4)
+	for _, sys := range []string{"d2", "traditional", "traditional-file"} {
+		t.Rows = append(t.Rows, []string{sys, sci(r3[sys]), sci(r4[sys])})
+	}
+	return t
+}

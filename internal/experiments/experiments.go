@@ -1,0 +1,264 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§4.1, §8–§10). Each experiment is a pure function from a
+// Scale (how large a run to perform) to a structured result with a text
+// renderer, so the cmd/ tools and the benchmark harness share one
+// implementation. EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/defragdht/d2/internal/synth"
+	"github.com/defragdht/d2/internal/trace"
+)
+
+// Scale selects the size of an experiment run. The paper's absolute data
+// volumes (40–93 GB, 238 M accesses) are scaled down with per-node
+// capacity scaled alongside, preserving every ratio the figures report;
+// see EXPERIMENTS.md for the scaling argument.
+type Scale struct {
+	Name string
+
+	// Harvard workload parameters.
+	HarvardBytes int64
+	HarvardUsers int
+	Days         int
+
+	// HP workload parameters.
+	HPBytes int64
+	HPApps  int
+
+	// Web workload parameters.
+	WebBytes   int64
+	WebClients int
+	WebDomains int
+
+	// BytesPerNode is the per-node storage used by the locality analysis
+	// (the paper uses 250 MB; scaled runs shrink it proportionally).
+	BytesPerNode int64
+
+	// AvailNodes is the cluster size for availability and load-balance
+	// simulations (the paper uses 247).
+	AvailNodes int
+	// Trials is the number of random-ID trials for Figure 7 (paper: 5).
+	Trials int
+	// MigrationBPS scales the per-node migration bandwidth so that
+	// regenerating one node's data takes roughly the paper's 250 MB at
+	// 750 kbps (≈ 45 min) despite the scaled-down data volume. Zero uses
+	// the paper's raw 750 kbps.
+	MigrationBPS int64
+	// Failures overrides the failure-model shape (Seed, Nodes, and
+	// Duration are always set per trial). The zero value uses the
+	// PlanetLab-calibrated defaults; small scales harshen it so the
+	// shorter, smaller runs still exhibit whole-group failures.
+	Failures synth.FailureConfig
+
+	// PerfNodes are the DHT sizes swept in the performance experiments
+	// (paper: 200, 500, 1000).
+	PerfNodes []int
+	// PerfWindows is the number of measured 15-minute windows (paper: 8).
+	PerfWindows int
+
+	// Seed namespaces all randomness for the run.
+	Seed uint64
+}
+
+// Small is sized for unit tests: seconds per experiment.
+var Small = Scale{
+	Name:         "small",
+	HarvardBytes: 48 << 20,
+	HarvardUsers: 12,
+	Days:         2,
+	HPBytes:      64 << 20,
+	HPApps:       8,
+	WebBytes:     48 << 20,
+	WebClients:   24,
+	WebDomains:   400,
+	BytesPerNode: 2 << 20,
+	AvailNodes:   40,
+	Trials:       2,
+	MigrationBPS: 8_000, // ~3.6 MB per node regenerates in ~1 h
+	Failures: synth.FailureConfig{
+		MeanUp:           24 * time.Hour,
+		MeanDown:         4 * time.Hour,
+		CorrelatedEvents: 8,
+		CorrelatedFrac:   0.30,
+		CorrelatedDown:   8 * time.Hour,
+	},
+	PerfNodes:   []int{120, 240},
+	PerfWindows: 8,
+	Seed:        1,
+}
+
+// Medium is the default for the CLI tools and benchmarks: minutes for the
+// full suite.
+var Medium = Scale{
+	Name:         "medium",
+	HarvardBytes: 1 << 30,
+	HarvardUsers: 40,
+	Days:         5,
+	HPBytes:      512 << 20,
+	HPApps:       20,
+	WebBytes:     512 << 20,
+	WebClients:   80,
+	WebDomains:   1500,
+	BytesPerNode: 8 << 20,
+	AvailNodes:   120,
+	Trials:       3,
+	MigrationBPS: 75_000, // ~25 MB per node regenerates in ~45 min
+	// The paper chose a PlanetLab week "with a particularly large number
+	// of failures"; with scaled-down task counts the failure model is
+	// harshened similarly so unavailability is measurable (the relative
+	// comparison is what Figure 7 reports).
+	Failures: synth.FailureConfig{
+		MeanUp:           40 * time.Hour,
+		MeanDown:         3 * time.Hour,
+		CorrelatedEvents: 5,
+		CorrelatedFrac:   0.20,
+		CorrelatedDown:   4 * time.Hour,
+	},
+	PerfNodes:   []int{200, 350, 500},
+	PerfWindows: 5,
+	Seed:        1,
+}
+
+// Full approaches the paper's setup: 83 users, a week, 247 nodes, and the
+// 200/500/1000-node performance sweep. Expect tens of minutes.
+var Full = Scale{
+	Name:         "full",
+	HarvardBytes: 4 << 30,
+	HarvardUsers: 83,
+	Days:         7,
+	HPBytes:      2 << 30,
+	HPApps:       40,
+	WebBytes:     2 << 30,
+	WebClients:   200,
+	WebDomains:   4000,
+	BytesPerNode: 16 << 20,
+	AvailNodes:   247,
+	Trials:       5,
+	MigrationBPS: 150_000, // ~50 MB per node regenerates in ~45 min
+	Failures: synth.FailureConfig{
+		MeanUp:           50 * time.Hour,
+		MeanDown:         3 * time.Hour,
+		CorrelatedEvents: 5,
+		CorrelatedFrac:   0.18,
+		CorrelatedDown:   4 * time.Hour,
+	},
+	PerfNodes:   []int{200, 500, 1000},
+	PerfWindows: 8,
+	Seed:        1,
+}
+
+// ScaleByName returns a named scale.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "small":
+		return Small, nil
+	case "medium":
+		return Medium, nil
+	case "full":
+		return Full, nil
+	default:
+		return Scale{}, fmt.Errorf("experiments: unknown scale %q (want small, medium, or full)", name)
+	}
+}
+
+// HarvardTrace builds the scale's Harvard workload.
+func (s Scale) HarvardTrace() *trace.Trace {
+	return synth.Harvard(synth.HarvardConfig{
+		Seed:        s.Seed,
+		Users:       s.HarvardUsers,
+		Days:        s.Days,
+		TargetBytes: s.HarvardBytes,
+	})
+}
+
+// HPTrace builds the scale's HP block workload.
+func (s Scale) HPTrace() *trace.Trace {
+	return synth.HP(synth.HPConfig{
+		Seed:      s.Seed,
+		Apps:      s.HPApps,
+		Days:      s.Days,
+		DiskBytes: s.HPBytes,
+	})
+}
+
+// WebTrace builds the scale's web workload.
+func (s Scale) WebTrace() *trace.Trace {
+	return synth.Web(synth.WebConfig{
+		Seed:        s.Seed,
+		Clients:     s.WebClients,
+		Days:        s.Days,
+		Domains:     s.WebDomains,
+		TargetBytes: s.WebBytes,
+	})
+}
+
+// WebCacheTrace builds the Squirrel-style cache workload (§10).
+func (s Scale) WebCacheTrace() *trace.Trace {
+	return synth.WebCache(s.WebTrace(), 24*time.Hour)
+}
+
+// Table is a rendered experiment result: a title, column headers, and
+// rows, printable as aligned text.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// f2 formats a float with two decimals; f4 with four.
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func f4(x float64) string { return fmt.Sprintf("%.4f", x) }
+
+// sci formats small probabilities in scientific notation.
+func sci(x float64) string {
+	if x == 0 {
+		return "0"
+	}
+	return fmt.Sprintf("%.2e", x)
+}
+
+// mb formats a byte count in MB.
+func mb(b int64) string { return fmt.Sprintf("%d", b>>20) }

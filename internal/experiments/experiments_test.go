@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTable1HasThreeWorkloads(t *testing.T) {
+	tbl := Table1(Small)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("Table 1 has %d rows, want 3", len(tbl.Rows))
+	}
+	out := tbl.String()
+	for _, w := range []string{"harvard", "hp", "web"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("Table 1 missing workload %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	rows := Fig3(Small)
+	if len(rows) != 3 {
+		t.Fatalf("Fig 3 has %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Traditional <= 0 {
+			t.Fatalf("%s: traditional mean is %v", r.Workload, r.Traditional)
+		}
+		// The paper's ordering: lower-bound ≤ ordered ≪ traditional,
+		// with ordered about 10× better than traditional.
+		if r.Ordered >= r.Traditional {
+			t.Errorf("%s: ordered (%.1f) not below traditional (%.1f)",
+				r.Workload, r.Ordered, r.Traditional)
+		}
+		if r.LowerBound > r.Ordered*1.05 {
+			t.Errorf("%s: lower bound (%.1f) above ordered (%.1f)",
+				r.Workload, r.LowerBound, r.Ordered)
+		}
+		if ratio := r.Ordered / r.Traditional; ratio > 0.5 {
+			t.Errorf("%s: ordered/traditional = %.2f, want ≪ 1 (paper ≈ 0.1)",
+				r.Workload, ratio)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows := Table2(Small)
+	if len(rows) != 4 {
+		t.Fatalf("Table 2 has %d rows", len(rows))
+	}
+	for i, r := range rows {
+		// Within each row: D2 ≤ file ≤ block, strictly fewer nodes for D2.
+		if r.NodesD2 >= r.NodesFile || r.NodesFile > r.NodesBlock {
+			t.Errorf("inter=%v: nodes D2=%.1f file=%.1f block=%.1f, want D2 < file ≤ block",
+				r.Inter, r.NodesD2, r.NodesFile, r.NodesBlock)
+		}
+		if r.MeanFiles > r.MeanBlocks {
+			t.Errorf("inter=%v: files %.1f > blocks %.1f", r.Inter, r.MeanFiles, r.MeanBlocks)
+		}
+		// Longer thresholds give at least as large tasks.
+		if i > 0 && r.MeanBlocks < rows[i-1].MeanBlocks {
+			t.Errorf("blocks per task shrank from inter=%v to %v", rows[i-1].Inter, r.Inter)
+		}
+	}
+}
+
+func TestFig7D2AvailabilityWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("availability simulation in -short mode")
+	}
+	res := Fig7(Small)
+	mean := func(sys string, interIdx int) float64 {
+		var sum float64
+		for _, v := range res.Unavail[sys][interIdx] {
+			sum += v
+		}
+		return sum / float64(len(res.Unavail[sys][interIdx]))
+	}
+	for ii := range res.Inters {
+		d2 := mean("d2", ii)
+		trad := mean("traditional", ii)
+		if d2 > trad {
+			t.Errorf("inter=%v: D2 unavailability %.2e above traditional %.2e",
+				res.Inters[ii], d2, trad)
+		}
+	}
+	// At some threshold traditional must actually show failures at this
+	// scale (otherwise the comparison is vacuous).
+	anyTrad := false
+	for ii := range res.Inters {
+		if mean("traditional", ii) > 0 {
+			anyTrad = true
+		}
+	}
+	if !anyTrad {
+		t.Error("traditional system showed no failures at all; failure model too weak to compare")
+	}
+}
+
+func TestFig16D2KeepsBalance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load-balance simulation in -short mode")
+	}
+	series := Fig16(Small)
+	byName := map[string]*LBSeries{}
+	for _, s := range series {
+		byName[s.System] = s
+	}
+	tail := func(s *LBSeries) float64 {
+		// Mean imbalance over the last half of the run (post warm-up).
+		n := len(s.Imbalance)
+		var sum float64
+		for _, v := range s.Imbalance[n/2:] {
+			sum += v
+		}
+		return sum / float64(n-n/2)
+	}
+	d2 := tail(byName["d2"])
+	trad := tail(byName["traditional"])
+	tradFile := tail(byName["traditional-file"])
+	merc := tail(byName["traditional+merc"])
+	// Paper: trad-file worst; D2 ≤ traditional; D2 close to Trad+Merc.
+	if d2 > trad*1.15 {
+		t.Errorf("D2 imbalance %.3f well above traditional %.3f", d2, trad)
+	}
+	if tradFile < trad {
+		t.Errorf("traditional-file imbalance %.3f below traditional %.3f; paper says it is worst",
+			tradFile, trad)
+	}
+	if d2 > merc*2.5 {
+		t.Errorf("D2 imbalance %.3f far above Traditional+Merc %.3f", d2, merc)
+	}
+}
+
+func TestTable3Renders(t *testing.T) {
+	tbl := Table3(Small)
+	if len(tbl.Rows) == 0 {
+		t.Fatal("Table 3 empty")
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "harvard") && !strings.Contains(out, "W/T") {
+		t.Errorf("Table 3 output malformed:\n%s", out)
+	}
+}
+
+func TestTable4MigrationOverheadBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load-balance simulation in -short mode")
+	}
+	tbl := Table4(Small)
+	if len(tbl.Rows) < 4 {
+		t.Fatalf("Table 4 has %d rows", len(tbl.Rows))
+	}
+	// Find the harvard total row: migration should be a modest multiple
+	// of writes (paper: ≈ 0.5; accept < 2 at small scale).
+	var found bool
+	for _, row := range tbl.Rows {
+		if row[0] == "harvard" && row[1] == "total" && row[4] != "-" {
+			found = true
+			ratio, err := strconv.ParseFloat(row[4], 64)
+			if err != nil {
+				t.Fatalf("bad ratio %q", row[4])
+			}
+			// At the tiny Small scale each balancer move costs ~2 mean
+			// node loads of migration, so the ratio sits above the
+			// paper's 0.5; it falls toward it at larger scales (see
+			// EXPERIMENTS.md).
+			if ratio > 2.0 {
+				t.Errorf("harvard L/W = %.2f, want bounded (paper: 0.5)", ratio)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no harvard total row in:\n%s", tbl.String())
+	}
+}
+
+func TestPerfSweepShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf sweep in -short mode")
+	}
+	points := RunPerfSweep(Small)
+	want := len(Small.PerfNodes) * 2 * 2
+	if len(points) != want {
+		t.Fatalf("sweep has %d points, want %d", len(points), want)
+	}
+	for _, p := range points {
+		if p.BPS != 1_500_000 || p.Parallel {
+			continue
+		}
+		// Fig 9: D2 sends far fewer lookup messages per node.
+		if p.D2.MsgsPerNode() >= p.Trad.MsgsPerNode() {
+			t.Errorf("nodes=%d: D2 msgs/node %.1f ≥ traditional %.1f",
+				p.Nodes, p.D2.MsgsPerNode(), p.Trad.MsgsPerNode())
+		}
+		// Fig 13: D2's miss rate below traditional's.
+		if p.D2.MeanUserMissRate() >= p.Trad.MeanUserMissRate() {
+			t.Errorf("nodes=%d: D2 miss %.2f ≥ traditional %.2f",
+				p.Nodes, p.D2.MeanUserMissRate(), p.Trad.MeanUserMissRate())
+		}
+		// Fig 10 seq: D2 faster.
+		if sp := speedup(p.Trad, p.D2); sp <= 1 {
+			t.Errorf("nodes=%d seq: speedup %.2f ≤ 1", p.Nodes, sp)
+		}
+	}
+	// Fig 9 trend: traditional msgs/node grows with size; D2's shrinks
+	// (compare smallest and largest sizes, seq @1500).
+	var small, large *PerfPoint
+	for i := range points {
+		p := &points[i]
+		if p.BPS != 1_500_000 || p.Parallel {
+			continue
+		}
+		if small == nil || p.Nodes < small.Nodes {
+			small = p
+		}
+		if large == nil || p.Nodes > large.Nodes {
+			large = p
+		}
+	}
+	// Traditional total lookup traffic grows with system size (its cache
+	// miss rate climbs); per-node traffic is diluted by the larger node
+	// count at fixed user activity — EXPERIMENTS.md discusses this
+	// deviation from Figure 9's per-node presentation.
+	if large.Trad.LookupMsgs <= small.Trad.LookupMsgs {
+		t.Errorf("traditional total lookup msgs fell from %d to %d with size; miss growth should raise it",
+			small.Trad.LookupMsgs, large.Trad.LookupMsgs)
+	}
+	if large.D2.MsgsPerNode() > small.D2.MsgsPerNode()*1.2 {
+		t.Errorf("D2 msgs/node grew from %.1f to %.1f with size; paper says it shrinks",
+			small.D2.MsgsPerNode(), large.D2.MsgsPerNode())
+	}
+}
+
+func TestScatterSummaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf sweep in -short mode")
+	}
+	points := RunPerfSweep(Small)
+	for _, parallel := range []bool{false, true} {
+		pts := Fig14Scatter(points, parallel)
+		if len(pts) == 0 {
+			t.Fatalf("no scatter points (parallel=%v)", parallel)
+		}
+		faster := 0
+		for _, p := range pts {
+			if p.FasterD2 {
+				faster++
+			}
+		}
+		if !parallel && float64(faster)/float64(len(pts)) < 0.5 {
+			t.Errorf("seq scatter: only %d/%d groups faster in D2; weight should be above diagonal",
+				faster, len(pts))
+		}
+	}
+	if pts := Fig15Scatter(points, false); len(pts) == 0 {
+		t.Error("no Fig 15 scatter points")
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"small", "medium", "full"} {
+		s, err := ScaleByName(name)
+		if err != nil || s.Name != name {
+			t.Errorf("ScaleByName(%q) = (%v, %v)", name, s.Name, err)
+		}
+	}
+	if _, err := ScaleByName("bogus"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tbl := &Table{
+		Title:   "T",
+		Headers: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "333  4") {
+		t.Errorf("table misaligned:\n%s", out)
+	}
+}
+
+func TestWarmupConstant(t *testing.T) {
+	if WarmupBalance != 3*24*time.Hour {
+		t.Errorf("warm-up = %v, paper uses 3 days", WarmupBalance)
+	}
+}

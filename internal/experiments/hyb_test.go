@@ -1,0 +1,18 @@
+package experiments
+
+import "testing"
+
+func TestAblationHybridRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf runs in -short mode")
+	}
+	tbl := AblationHybrid(Small)
+	if len(tbl.Rows) != 2*len(Small.PerfNodes) {
+		t.Fatalf("hybrid ablation has %d rows", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		if r[2] == "0.00" {
+			t.Errorf("system %s at %s nodes: zero speedup recorded", r[1], r[0])
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/defragdht/d2/internal/keys"
+	"github.com/defragdht/d2/internal/placement"
+	"github.com/defragdht/d2/internal/sim"
+	"github.com/defragdht/d2/internal/simdht"
+	"github.com/defragdht/d2/internal/trace"
+)
+
+// lbSystem describes one line of Figures 16/17.
+type lbSystem struct {
+	Name     string
+	Strategy placement.Strategy
+	Balance  bool
+	URLKeys  bool // webcache uses hashed-slot D2 keys (§4.2 footnote 2)
+}
+
+func lbSystems() []lbSystem {
+	return []lbSystem{
+		{Name: "traditional-file", Strategy: placement.HashedFile},
+		{Name: "traditional", Strategy: placement.HashedBlock},
+		{Name: "traditional+merc", Strategy: placement.HashedBlock, Balance: true},
+		{Name: "d2", Strategy: placement.D2, Balance: true},
+	}
+}
+
+// LBSeries is one system's load-imbalance time series.
+type LBSeries struct {
+	System string
+	// Times are snapshot instants (trace-relative).
+	Times []time.Duration
+	// Imbalance is the normalized std-dev of stored node load.
+	Imbalance []float64
+	// MaxRatio is max load / mean load.
+	MaxRatio []float64
+	// DailyWritten and DailyMigrated are per-day byte volumes (Table 4).
+	DailyWritten  []int64
+	DailyMigrated []int64
+}
+
+// runLoadBalance simulates one system over the trace with hourly snapshots
+// and no failures (§10 isolates balancing overhead from regeneration).
+func runLoadBalance(s Scale, tr *trace.Trace, sys lbSystem) *LBSeries {
+	eng := &sim.Engine{}
+	c := simdht.New(eng, simdht.Config{
+		Nodes:        s.AvailNodes,
+		Replicas:     3,
+		Balance:      sys.Balance,
+		MigrationBPS: s.MigrationBPS,
+		Seed:         s.Seed + 31,
+	})
+	vol := keys.NewVolumeID([]byte("d2-lb"), tr.Name)
+	var keyer placement.Keyer
+	if sys.URLKeys && sys.Strategy == placement.D2 {
+		keyer = placement.NewURLNamespace(vol)
+	} else {
+		keyer = placement.ForStrategy(sys.Strategy, vol)
+	}
+	// A non-empty initial file system gets the §8.1 3-day balancing
+	// warm-up, and the warm-up's convergence traffic is excluded from the
+	// Table 4 accounting. The webcache workload starts empty, so it runs
+	// cold, as in §10.
+	var offset time.Duration
+	if len(tr.Initial) > 0 {
+		offset = WarmupBalance
+	}
+	rep := simdht.NewReplay(c, keyer, tr, offset)
+	rep.InsertInitial()
+	eng.Run(offset)
+	rep.ScheduleEvents(nil)
+
+	out := &LBSeries{System: sys.Name}
+	days := int(tr.Duration / (24 * time.Hour))
+	if days == 0 {
+		days = 1
+	}
+	out.DailyWritten = make([]int64, days)
+	out.DailyMigrated = make([]int64, days)
+	prevW, prevM := c.WrittenBytes, c.MigratedBytes
+	eng.Every(time.Hour, func() bool {
+		now := eng.Now() - offset
+		if now > tr.Duration {
+			return false
+		}
+		out.Times = append(out.Times, now)
+		out.Imbalance = append(out.Imbalance, c.Imbalance())
+		out.MaxRatio = append(out.MaxRatio, c.MaxLoadRatio())
+		day := int(now / (24 * time.Hour))
+		if day >= days {
+			day = days - 1
+		}
+		out.DailyWritten[day] += c.WrittenBytes - prevW
+		out.DailyMigrated[day] += c.MigratedBytes - prevM
+		prevW, prevM = c.WrittenBytes, c.MigratedBytes
+		return true
+	})
+	eng.Run(offset + tr.Duration + time.Hour)
+	return out
+}
+
+// Fig16 reproduces Figure 16: load imbalance over time on the Harvard
+// workload for the four systems.
+func Fig16(s Scale) []*LBSeries {
+	tr := s.HarvardTrace()
+	var out []*LBSeries
+	for _, sys := range lbSystems() {
+		out = append(out, runLoadBalance(s, tr, sys))
+	}
+	return out
+}
+
+// Fig17 reproduces Figure 17: load imbalance over time on the Webcache
+// workload.
+func Fig17(s Scale) []*LBSeries {
+	tr := s.WebCacheTrace()
+	var out []*LBSeries
+	for _, sys := range lbSystems() {
+		sys := sys
+		sys.URLKeys = true
+		out = append(out, runLoadBalance(s, tr, sys))
+	}
+	return out
+}
+
+// RenderLBSeries formats imbalance series sampled every few hours.
+func RenderLBSeries(title string, series []*LBSeries) *Table {
+	t := &Table{
+		Title:   title,
+		Headers: []string{"hour"},
+	}
+	for _, s := range series {
+		t.Headers = append(t.Headers, s.System)
+	}
+	if len(series) == 0 || len(series[0].Times) == 0 {
+		return t
+	}
+	step := len(series[0].Times) / 24
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < len(series[0].Times); i += step {
+		row := []string{fmt.Sprintf("%d", int(series[0].Times[i]/time.Hour))}
+		for _, s := range series {
+			if i < len(s.Imbalance) {
+				row = append(row, f2(s.Imbalance[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	// Summary rows: mean imbalance and mean max/mean ratio.
+	meanRow := []string{"mean"}
+	maxRow := []string{"max/mean(avg)"}
+	for _, s := range series {
+		var sum, rsum float64
+		for i := range s.Imbalance {
+			sum += s.Imbalance[i]
+			rsum += s.MaxRatio[i]
+		}
+		n := float64(len(s.Imbalance))
+		meanRow = append(meanRow, f2(sum/n))
+		maxRow = append(maxRow, f2(rsum/n))
+	}
+	t.Rows = append(t.Rows, meanRow, maxRow)
+	return t
+}
+
+// Table3 reproduces Table 3: per-day written and removed byte volume
+// relative to the data resident at the start of each day.
+func Table3(s Scale) *Table {
+	t := &Table{
+		Title:   "Table 3: Daily churn W_i/T_i and R_i/T_i",
+		Headers: []string{"day", "harvard W/T", "harvard R/T", "webcache W/T", "webcache R/T"},
+	}
+	h := trace.DailyChurn(s.HarvardTrace())
+	w := trace.DailyChurn(s.WebCacheTrace())
+	days := len(h)
+	if len(w) > days {
+		days = len(w)
+	}
+	get := func(c []trace.ChurnDay, d int) (float64, float64) {
+		if d >= len(c) {
+			return 0, 0
+		}
+		return c[d].WriteRatio(), c[d].RemoveRatio()
+	}
+	for d := 0; d < days; d++ {
+		hw, hr := get(h, d)
+		ww, wr := get(w, d)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", d+1), f2(hw), f2(hr), f2(ww), f2(wr),
+		})
+	}
+	return t
+}
+
+// Table4 reproduces Table 4: mean per-node write traffic W_i vs load
+// balancing (migration) traffic L_i on each day, for the D2 system.
+func Table4(s Scale) *Table {
+	t := &Table{
+		Title:   "Table 4: Mean write traffic W_i vs load-balancing traffic L_i per node-day (MB)",
+		Headers: []string{"workload", "day", "W_i (MB)", "L_i (MB)", "L/W"},
+	}
+	add := func(name string, series *LBSeries) {
+		var wTot, lTot int64
+		for d := range series.DailyWritten {
+			wi := series.DailyWritten[d] / int64(s.AvailNodes)
+			li := series.DailyMigrated[d] / int64(s.AvailNodes)
+			wTot += wi
+			lTot += li
+			ratio := "-"
+			if wi > 0 {
+				ratio = f2(float64(li) / float64(wi))
+			}
+			t.Rows = append(t.Rows, []string{
+				name, fmt.Sprintf("%d", d+1), mb(wi), mb(li), ratio,
+			})
+		}
+		total := "-"
+		if wTot > 0 {
+			total = f2(float64(lTot) / float64(wTot))
+		}
+		t.Rows = append(t.Rows, []string{name, "total", mb(wTot), mb(lTot), total})
+	}
+	d2h := runLoadBalance(s, s.HarvardTrace(), lbSystem{Name: "d2", Strategy: placement.D2, Balance: true})
+	add("harvard", d2h)
+	d2w := runLoadBalance(s, s.WebCacheTrace(), lbSystem{Name: "d2", Strategy: placement.D2, Balance: true, URLKeys: true})
+	add("webcache", d2w)
+	return t
+}
+
+// AblationPointers compares migration traffic with and without block
+// pointers on the Harvard workload (§6: pointers avoid duplicate moves).
+func AblationPointers(s Scale) *Table {
+	t := &Table{
+		Title:   "Ablation: block pointers on/off — migration traffic over the trace",
+		Headers: []string{"pointers", "migrated (MB)", "migrated/written"},
+	}
+	tr := s.HarvardTrace()
+	for _, disable := range []bool{false, true} {
+		eng := &sim.Engine{}
+		c := simdht.New(eng, simdht.Config{
+			Nodes:           s.AvailNodes,
+			Replicas:        3,
+			Balance:         true,
+			DisablePointers: disable,
+			MigrationBPS:    s.MigrationBPS,
+			Seed:            s.Seed + 67,
+		})
+		vol := keys.NewVolumeID([]byte("d2-ablate"), "ptr")
+		rep := simdht.NewReplay(c, placement.ForStrategy(placement.D2, vol), tr, 0)
+		rep.InsertInitial()
+		rep.ScheduleEvents(nil)
+		eng.Run(tr.Duration + time.Hour)
+		label := "on"
+		if disable {
+			label = "off"
+		}
+		ratio := "-"
+		if c.WrittenBytes > 0 {
+			ratio = f2(float64(c.MigratedBytes) / float64(c.WrittenBytes))
+		}
+		t.Rows = append(t.Rows, []string{label, mb(c.MigratedBytes), ratio})
+	}
+	return t
+}

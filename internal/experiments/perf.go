@@ -1,0 +1,346 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/defragdht/d2/internal/keys"
+	"github.com/defragdht/d2/internal/netmodel"
+	"github.com/defragdht/d2/internal/perfsim"
+	"github.com/defragdht/d2/internal/placement"
+	"github.com/defragdht/d2/internal/stats"
+)
+
+// PerfPoint is one (size, bandwidth, mode) cell of the §9 sweep with all
+// three systems' results.
+type PerfPoint struct {
+	Nodes    int
+	BPS      int64
+	Parallel bool
+	D2       *perfsim.Result
+	Trad     *perfsim.Result
+	TradFile *perfsim.Result
+}
+
+// perfSystems builds the three compared systems over one volume.
+func perfSystems() []perfsim.System {
+	vol := keys.NewVolumeID([]byte("d2-perf"), "harvard")
+	return []perfsim.System{
+		{Name: "d2", Keyer: placement.ForStrategy(placement.D2, vol), Balanced: true},
+		{Name: "traditional", Keyer: placement.ForStrategy(placement.HashedBlock, vol)},
+		{Name: "traditional-file", Keyer: placement.ForStrategy(placement.HashedFile, vol)},
+	}
+}
+
+// RunPerfSweep executes the full §9 sweep: every node count × bandwidth ×
+// mode, for D2, traditional, and traditional-file. Figures 9–15 all read
+// from this result set.
+func RunPerfSweep(s Scale) []PerfPoint {
+	tr := s.HarvardTrace()
+	var points []PerfPoint
+	for _, nodes := range s.PerfNodes {
+		topo := netmodel.NewTopology(nodes, s.Seed+5)
+		for _, bps := range []int64{1_500_000, 384_000} {
+			for _, parallel := range []bool{false, true} {
+				p := PerfPoint{Nodes: nodes, BPS: bps, Parallel: parallel}
+				cfg := perfsim.Config{
+					Nodes:      nodes,
+					AccessBPS:  bps,
+					Parallel:   parallel,
+					NumWindows: s.PerfWindows,
+					Seed:       s.Seed + 17,
+				}
+				systems := perfSystems()
+				p.D2 = perfsim.Run(cfg, systems[0], tr, topo)
+				p.Trad = perfsim.Run(cfg, systems[1], tr, topo)
+				p.TradFile = perfsim.Run(cfg, systems[2], tr, topo)
+				points = append(points, p)
+			}
+		}
+	}
+	return points
+}
+
+// modeName labels seq/para.
+func modeName(parallel bool) string {
+	if parallel {
+		return "para"
+	}
+	return "seq"
+}
+
+// Fig9 renders lookup messages per node vs system size (Figure 9), at
+// 1500 kbps as in the paper's lookup-traffic plot.
+func Fig9(points []PerfPoint) *Table {
+	t := &Table{
+		Title:   "Figure 9: DHT lookup messages per node (1500 kbps windows)",
+		Headers: []string{"nodes", "mode", "d2", "traditional", "trad-file", "d2/trad"},
+	}
+	for _, p := range points {
+		if p.BPS != 1_500_000 {
+			continue
+		}
+		ratio := 0.0
+		if p.Trad.MsgsPerNode() > 0 {
+			ratio = p.D2.MsgsPerNode() / p.Trad.MsgsPerNode()
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p.Nodes), modeName(p.Parallel),
+			f2(p.D2.MsgsPerNode()), f2(p.Trad.MsgsPerNode()),
+			f2(p.TradFile.MsgsPerNode()), f4(ratio),
+		})
+	}
+	return t
+}
+
+// speedup returns the overall geometric-mean speedup of sys a over sys b:
+// per user, the geomean of per-group latency ratios; overall, the geomean
+// over users (§9.3).
+func speedup(slow, fast *perfsim.Result) float64 {
+	perUser := perUserSpeedup(slow, fast)
+	var vals []float64
+	for _, v := range perUser {
+		vals = append(vals, v)
+	}
+	return stats.GeoMean(vals)
+}
+
+// perUserSpeedup returns each user's geomean speedup of fast over slow.
+func perUserSpeedup(slow, fast *perfsim.Result) map[int32]float64 {
+	logSums := map[int32]float64{}
+	counts := map[int32]int{}
+	for gi, fLat := range fast.Groups {
+		sLat, ok := slow.Groups[gi]
+		if !ok || fLat <= 0 || sLat <= 0 {
+			continue
+		}
+		u := fast.GroupUser[gi]
+		logSums[u] += math.Log(float64(sLat) / float64(fLat))
+		counts[u]++
+	}
+	out := make(map[int32]float64, len(logSums))
+	for u, ls := range logSums {
+		out[u] = math.Exp(ls / float64(counts[u]))
+	}
+	return out
+}
+
+// Fig10 renders D2's speedup over the traditional DHT (Figure 10).
+func Fig10(points []PerfPoint) *Table {
+	t := &Table{
+		Title:   "Figure 10: Geometric-mean speedup of D2 over the traditional DHT",
+		Headers: []string{"nodes", "bps", "mode", "speedup"},
+	}
+	for _, p := range points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p.Nodes), fmt.Sprintf("%d", p.BPS/1000),
+			modeName(p.Parallel), f2(speedup(p.Trad, p.D2)),
+		})
+	}
+	return t
+}
+
+// Fig11 renders D2's speedup over the traditional-file DHT (Figure 11).
+func Fig11(points []PerfPoint) *Table {
+	t := &Table{
+		Title:   "Figure 11: Geometric-mean speedup of D2 over the traditional-file DHT",
+		Headers: []string{"nodes", "bps", "mode", "speedup"},
+	}
+	for _, p := range points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p.Nodes), fmt.Sprintf("%d", p.BPS/1000),
+			modeName(p.Parallel), f2(speedup(p.TradFile, p.D2)),
+		})
+	}
+	return t
+}
+
+// Fig12 renders per-user mean speedups at the largest size and 1500 kbps
+// (Figure 12), ranked by decreasing speedup.
+func Fig12(points []PerfPoint) *Table {
+	t := &Table{
+		Title:   "Figure 12: Per-user speedup over traditional (largest size, 1500 kbps)",
+		Headers: []string{"mode", "rank", "speedup"},
+	}
+	maxNodes := 0
+	for _, p := range points {
+		if p.Nodes > maxNodes {
+			maxNodes = p.Nodes
+		}
+	}
+	for _, p := range points {
+		if p.Nodes != maxNodes || p.BPS != 1_500_000 {
+			continue
+		}
+		per := perUserSpeedup(p.Trad, p.D2)
+		var vals []float64
+		for _, v := range per {
+			vals = append(vals, v)
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+		for i, v := range vals {
+			t.Rows = append(t.Rows, []string{modeName(p.Parallel), fmt.Sprintf("%d", i+1), f2(v)})
+		}
+	}
+	return t
+}
+
+// Fig13 renders mean per-user lookup-cache miss rates (Figure 13).
+func Fig13(points []PerfPoint) *Table {
+	t := &Table{
+		Title:   "Figure 13: Mean per-user lookup cache miss rate",
+		Headers: []string{"nodes", "bps", "mode", "d2", "traditional", "trad-file"},
+	}
+	for _, p := range points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p.Nodes), fmt.Sprintf("%d", p.BPS/1000),
+			modeName(p.Parallel),
+			f2(p.D2.MeanUserMissRate()), f2(p.Trad.MeanUserMissRate()),
+			f2(p.TradFile.MeanUserMissRate()),
+		})
+	}
+	return t
+}
+
+// ScatterPoint is one access group's latency under two systems (Figures
+// 14 and 15).
+type ScatterPoint struct {
+	Group    int
+	Other    time.Duration // traditional or traditional-file
+	D2       time.Duration
+	FasterD2 bool
+}
+
+// Fig14Scatter extracts the latency scatter of D2 vs the traditional DHT
+// at the largest size and 1500 kbps.
+func Fig14Scatter(points []PerfPoint, parallel bool) []ScatterPoint {
+	return scatter(points, parallel, func(p PerfPoint) *perfsim.Result { return p.Trad })
+}
+
+// Fig15Scatter extracts the scatter of D2 vs the traditional-file DHT.
+func Fig15Scatter(points []PerfPoint, parallel bool) []ScatterPoint {
+	return scatter(points, parallel, func(p PerfPoint) *perfsim.Result { return p.TradFile })
+}
+
+func scatter(points []PerfPoint, parallel bool, pick func(PerfPoint) *perfsim.Result) []ScatterPoint {
+	maxNodes := 0
+	for _, p := range points {
+		if p.Nodes > maxNodes {
+			maxNodes = p.Nodes
+		}
+	}
+	var out []ScatterPoint
+	for _, p := range points {
+		if p.Nodes != maxNodes || p.BPS != 1_500_000 || p.Parallel != parallel {
+			continue
+		}
+		other := pick(p)
+		for gi, d2Lat := range p.D2.Groups {
+			oLat, ok := other.Groups[gi]
+			if !ok {
+				continue
+			}
+			out = append(out, ScatterPoint{
+				Group: gi, Other: oLat, D2: d2Lat, FasterD2: d2Lat < oLat,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Group < out[j].Group })
+	return out
+}
+
+// RenderScatter summarizes a latency scatter: the share of groups above
+// the diagonal overall and among slow (> 5 s) groups, as the paper's
+// discussion of Figures 14/15 reads the plots.
+func RenderScatter(title string, pts []ScatterPoint) *Table {
+	t := &Table{
+		Title:   title,
+		Headers: []string{"groups", "faster in D2", "share", "slow(>5s) groups", "slow faster in D2"},
+	}
+	faster := 0
+	slow, slowFaster := 0, 0
+	for _, p := range pts {
+		if p.FasterD2 {
+			faster++
+		}
+		if p.Other > 5*time.Second || p.D2 > 5*time.Second {
+			slow++
+			if p.FasterD2 {
+				slowFaster++
+			}
+		}
+	}
+	share := 0.0
+	if len(pts) > 0 {
+		share = float64(faster) / float64(len(pts))
+	}
+	t.Rows = append(t.Rows, []string{
+		fmt.Sprintf("%d", len(pts)), fmt.Sprintf("%d", faster), f2(share),
+		fmt.Sprintf("%d", slow), fmt.Sprintf("%d", slowFaster),
+	})
+	return t
+}
+
+// AblationCacheTTL sweeps the lookup-cache TTL and reports D2's miss rate
+// and lookup traffic at the largest configured size.
+func AblationCacheTTL(s Scale) *Table {
+	t := &Table{
+		Title:   "Ablation: lookup-cache TTL sweep (D2, seq, 1500 kbps, largest size)",
+		Headers: []string{"ttl", "miss rate", "lookup msgs/node"},
+	}
+	tr := s.HarvardTrace()
+	nodes := s.PerfNodes[len(s.PerfNodes)-1]
+	topo := netmodel.NewTopology(nodes, s.Seed+5)
+	sys := perfSystems()[0]
+	for _, ttl := range []time.Duration{5 * time.Minute, 20 * time.Minute, 75 * time.Minute, 5 * time.Hour} {
+		res := perfsim.Run(perfsim.Config{
+			Nodes:      nodes,
+			CacheTTL:   ttl,
+			NumWindows: s.PerfWindows,
+			Seed:       s.Seed + 17,
+		}, sys, tr, topo)
+		t.Rows = append(t.Rows, []string{
+			ttl.String(), f2(res.MeanUserMissRate()), f2(res.MsgsPerNode()),
+		})
+	}
+	return t
+}
+
+// AblationHybrid evaluates the paper's §11 future-work placement: hybrid
+// locality + consistent hashing. It reports para-mode speedup over the
+// traditional DHT at the constrained 384 kbps links, where pure D2 loses
+// parallel bandwidth on large files, alongside lookup traffic.
+func AblationHybrid(s Scale) *Table {
+	t := &Table{
+		Title:   "Ablation: hybrid placement (§11) — para mode at 384 kbps",
+		Headers: []string{"nodes", "system", "speedup vs trad", "msgs/node", "miss rate"},
+	}
+	tr := s.HarvardTrace()
+	vol := keys.NewVolumeID([]byte("d2-hybrid"), "harvard")
+	systems := []perfsim.System{
+		{Name: "d2", Keyer: placement.ForStrategy(placement.D2, vol), Balanced: true},
+		{Name: "hybrid", Keyer: placement.NewHybrid(vol, 8), Balanced: true},
+	}
+	trad := perfsim.System{Name: "traditional", Keyer: placement.ForStrategy(placement.HashedBlock, vol)}
+	for _, nodes := range s.PerfNodes {
+		topo := netmodel.NewTopology(nodes, s.Seed+5)
+		cfg := perfsim.Config{
+			Nodes:      nodes,
+			AccessBPS:  384_000,
+			Parallel:   true,
+			NumWindows: s.PerfWindows,
+			Seed:       s.Seed + 17,
+		}
+		tradRes := perfsim.Run(cfg, trad, tr, topo)
+		for _, sys := range systems {
+			res := perfsim.Run(cfg, sys, tr, topo)
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", nodes), sys.Name,
+				f2(speedup(tradRes, res)), f2(res.MsgsPerNode()), f2(res.MeanUserMissRate()),
+			})
+		}
+	}
+	return t
+}

@@ -1,0 +1,199 @@
+// Package fs implements D2-FS (§3): a CFS-style file system layered on
+// DHT blocks with locality-preserving keys. It maintains four block types
+// — a mutable signed root block, directory blocks, file inodes, and data
+// blocks — all at most 8 KB. Metadata blocks store the content hashes and
+// version hashes of the blocks they point to, so signing the root signs
+// the whole tree, and slightly stale readers still fetch consistent old
+// versions (§4.2). Small file data is inlined in the metadata block.
+// A 30-second write-back cache absorbs temporary files and repeat reads.
+package fs
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"github.com/defragdht/d2/internal/keys"
+	"github.com/defragdht/d2/internal/trace"
+)
+
+// BlockSize is the maximum block payload (§3).
+const BlockSize = trace.BlockSize
+
+// InlineMax is the largest file stored inline in its metadata block.
+const InlineMax = 4096
+
+// Errors mirroring os file-system semantics.
+var (
+	ErrNotExist  = errors.New("fs: file does not exist")
+	ErrExist     = errors.New("fs: file already exists")
+	ErrNotDir    = errors.New("fs: not a directory")
+	ErrIsDir     = errors.New("fs: is a directory")
+	ErrNotEmpty  = errors.New("fs: directory not empty")
+	ErrReadOnly  = errors.New("fs: volume opened read-only")
+	ErrIntegrity = errors.New("fs: block integrity check failed")
+	ErrBadSig    = errors.New("fs: root signature invalid")
+)
+
+// Inode is a file or directory's metadata block (block 0 of its key
+// range). For directories, the content blocks hold the serialized entry
+// list.
+type Inode struct {
+	IsDir bool
+	Size  int64
+	// Inline holds the whole content when it fits (≤ InlineMax).
+	Inline []byte
+	// BlockVers and BlockHashes describe content blocks 1..N: the
+	// version hash selecting each block's key and the content hash
+	// verifying it.
+	BlockVers   []uint32
+	BlockHashes [][32]byte
+	// NextSlot is the next unused 2-byte directory slot (directories
+	// only; §4.2 assigns slots by examining the directory state).
+	NextSlot uint16
+}
+
+// DirEntry is one name in a directory.
+type DirEntry struct {
+	Name  string
+	IsDir bool
+	Size  int64
+	// Slot is the 2-byte value this entry consumes in its directory.
+	Slot uint16
+	// Ver and Hash locate and verify the child's inode block.
+	Ver  uint32
+	Hash [32]byte
+	// Moved marks a renamed entry: the child's blocks keep their original
+	// keys (§4.2); OrigSlots/OrigRemainder reconstruct that key prefix.
+	Moved         bool
+	OrigSlots     []uint16
+	OrigRemainder [8]byte
+}
+
+// RootBlock is the volume's only mutable block: it embeds the root
+// directory's inode and is signed by the publisher, which transitively
+// signs all metadata (§3).
+type RootBlock struct {
+	Name      string
+	PublicKey []byte
+	Version   uint32
+	Root      Inode
+	Signature []byte
+}
+
+// encode serializes a value with gob.
+func encode(v interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("fs: encode %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decode deserializes a gob value.
+func decode(data []byte, v interface{}) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("fs: decode %T: %w", v, err)
+	}
+	return nil
+}
+
+// contentHash is the integrity hash stored in parent metadata.
+func contentHash(data []byte) [32]byte { return sha256.Sum256(data) }
+
+// versionHash derives the 4-byte version field of a block's key from its
+// content (§4.2: the last key bytes distinguish versions of an
+// overwritten block).
+func versionHash(data []byte) uint32 {
+	h := contentHash(data)
+	v := binary.BigEndian.Uint32(h[:4])
+	if v == 0 {
+		v = 1 // version 0 is reserved for in-place metadata
+	}
+	return v
+}
+
+// signablePayload serializes the root block without its signature.
+func (r *RootBlock) signablePayload() ([]byte, error) {
+	clone := *r
+	clone.Signature = nil
+	return encode(&clone)
+}
+
+// pathCursor tracks the slot chain while resolving a path, producing the
+// child key prefixes the Figure 4 encoding needs. Moved entries (renames)
+// freeze the cursor at the child's original encoding so blocks keep their
+// keys (§4.2).
+type pathCursor struct {
+	vol   keys.VolumeID
+	slots []uint16
+	// deep holds components beyond MaxPathDepth, hashed into the key's
+	// remainder field.
+	deep []string
+	// frozenRemainder carries a moved deep entry's precomputed remainder.
+	frozen          bool
+	frozenRemainder [8]byte
+}
+
+// newCursor starts at the volume root.
+func newCursor(vol keys.VolumeID) pathCursor {
+	return pathCursor{vol: vol}
+}
+
+// child returns the cursor for a child entry with the given name.
+func (c pathCursor) child(e *DirEntry, name string) pathCursor {
+	if e.Moved {
+		out := pathCursor{vol: c.vol, slots: append([]uint16{}, e.OrigSlots...)}
+		if e.OrigRemainder != ([8]byte{}) {
+			out.frozen = true
+			out.frozenRemainder = e.OrigRemainder
+		}
+		return out
+	}
+	out := pathCursor{
+		vol:             c.vol,
+		slots:           append([]uint16{}, c.slots...),
+		deep:            append([]string{}, c.deep...),
+		frozen:          c.frozen,
+		frozenRemainder: c.frozenRemainder,
+	}
+	if len(out.slots) < keys.MaxPathDepth {
+		out.slots = append(out.slots, e.Slot)
+	} else {
+		out.deep = append(out.deep, name)
+	}
+	return out
+}
+
+// code builds the PathCode at this cursor.
+func (c pathCursor) code() keys.PathCode {
+	if c.frozen {
+		pc := keys.PathCode{Slots: c.slots, Remainder: c.frozenRemainder}
+		if len(c.deep) > 0 {
+			// Children added under a deep moved directory extend the
+			// frozen remainder deterministically.
+			h := sha256.New()
+			h.Write(pc.Remainder[:])
+			for _, d := range c.deep {
+				h.Write([]byte(d))
+			}
+			copy(pc.Remainder[:], h.Sum(nil))
+		}
+		return pc
+	}
+	return keys.NewPathCode(c.slots, c.deep)
+}
+
+// blockKey returns the key for the given block and version at this path.
+func (c pathCursor) blockKey(block uint64, ver uint32) keys.Key {
+	return keys.Encode(c.vol, c.code(), block, ver)
+}
+
+// origEncoding exports the encoding for rename bookkeeping.
+func (c pathCursor) origEncoding() ([]uint16, [8]byte) {
+	pc := c.code()
+	return pc.Slots, pc.Remainder
+}

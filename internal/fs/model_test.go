@@ -1,0 +1,191 @@
+package fs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestRandomizedAgainstModel drives hundreds of random file-system
+// operations against both the volume and an in-memory model, checking
+// full equivalence (content, listings, errors) after every step.
+func TestRandomizedAgainstModel(t *testing.T) {
+	v, _ := newTestVolume(t)
+	ctx := context.Background()
+	rng := rand.New(rand.NewPCG(99, 100))
+
+	type modelFile struct {
+		content []byte
+	}
+	files := map[string]*modelFile{} // path → file
+	dirs := map[string]bool{"": true}
+
+	dirList := func() []string {
+		var out []string
+		for d := range dirs {
+			out = append(out, d)
+		}
+		return out
+	}
+	randDir := func() string {
+		ds := dirList()
+		return ds[rng.IntN(len(ds))]
+	}
+	fileList := func() []string {
+		var out []string
+		for f := range files {
+			out = append(out, f)
+		}
+		return out
+	}
+
+	for stepN := 0; stepN < 400; stepN++ {
+		switch op := rng.IntN(10); {
+		case op < 3: // write a (possibly new) file
+			dir := randDir()
+			path := fmt.Sprintf("%s/f%d", dir, rng.IntN(8))
+			content := make([]byte, rng.IntN(3*BlockSize))
+			for i := range content {
+				content[i] = byte(rng.Uint64())
+			}
+			err := v.WriteFile(ctx, path, content)
+			if dirs[path] {
+				if !errors.Is(err, ErrIsDir) {
+					t.Fatalf("step %d: writing dir path %q: %v", stepN, path, err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("step %d: WriteFile(%q): %v", stepN, path, err)
+			}
+			files[path] = &modelFile{content: content}
+		case op < 5: // mkdir
+			parent := randDir()
+			path := fmt.Sprintf("%s/d%d", parent, rng.IntN(5))
+			err := v.Mkdir(ctx, path)
+			switch {
+			case dirs[path]:
+				if !errors.Is(err, ErrExist) {
+					t.Fatalf("step %d: re-mkdir %q: %v", stepN, path, err)
+				}
+			case files[path] != nil:
+				if !errors.Is(err, ErrExist) {
+					t.Fatalf("step %d: mkdir over file %q: %v", stepN, path, err)
+				}
+			default:
+				if err != nil {
+					t.Fatalf("step %d: Mkdir(%q): %v", stepN, path, err)
+				}
+				dirs[path] = true
+			}
+		case op < 7: // read a random file
+			fl := fileList()
+			if len(fl) == 0 {
+				continue
+			}
+			path := fl[rng.IntN(len(fl))]
+			data, err := v.ReadFile(ctx, path)
+			if err != nil {
+				t.Fatalf("step %d: ReadFile(%q): %v", stepN, path, err)
+			}
+			if !bytes.Equal(data, files[path].content) {
+				t.Fatalf("step %d: content mismatch at %q", stepN, path)
+			}
+		case op < 8: // remove a file
+			fl := fileList()
+			if len(fl) == 0 {
+				continue
+			}
+			path := fl[rng.IntN(len(fl))]
+			if err := v.Remove(ctx, path); err != nil {
+				t.Fatalf("step %d: Remove(%q): %v", stepN, path, err)
+			}
+			delete(files, path)
+		case op < 9: // rename a file
+			fl := fileList()
+			if len(fl) == 0 {
+				continue
+			}
+			oldPath := fl[rng.IntN(len(fl))]
+			newPath := fmt.Sprintf("%s/m%d", randDir(), rng.IntN(8))
+			err := v.Rename(ctx, oldPath, newPath)
+			if files[newPath] != nil || dirs[newPath] {
+				if !errors.Is(err, ErrExist) && newPath != oldPath {
+					t.Fatalf("step %d: rename onto existing %q: %v", stepN, newPath, err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("step %d: Rename(%q, %q): %v", stepN, oldPath, newPath, err)
+			}
+			files[newPath] = files[oldPath]
+			delete(files, oldPath)
+		default: // occasionally flush
+			if err := v.Sync(ctx); err != nil {
+				t.Fatalf("step %d: Sync: %v", stepN, err)
+			}
+		}
+	}
+
+	// Final equivalence: every directory listing matches the model.
+	for d := range dirs {
+		infos, err := v.ReadDir(ctx, "/"+d)
+		if err != nil {
+			t.Fatalf("final ReadDir(%q): %v", d, err)
+		}
+		want := map[string]bool{}
+		for f := range files {
+			if parentOf(f) == d {
+				want[baseOf(f)] = true
+			}
+		}
+		for sub := range dirs {
+			if sub != "" && parentOf(sub) == d {
+				want[baseOf(sub)] = true
+			}
+		}
+		got := map[string]bool{}
+		for _, fi := range infos {
+			got[fi.Name] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("dir %q: got %v, want %v", d, got, want)
+		}
+		for name := range want {
+			if !got[name] {
+				t.Fatalf("dir %q missing %q", d, name)
+			}
+		}
+	}
+	// And every file's content survives a final sync + fresh reads.
+	if err := v.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for path, mf := range files {
+		data, err := v.ReadFile(ctx, path)
+		if err != nil || !bytes.Equal(data, mf.content) {
+			t.Fatalf("final content mismatch at %q: %v", path, err)
+		}
+	}
+}
+
+func parentOf(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return p[:i]
+		}
+	}
+	return ""
+}
+
+func baseOf(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return p[i+1:]
+		}
+	}
+	return p
+}

@@ -1,0 +1,524 @@
+package fs
+
+import (
+	"context"
+	"crypto/ed25519"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/defragdht/d2/internal/keys"
+	"github.com/defragdht/d2/internal/placement"
+)
+
+// BlockService is the DHT interface D2-FS runs on: the put/get/remove of
+// D2-Store (§3). Both the live cluster client and in-memory test doubles
+// satisfy it.
+type BlockService interface {
+	Put(ctx context.Context, k keys.Key, data []byte) error
+	Get(ctx context.Context, k keys.Key) ([]byte, error)
+	Remove(ctx context.Context, k keys.Key) error
+}
+
+// Options tunes a volume.
+type Options struct {
+	// WriteBackDelay is the write-back/read cache window (default 30 s,
+	// §3). Writes become visible to other readers on Sync or after the
+	// background flusher runs (when started with AutoFlush).
+	WriteBackDelay time.Duration
+	// AutoFlush starts a background flusher; Close stops it. Without it,
+	// call Sync explicitly.
+	AutoFlush bool
+}
+
+func (o *Options) applyDefaults() {
+	if o.WriteBackDelay == 0 {
+		o.WriteBackDelay = 30 * time.Second
+	}
+}
+
+// Volume is one D2-FS file-system volume: single writer, many readers
+// (§3). All methods are safe for concurrent use within the process.
+type Volume struct {
+	svc   BlockService
+	volID keys.VolumeID
+	name  string
+	pub   ed25519.PublicKey
+	priv  ed25519.PrivateKey // nil for read-only volumes
+	opts  Options
+
+	// mu serializes namespace operations (single-writer volumes, §3).
+	mu   sync.Mutex
+	root *RootBlock // writer: authoritative copy
+
+	// cmu guards the block caches, separately from mu so operations
+	// holding mu can perform block IO.
+	cmu     sync.Mutex
+	pending map[keys.Key][]byte
+	removes []keys.Key
+	rcache  map[keys.Key]cachedBlock
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+type cachedBlock struct {
+	data []byte
+	at   time.Time
+}
+
+// VolumeID returns the volume's 20-byte identifier.
+func (v *Volume) VolumeID() keys.VolumeID { return v.volID }
+
+// Keyer returns a placement keyer addressing this volume's path space
+// directly (used by trace replay and benchmarks; regular access goes
+// through the Volume API).
+func (v *Volume) Keyer() placement.Keyer { return placement.NewNamespace(v.volID) }
+
+// rootKey returns the volume's root block key (block 0, version 0 of the
+// empty path — the only in-place-updated block, §3).
+func (v *Volume) rootKey() keys.Key {
+	return keys.Encode(v.volID, keys.PathCode{}, 0, 0)
+}
+
+// Create writes a fresh volume with an empty root directory and returns a
+// writable handle. The volume ID derives from the publisher key and name.
+func Create(ctx context.Context, svc BlockService, name string, priv ed25519.PrivateKey, opts Options) (*Volume, error) {
+	opts.applyDefaults()
+	pub := priv.Public().(ed25519.PublicKey)
+	v := &Volume{
+		svc:     svc,
+		volID:   keys.NewVolumeID(pub, name),
+		name:    name,
+		pub:     pub,
+		priv:    priv,
+		opts:    opts,
+		pending: make(map[keys.Key][]byte),
+		rcache:  make(map[keys.Key]cachedBlock),
+		stop:    make(chan struct{}),
+	}
+	v.root = &RootBlock{
+		Name:      name,
+		PublicKey: pub,
+		Version:   1,
+		Root:      Inode{IsDir: true, NextSlot: 1},
+	}
+	if err := v.signRoot(); err != nil {
+		return nil, err
+	}
+	data, err := encode(v.root)
+	if err != nil {
+		return nil, err
+	}
+	if err := svc.Put(ctx, v.rootKey(), data); err != nil {
+		return nil, fmt.Errorf("fs: create volume %q: %w", name, err)
+	}
+	v.startFlusher()
+	return v, nil
+}
+
+// Open attaches to an existing volume. priv may be nil for read-only
+// access; the root signature is verified against pub.
+func Open(ctx context.Context, svc BlockService, name string, pub ed25519.PublicKey, priv ed25519.PrivateKey, opts Options) (*Volume, error) {
+	opts.applyDefaults()
+	v := &Volume{
+		svc:     svc,
+		volID:   keys.NewVolumeID(pub, name),
+		name:    name,
+		pub:     pub,
+		priv:    priv,
+		opts:    opts,
+		pending: make(map[keys.Key][]byte),
+		rcache:  make(map[keys.Key]cachedBlock),
+		stop:    make(chan struct{}),
+	}
+	root, err := v.fetchRoot(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if priv != nil {
+		v.root = root
+	}
+	v.startFlusher()
+	return v, nil
+}
+
+func (v *Volume) startFlusher() {
+	if !v.opts.AutoFlush {
+		return
+	}
+	v.wg.Add(1)
+	go func() {
+		defer v.wg.Done()
+		t := time.NewTicker(v.opts.WriteBackDelay)
+		defer t.Stop()
+		for {
+			select {
+			case <-v.stop:
+				return
+			case <-t.C:
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				_ = v.Sync(ctx)
+				cancel()
+			}
+		}
+	}()
+}
+
+// Close flushes pending writes and stops the background flusher.
+func (v *Volume) Close(ctx context.Context) error {
+	select {
+	case <-v.stop:
+	default:
+		close(v.stop)
+	}
+	v.wg.Wait()
+	return v.Sync(ctx)
+}
+
+// signRoot re-signs the root block (writer only).
+func (v *Volume) signRoot() error {
+	payload, err := v.root.signablePayload()
+	if err != nil {
+		return err
+	}
+	v.root.Signature = ed25519.Sign(v.priv, payload)
+	return nil
+}
+
+// fetchRoot reads and verifies the root block from the DHT.
+func (v *Volume) fetchRoot(ctx context.Context) (*RootBlock, error) {
+	data, err := v.readBlock(ctx, v.rootKey())
+	if err != nil {
+		return nil, fmt.Errorf("fs: open volume %q: %w", v.name, err)
+	}
+	var root RootBlock
+	if err := decode(data, &root); err != nil {
+		return nil, err
+	}
+	payload, err := root.signablePayload()
+	if err != nil {
+		return nil, err
+	}
+	if !ed25519.Verify(v.pub, payload, root.Signature) {
+		return nil, ErrBadSig
+	}
+	return &root, nil
+}
+
+// currentRoot returns the writer's root or a freshly fetched one.
+func (v *Volume) currentRoot(ctx context.Context) (*RootBlock, error) {
+	v.mu.Lock()
+	r := v.root
+	v.mu.Unlock()
+	if r != nil {
+		return r, nil
+	}
+	return v.fetchRoot(ctx)
+}
+
+// --- block IO with write-back and read caching ---
+
+// readBlock fetches a block: pending writes win, then the 30 s read
+// cache, then the DHT.
+func (v *Volume) readBlock(ctx context.Context, k keys.Key) ([]byte, error) {
+	v.cmu.Lock()
+	if data, ok := v.pending[k]; ok {
+		v.cmu.Unlock()
+		return data, nil
+	}
+	if c, ok := v.rcache[k]; ok && time.Since(c.at) < v.opts.WriteBackDelay {
+		v.cmu.Unlock()
+		return c.data, nil
+	}
+	v.cmu.Unlock()
+	data, err := v.svc.Get(ctx, k)
+	if err != nil {
+		return nil, err
+	}
+	v.cmu.Lock()
+	v.rcache[k] = cachedBlock{data: data, at: time.Now()}
+	if len(v.rcache) > 4096 {
+		v.pruneCacheLocked()
+	}
+	v.cmu.Unlock()
+	return data, nil
+}
+
+// pruneCacheLocked evicts expired read-cache entries.
+func (v *Volume) pruneCacheLocked() {
+	cutoff := time.Now().Add(-v.opts.WriteBackDelay)
+	for k, c := range v.rcache {
+		if c.at.Before(cutoff) {
+			delete(v.rcache, k)
+		}
+	}
+}
+
+// writeBlock buffers a block write.
+func (v *Volume) writeBlock(k keys.Key, data []byte) {
+	v.cmu.Lock()
+	defer v.cmu.Unlock()
+	v.pending[k] = data
+	v.rcache[k] = cachedBlock{data: data, at: time.Now()}
+}
+
+// removeBlock queues a delayed removal (issued at the Sync after the
+// write-back window, so stale readers finish first, §3).
+func (v *Volume) removeBlock(k keys.Key) {
+	v.cmu.Lock()
+	defer v.cmu.Unlock()
+	v.removes = append(v.removes, k)
+}
+
+// Sync flushes buffered writes (in key order, which keeps contiguous
+// ranges contiguous on the wire) and issues queued removals.
+func (v *Volume) Sync(ctx context.Context) error {
+	v.cmu.Lock()
+	batch := make([]keys.Key, 0, len(v.pending))
+	for k := range v.pending {
+		batch = append(batch, k)
+	}
+	sort.Slice(batch, func(i, j int) bool { return batch[i].Less(batch[j]) })
+	data := make(map[keys.Key][]byte, len(batch))
+	for _, k := range batch {
+		data[k] = v.pending[k]
+	}
+	removes := v.removes
+	v.pending = make(map[keys.Key][]byte)
+	v.removes = nil
+	v.cmu.Unlock()
+
+	for _, k := range batch {
+		if err := v.svc.Put(ctx, k, data[k]); err != nil {
+			return fmt.Errorf("fs: sync put %s: %w", k.Short(), err)
+		}
+	}
+	for _, k := range removes {
+		if err := v.svc.Remove(ctx, k); err != nil {
+			return fmt.Errorf("fs: sync remove %s: %w", k.Short(), err)
+		}
+	}
+	return nil
+}
+
+// --- path resolution ---
+
+// splitPath normalizes a slash path into components.
+func splitPath(path string) []string {
+	parts := strings.Split(path, "/")
+	out := parts[:0]
+	for _, p := range parts {
+		if p != "" && p != "." {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// step is one directory on a resolution chain.
+type step struct {
+	cur     pathCursor
+	ino     Inode
+	entries []DirEntry
+	// entryIdx is this directory's index within its parent's entries
+	// (-1 for the root).
+	entryIdx int
+	name     string
+}
+
+// walk resolves the directory chain for the given components, loading
+// entries at every level. It returns the chain of directories; comps must
+// all be directories.
+func (v *Volume) walk(ctx context.Context, root *RootBlock, comps []string) ([]step, error) {
+	cur := newCursor(v.volID)
+	chain := []step{{cur: cur, ino: root.Root, entryIdx: -1}}
+	entries, err := v.loadEntries(ctx, cur, &root.Root)
+	if err != nil {
+		return nil, err
+	}
+	chain[0].entries = entries
+	for _, name := range comps {
+		last := &chain[len(chain)-1]
+		idx := findEntry(last.entries, name)
+		if idx < 0 {
+			return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+		}
+		e := &last.entries[idx]
+		if !e.IsDir {
+			return nil, fmt.Errorf("%w: %s", ErrNotDir, name)
+		}
+		childCur := last.cur.child(e, name)
+		ino, err := v.readInode(ctx, childCur, e.Ver, e.Hash)
+		if err != nil {
+			return nil, err
+		}
+		childEntries, err := v.loadEntries(ctx, childCur, &ino)
+		if err != nil {
+			return nil, err
+		}
+		chain = append(chain, step{
+			cur: childCur, ino: ino, entries: childEntries, entryIdx: idx, name: name,
+		})
+	}
+	return chain, nil
+}
+
+func findEntry(entries []DirEntry, name string) int {
+	for i := range entries {
+		if entries[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// readInode fetches and verifies an inode block.
+func (v *Volume) readInode(ctx context.Context, cur pathCursor, ver uint32, hash [32]byte) (Inode, error) {
+	data, err := v.readBlock(ctx, cur.blockKey(0, ver))
+	if err != nil {
+		return Inode{}, err
+	}
+	if contentHash(data) != hash {
+		return Inode{}, fmt.Errorf("%w: inode", ErrIntegrity)
+	}
+	var ino Inode
+	if err := decode(data, &ino); err != nil {
+		return Inode{}, err
+	}
+	return ino, nil
+}
+
+// readContent returns a file or directory's full content bytes.
+func (v *Volume) readContent(ctx context.Context, cur pathCursor, ino *Inode) ([]byte, error) {
+	if ino.Size == 0 {
+		return nil, nil
+	}
+	if len(ino.Inline) > 0 || len(ino.BlockVers) == 0 {
+		return ino.Inline, nil
+	}
+	out := make([]byte, 0, ino.Size)
+	for i, ver := range ino.BlockVers {
+		data, err := v.readBlock(ctx, cur.blockKey(uint64(i+1), ver))
+		if err != nil {
+			return nil, err
+		}
+		if contentHash(data) != ino.BlockHashes[i] {
+			return nil, fmt.Errorf("%w: block %d", ErrIntegrity, i+1)
+		}
+		out = append(out, data...)
+	}
+	return out, nil
+}
+
+// loadEntries decodes a directory's entry list.
+func (v *Volume) loadEntries(ctx context.Context, cur pathCursor, ino *Inode) ([]DirEntry, error) {
+	if !ino.IsDir {
+		return nil, ErrNotDir
+	}
+	content, err := v.readContent(ctx, cur, ino)
+	if err != nil {
+		return nil, err
+	}
+	if len(content) == 0 {
+		return nil, nil
+	}
+	var entries []DirEntry
+	if err := decode(content, &entries); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+// writeContent writes content blocks for a file or directory, queuing
+// removals of the previous version's blocks, and fills the inode's
+// content fields.
+func (v *Volume) writeContent(cur pathCursor, data []byte, old *Inode, ino *Inode) {
+	// Queue removal of superseded content blocks.
+	if old != nil {
+		for i, ver := range old.BlockVers {
+			v.removeBlock(cur.blockKey(uint64(i+1), ver))
+		}
+	}
+	ino.Size = int64(len(data))
+	ino.Inline = nil
+	ino.BlockVers = nil
+	ino.BlockHashes = nil
+	if len(data) <= InlineMax {
+		// Small content lives in the metadata block itself (§3).
+		ino.Inline = append([]byte{}, data...)
+		return
+	}
+	for off := 0; off < len(data); off += BlockSize {
+		end := off + BlockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		blk := data[off:end]
+		ver := versionHash(blk)
+		ino.BlockVers = append(ino.BlockVers, ver)
+		ino.BlockHashes = append(ino.BlockHashes, contentHash(blk))
+		v.writeBlock(cur.blockKey(uint64(off/BlockSize+1), ver), blk)
+	}
+}
+
+// writeInode serializes an inode, queues the block write, removes the old
+// version, and returns the new version hash and content hash.
+func (v *Volume) writeInode(cur pathCursor, ino *Inode, oldVer uint32) (uint32, [32]byte, error) {
+	data, err := encode(ino)
+	if err != nil {
+		return 0, [32]byte{}, err
+	}
+	ver := versionHash(data)
+	if oldVer != 0 && oldVer != ver {
+		v.removeBlock(cur.blockKey(0, oldVer))
+	}
+	v.writeBlock(cur.blockKey(0, ver), data)
+	return ver, contentHash(data), nil
+}
+
+// commitChain writes the modified directory chain bottom-up: each dir's
+// entries are re-encoded, its inode rewritten, and its parent's entry
+// updated; the root block is finally re-signed and written in place (§3:
+// every write updates all metadata blocks along the path to the root).
+func (v *Volume) commitChain(ctx context.Context, root *RootBlock, chain []step) error {
+	for i := len(chain) - 1; i >= 1; i-- {
+		s := &chain[i]
+		content, err := encode(s.entries)
+		if err != nil {
+			return err
+		}
+		oldIno := s.ino
+		v.writeContent(s.cur, content, &oldIno, &s.ino)
+		oldVer := chain[i-1].entries[s.entryIdx].Ver
+		ver, hash, err := v.writeInode(s.cur, &s.ino, oldVer)
+		if err != nil {
+			return err
+		}
+		parentEntry := &chain[i-1].entries[s.entryIdx]
+		parentEntry.Ver = ver
+		parentEntry.Hash = hash
+		parentEntry.Size = s.ino.Size
+	}
+	// Root directory: entries embed in the root block's inode content.
+	rootStep := &chain[0]
+	content, err := encode(rootStep.entries)
+	if err != nil {
+		return err
+	}
+	oldRoot := root.Root
+	v.writeContent(rootStep.cur, content, &oldRoot, &rootStep.ino)
+	root.Root = rootStep.ino
+	root.Version++
+	if err := v.signRoot(); err != nil {
+		return err
+	}
+	data, err := encode(root)
+	if err != nil {
+		return err
+	}
+	v.writeBlock(v.rootKey(), data)
+	return nil
+}

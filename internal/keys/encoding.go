@@ -1,0 +1,150 @@
+package keys
+
+import (
+	"crypto/sha512"
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// VolumeID identifies a file-system volume: the first 20 bytes of every
+// locality-preserving key, so all keys of a volume form one contiguous arc.
+type VolumeID [volumeLen]byte
+
+// NewVolumeID derives a volume ID from the publisher's public key and the
+// volume name, as D2-FS does when a volume is created.
+func NewVolumeID(publisherKey []byte, name string) VolumeID {
+	sum := sha512.Sum512(append(append([]byte{}, publisherKey...), name...))
+	var v VolumeID
+	copy(v[:], sum[:volumeLen])
+	return v
+}
+
+func (v VolumeID) String() string { return fmt.Sprintf("%x", v[:6]) }
+
+// PathCode is the sequence of 2-byte directory slots identifying a file's
+// position in the namespace, plus a hash of any levels past MaxPathDepth.
+// Slots are allocated by parent directories in creation order, so keys sort
+// consistently with a preorder traversal of the directory tree (§4.2).
+type PathCode struct {
+	// Slots holds one 2-byte value per path level, at most MaxPathDepth.
+	Slots []uint16
+	// Remainder is the hash of path levels beyond MaxPathDepth (zero when
+	// the path fits entirely in Slots).
+	Remainder [remainderLen]byte
+}
+
+// NewPathCode builds a PathCode from explicit slot values, hashing any
+// levels beyond MaxPathDepth from the remaining path components.
+func NewPathCode(slots []uint16, deepComponents []string) PathCode {
+	pc := PathCode{Slots: slots}
+	if len(slots) > MaxPathDepth {
+		pc.Slots = slots[:MaxPathDepth]
+	}
+	if len(deepComponents) > 0 {
+		sum := sha512.Sum512([]byte(strings.Join(deepComponents, "/")))
+		copy(pc.Remainder[:], sum[:remainderLen])
+	}
+	return pc
+}
+
+// HashedPathCode derives each slot as a 2-byte hash of the corresponding
+// path component. Applications without access to parent directory state
+// (such as a web cache) use this variant, losing a little locality when
+// hashes collide (§4.2 footnote 2).
+func HashedPathCode(components []string) PathCode {
+	n := len(components)
+	if n > MaxPathDepth {
+		n = MaxPathDepth
+	}
+	slots := make([]uint16, n)
+	for i := 0; i < n; i++ {
+		sum := sha512.Sum512([]byte(components[i]))
+		slots[i] = binary.BigEndian.Uint16(sum[:2])
+	}
+	return NewPathCode(slots, components[n:])
+}
+
+// Encode builds a locality-preserving key with the Figure 4 layout.
+func Encode(vol VolumeID, path PathCode, blockNum uint64, version uint32) Key {
+	var k Key
+	copy(k[volumeOff:volumeOff+volumeLen], vol[:])
+	for i, s := range path.Slots {
+		if i >= MaxPathDepth {
+			break
+		}
+		binary.BigEndian.PutUint16(k[slotsOff+i*slotWidth:], s)
+	}
+	copy(k[remainderOff:remainderOff+remainderLen], path.Remainder[:])
+	binary.BigEndian.PutUint64(k[blockOff:], blockNum)
+	binary.BigEndian.PutUint32(k[versionOff:], version)
+	return k
+}
+
+// Volume extracts the 20-byte volume ID from a locality key.
+func (k Key) Volume() VolumeID {
+	var v VolumeID
+	copy(v[:], k[volumeOff:volumeOff+volumeLen])
+	return v
+}
+
+// Slot returns the 2-byte directory slot at the given path level.
+func (k Key) Slot(level int) uint16 {
+	return binary.BigEndian.Uint16(k[slotsOff+level*slotWidth:])
+}
+
+// BlockNum extracts the 8-byte block number.
+func (k Key) BlockNum() uint64 { return binary.BigEndian.Uint64(k[blockOff:]) }
+
+// Version extracts the 4-byte version hash.
+func (k Key) Version() uint32 { return binary.BigEndian.Uint32(k[versionOff:]) }
+
+// WithBlock returns a copy of k addressing a different block of the same
+// file. Data blocks of one file therefore occupy consecutive key values.
+func (k Key) WithBlock(blockNum uint64) Key {
+	binary.BigEndian.PutUint64(k[blockOff:], blockNum)
+	return k
+}
+
+// WithVersion returns a copy of k addressing a different version of the
+// same block, so slightly stale views can still fetch old versions (§4.2).
+func (k Key) WithVersion(version uint32) Key {
+	binary.BigEndian.PutUint32(k[versionOff:], version)
+	return k
+}
+
+// FileBase returns the key of the file's inode (block 0, version 0): the
+// smallest key a file can occupy. Keys of all the file's blocks fall in
+// [FileBase, FileLimit).
+func (k Key) FileBase() Key { return k.WithBlock(0).WithVersion(0) }
+
+// FileLimit returns the exclusive upper bound of the file's key range:
+// the smallest key whose path prefix sorts after this file's.
+func (k Key) FileLimit() Key {
+	lim := k.FileBase()
+	for i := blockOff; i < Size; i++ {
+		lim[i] = 0
+	}
+	for i := blockOff - 1; i >= 0; i-- {
+		lim[i]++
+		if lim[i] != 0 {
+			break
+		}
+	}
+	return lim
+}
+
+// VolumeRange returns the inclusive lower and exclusive upper bounds of all
+// keys belonging to a volume.
+func VolumeRange(vol VolumeID) (lo, hi Key) {
+	lo = Encode(vol, PathCode{}, 0, 0)
+	hi = lo
+	// Increment the volume prefix by one to get the exclusive bound.
+	for i := volumeOff + volumeLen - 1; i >= volumeOff; i-- {
+		hi[i]++
+		if hi[i] != 0 {
+			break
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,155 @@
+package keys
+
+import (
+	"testing"
+)
+
+func TestEncodeLayout(t *testing.T) {
+	vol := NewVolumeID([]byte("pubkey"), "home")
+	pc := NewPathCode([]uint16{1, 2, 3}, nil)
+	k := Encode(vol, pc, 7, 9)
+
+	if got := k.Volume(); got != vol {
+		t.Errorf("Volume() = %v, want %v", got, vol)
+	}
+	for i, want := range []uint16{1, 2, 3} {
+		if got := k.Slot(i); got != want {
+			t.Errorf("Slot(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if got := k.Slot(3); got != 0 {
+		t.Errorf("unused Slot(3) = %d, want 0", got)
+	}
+	if got := k.BlockNum(); got != 7 {
+		t.Errorf("BlockNum() = %d, want 7", got)
+	}
+	if got := k.Version(); got != 9 {
+		t.Errorf("Version() = %d, want 9", got)
+	}
+}
+
+func TestEncodePreservesPreorderTraversal(t *testing.T) {
+	vol := NewVolumeID([]byte("pk"), "v")
+	// A directory tree: /a (slot 1), /a/x (slots 1,1), /a/y (slots 1,2), /b (slot 2).
+	aFile := Encode(vol, NewPathCode([]uint16{1, 1}, nil), 0, 0)
+	aFile2 := Encode(vol, NewPathCode([]uint16{1, 2}, nil), 0, 0)
+	bFile := Encode(vol, NewPathCode([]uint16{2, 1}, nil), 0, 0)
+
+	if !aFile.Less(aFile2) {
+		t.Error("sibling with smaller slot must sort first")
+	}
+	if !aFile2.Less(bFile) {
+		t.Error("all of /a must sort before /b")
+	}
+}
+
+func TestBlocksOfFileAreContiguous(t *testing.T) {
+	vol := NewVolumeID([]byte("pk"), "v")
+	inode := Encode(vol, NewPathCode([]uint16{5, 9}, nil), 0, 0)
+	prev := inode
+	for b := uint64(1); b <= 16; b++ {
+		cur := inode.WithBlock(b)
+		if !prev.Less(cur) {
+			t.Fatalf("block %d key does not sort after block %d", b, b-1)
+		}
+		// Nothing belonging to a different file fits between consecutive
+		// blocks of the same file with version 0: the gap is only versions.
+		if cur.Volume() != vol || cur.Slot(0) != 5 || cur.Slot(1) != 9 {
+			t.Fatalf("WithBlock changed the path prefix")
+		}
+		prev = cur
+	}
+}
+
+func TestDeepPathsHashRemainder(t *testing.T) {
+	vol := NewVolumeID([]byte("pk"), "v")
+	slots := make([]uint16, 14)
+	for i := range slots {
+		slots[i] = uint16(i + 1)
+	}
+	deepA := NewPathCode(slots, []string{"m", "n"})
+	deepB := NewPathCode(slots, []string{"m", "q"})
+	ka := Encode(vol, deepA, 0, 0)
+	kb := Encode(vol, deepB, 0, 0)
+	if ka == kb {
+		t.Error("different deep remainders must give different keys")
+	}
+	// Both share the 12-slot prefix.
+	for i := 0; i < MaxPathDepth; i++ {
+		if ka.Slot(i) != kb.Slot(i) {
+			t.Errorf("Slot(%d) differs between deep siblings", i)
+		}
+	}
+	if got := len(deepA.Slots); got != MaxPathDepth {
+		t.Errorf("slots truncated to %d, want %d", got, MaxPathDepth)
+	}
+}
+
+func TestHashedPathCodeDeterministic(t *testing.T) {
+	a := HashedPathCode([]string{"com.yahoo.www", "index.html"})
+	b := HashedPathCode([]string{"com.yahoo.www", "index.html"})
+	if len(a.Slots) != 2 || len(b.Slots) != 2 {
+		t.Fatalf("want 2 slots, got %d and %d", len(a.Slots), len(b.Slots))
+	}
+	for i := range a.Slots {
+		if a.Slots[i] != b.Slots[i] {
+			t.Error("HashedPathCode not deterministic")
+		}
+	}
+	c := HashedPathCode([]string{"com.yahoo.www", "other.html"})
+	if a.Slots[0] != c.Slots[0] {
+		t.Error("same first component must hash to same slot")
+	}
+}
+
+func TestFileBaseAndLimit(t *testing.T) {
+	vol := NewVolumeID([]byte("pk"), "v")
+	k := Encode(vol, NewPathCode([]uint16{3}, nil), 5, 77)
+	base := k.FileBase()
+	if base.BlockNum() != 0 || base.Version() != 0 {
+		t.Error("FileBase must zero block number and version")
+	}
+	lim := k.FileLimit()
+	for b := uint64(0); b < 4; b++ {
+		blk := base.WithBlock(b)
+		if !blk.Less(lim) {
+			t.Errorf("block %d not below FileLimit", b)
+		}
+		if blk.Less(base) {
+			t.Errorf("block %d below FileBase", b)
+		}
+	}
+	// A sibling file with the next slot starts at or after the limit.
+	sibling := Encode(vol, NewPathCode([]uint16{4}, nil), 0, 0)
+	if sibling.Less(lim) {
+		t.Error("sibling file key must not fall inside this file's range")
+	}
+}
+
+func TestVolumeRange(t *testing.T) {
+	volA := NewVolumeID([]byte("pk"), "a")
+	volB := NewVolumeID([]byte("pk"), "b")
+	lo, hi := VolumeRange(volA)
+	inA := Encode(volA, NewPathCode([]uint16{9999}, nil), 1<<40, 12345)
+	if inA.Less(lo) || !inA.Less(hi) {
+		t.Error("key of volume A outside VolumeRange(A)")
+	}
+	inB := Encode(volB, PathCode{}, 0, 0)
+	if !inB.Less(lo) && inB.Less(hi) {
+		t.Error("key of volume B inside VolumeRange(A)")
+	}
+	if !lo.Less(hi) && lo != hi {
+		// hi may wrap only for the all-0xff volume, which NewVolumeID
+		// essentially never produces.
+		t.Errorf("VolumeRange returned inverted range lo=%s hi=%s", lo.Short(), hi.Short())
+	}
+}
+
+func TestNewVolumeIDDistinct(t *testing.T) {
+	a := NewVolumeID([]byte("pk1"), "home")
+	b := NewVolumeID([]byte("pk1"), "mail")
+	c := NewVolumeID([]byte("pk2"), "home")
+	if a == b || a == c || b == c {
+		t.Error("volume IDs must be distinct across names and publishers")
+	}
+}

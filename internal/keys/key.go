@@ -1,0 +1,208 @@
+// Package keys implements D2's 64-byte key space: the locality-preserving
+// key encoding of Figure 4 of the paper, hashed keys for the traditional
+// baselines, and arithmetic on the circular key space used by the DHT
+// (comparison, circular intervals, distance, and midpoints).
+package keys
+
+import (
+	"bytes"
+	"crypto/sha512"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+)
+
+// Size is the number of bytes in every DHT key and node ID.
+const Size = 64
+
+// Layout offsets for the Figure 4 locality-preserving encoding.
+const (
+	volumeOff    = 0  // 20-byte volume ID
+	volumeLen    = 20 //
+	slotsOff     = 20 // 12 two-byte directory slots
+	slotWidth    = 2  //
+	MaxPathDepth = 12 // path levels encoded exactly; deeper levels are hashed
+	remainderOff = 44 // 8-byte hash of the path remainder
+	remainderLen = 8  //
+	blockOff     = 52 // 8-byte block number (0 = inode, 1.. = data blocks)
+	blockLen     = 8  //
+	versionOff   = 60 // 4-byte version hash
+	versionLen   = 4  //
+)
+
+// Key is a point on the circular 512-bit key space. Keys are compared as
+// big-endian unsigned integers. Node IDs share the same type and space.
+type Key [Size]byte
+
+// Zero is the all-zero key, the origin of the ring.
+var Zero Key
+
+// MaxKey is the largest key value.
+var MaxKey = func() Key {
+	var k Key
+	for i := range k {
+		k[i] = 0xff
+	}
+	return k
+}()
+
+// Compare returns -1, 0 or +1 ordering keys as big-endian integers.
+func (k Key) Compare(o Key) int { return bytes.Compare(k[:], o[:]) }
+
+// Less reports whether k sorts strictly before o.
+func (k Key) Less(o Key) bool { return bytes.Compare(k[:], o[:]) < 0 }
+
+// Equal reports whether the two keys are identical.
+func (k Key) Equal(o Key) bool { return k == o }
+
+// IsZero reports whether k is the all-zero key.
+func (k Key) IsZero() bool { return k == Zero }
+
+// String returns the full hexadecimal form of the key.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Short returns an abbreviated hex prefix for logs and test output.
+func (k Key) Short() string { return hex.EncodeToString(k[:6]) }
+
+// ErrBadKey reports a malformed textual key.
+var ErrBadKey = errors.New("keys: malformed key")
+
+// Parse decodes the hexadecimal form produced by String.
+func Parse(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return k, fmt.Errorf("%w: %v", ErrBadKey, err)
+	}
+	if len(b) != Size {
+		return k, fmt.Errorf("%w: got %d bytes, want %d", ErrBadKey, len(b), Size)
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// Between reports whether k lies in the circular half-open interval (a, b].
+// This is the Chord ownership test: a node with ID b owns key k when
+// k ∈ (pred, b]. When a == b the interval covers the entire ring.
+func (k Key) Between(a, b Key) bool {
+	switch a.Compare(b) {
+	case -1: // no wrap
+		return a.Less(k) && !b.Less(k)
+	case +1: // wraps past the origin
+		return a.Less(k) || !b.Less(k)
+	default: // a == b: whole ring
+		return true
+	}
+}
+
+// InOpenInterval reports whether k lies in the circular open interval (a, b).
+func (k Key) InOpenInterval(a, b Key) bool {
+	switch a.Compare(b) {
+	case -1:
+		return a.Less(k) && k.Less(b)
+	case +1:
+		return a.Less(k) || k.Less(b)
+	default:
+		return !k.Equal(a)
+	}
+}
+
+// Next returns k+1 (mod 2^512).
+func (k Key) Next() Key {
+	for i := Size - 1; i >= 0; i-- {
+		k[i]++
+		if k[i] != 0 {
+			break
+		}
+	}
+	return k
+}
+
+// Prev returns k-1 (mod 2^512).
+func (k Key) Prev() Key {
+	for i := Size - 1; i >= 0; i-- {
+		k[i]--
+		if k[i] != 0xff {
+			break
+		}
+	}
+	return k
+}
+
+// Add returns k+o (mod 2^512).
+func (k Key) Add(o Key) Key {
+	var out Key
+	var carry uint16
+	for i := Size - 1; i >= 0; i-- {
+		s := uint16(k[i]) + uint16(o[i]) + carry
+		out[i] = byte(s)
+		carry = s >> 8
+	}
+	return out
+}
+
+// Sub returns k-o (mod 2^512).
+func (k Key) Sub(o Key) Key {
+	var out Key
+	var borrow int16
+	for i := Size - 1; i >= 0; i-- {
+		d := int16(k[i]) - int16(o[i]) - borrow
+		if d < 0 {
+			d += 256
+			borrow = 1
+		} else {
+			borrow = 0
+		}
+		out[i] = byte(d)
+	}
+	return out
+}
+
+// Half returns k/2 (logical shift right by one bit).
+func (k Key) Half() Key {
+	var out Key
+	var carry byte
+	for i := 0; i < Size; i++ {
+		out[i] = k[i]>>1 | carry<<7
+		carry = k[i] & 1
+	}
+	return out
+}
+
+// Distance returns the clockwise distance from k to o on the ring,
+// i.e. the number of steps a key must advance from k to reach o.
+func (k Key) Distance(o Key) Key { return o.Sub(k) }
+
+// Midpoint returns the key halfway along the clockwise arc from a to b.
+// It is used to pick the ID of a node splitting another node's range.
+func Midpoint(a, b Key) Key { return a.Add(a.Distance(b).Half()) }
+
+// Random returns a uniformly random key drawn from rng.
+func Random(rng *rand.Rand) Key {
+	var k Key
+	for i := 0; i < Size; i += 8 {
+		v := rng.Uint64()
+		for j := 0; j < 8; j++ {
+			k[i+j] = byte(v >> (56 - 8*j))
+		}
+	}
+	return k
+}
+
+// HashKey derives a key by hashing the given byte chunks with SHA-512.
+// The traditional and traditional-file baselines use it for placement:
+// consistent hashing assigns uniformly random positions on the ring.
+func HashKey(chunks ...[]byte) Key {
+	h := sha512.New()
+	for _, c := range chunks {
+		h.Write(c)
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// HashString is HashKey over a single string, a convenience for
+// hashed path and URL keys.
+func HashString(s string) Key { return HashKey([]byte(s)) }

@@ -1,0 +1,264 @@
+package keys
+
+import (
+	"math/big"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func keyFromUint(v uint64) Key {
+	var k Key
+	for j := 0; j < 8; j++ {
+		k[Size-1-j] = byte(v >> (8 * j))
+	}
+	return k
+}
+
+func toBig(k Key) *big.Int { return new(big.Int).SetBytes(k[:]) }
+
+var ringMod = new(big.Int).Lsh(big.NewInt(1), 8*Size)
+
+func fromBig(t *testing.T, v *big.Int) Key {
+	t.Helper()
+	v = new(big.Int).Mod(v, ringMod)
+	var k Key
+	v.FillBytes(k[:])
+	return k
+}
+
+func TestCompareOrdering(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Key
+		want int
+	}{
+		{"zero vs zero", Zero, Zero, 0},
+		{"zero vs one", Zero, keyFromUint(1), -1},
+		{"one vs zero", keyFromUint(1), Zero, 1},
+		{"max vs zero", MaxKey, Zero, 1},
+		{"equal nonzero", keyFromUint(42), keyFromUint(42), 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Compare(tt.b); got != tt.want {
+				t.Errorf("Compare() = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNextPrevRoundTrip(t *testing.T) {
+	cases := []Key{Zero, MaxKey, keyFromUint(1), keyFromUint(255), keyFromUint(1 << 32)}
+	for _, k := range cases {
+		if got := k.Next().Prev(); got != k {
+			t.Errorf("Next().Prev() of %s = %s", k.Short(), got.Short())
+		}
+		if got := k.Prev().Next(); got != k {
+			t.Errorf("Prev().Next() of %s = %s", k.Short(), got.Short())
+		}
+	}
+	if got := MaxKey.Next(); got != Zero {
+		t.Errorf("MaxKey.Next() = %s, want zero (wraparound)", got.Short())
+	}
+	if got := Zero.Prev(); got != MaxKey {
+		t.Errorf("Zero.Prev() = %s, want max (wraparound)", got.Short())
+	}
+}
+
+func TestBetween(t *testing.T) {
+	a, b, c := keyFromUint(10), keyFromUint(20), keyFromUint(30)
+	tests := []struct {
+		name    string
+		k, x, y Key
+		want    bool
+	}{
+		{"inside", b, a, c, true},
+		{"at upper bound inclusive", c, a, c, true},
+		{"at lower bound exclusive", a, a, c, false},
+		{"outside", keyFromUint(40), a, c, false},
+		{"wrap inside high", keyFromUint(5), c, b, true},
+		{"wrap inside low", MaxKey, c, b, true},
+		{"wrap outside", keyFromUint(25), c, b, false},
+		{"whole ring", a, b, b, true},
+		{"whole ring at bound", b, b, b, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.k.Between(tt.x, tt.y); got != tt.want {
+				t.Errorf("Between(%s, %s, %s) = %v, want %v",
+					tt.k.Short(), tt.x.Short(), tt.y.Short(), got, tt.want)
+			}
+		})
+	}
+}
+
+func TestInOpenInterval(t *testing.T) {
+	a, c := keyFromUint(10), keyFromUint(30)
+	if !keyFromUint(20).InOpenInterval(a, c) {
+		t.Error("20 should be in (10, 30)")
+	}
+	if c.InOpenInterval(a, c) {
+		t.Error("30 should not be in (10, 30): open upper bound")
+	}
+	if a.InOpenInterval(a, c) {
+		t.Error("10 should not be in (10, 30): open lower bound")
+	}
+	if a.InOpenInterval(a, a) {
+		t.Error("a should not be in (a, a)")
+	}
+	if !keyFromUint(11).InOpenInterval(a, a) {
+		t.Error("(a, a) should cover the rest of the ring")
+	}
+}
+
+func TestAddSubAgainstBigInt(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 200; i++ {
+		a, b := Random(rng), Random(rng)
+		wantAdd := fromBig(t, new(big.Int).Add(toBig(a), toBig(b)))
+		if got := a.Add(b); got != wantAdd {
+			t.Fatalf("Add mismatch at iter %d", i)
+		}
+		wantSub := fromBig(t, new(big.Int).Sub(toBig(a), toBig(b)))
+		if got := a.Sub(b); got != wantSub {
+			t.Fatalf("Sub mismatch at iter %d", i)
+		}
+	}
+}
+
+func TestHalfAgainstBigInt(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 200; i++ {
+		a := Random(rng)
+		want := fromBig(t, new(big.Int).Rsh(toBig(a), 1))
+		if got := a.Half(); got != want {
+			t.Fatalf("Half mismatch at iter %d", i)
+		}
+	}
+}
+
+func TestMidpointBisectsArc(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i := 0; i < 200; i++ {
+		a, b := Random(rng), Random(rng)
+		if a == b {
+			continue
+		}
+		m := Midpoint(a, b)
+		// The midpoint must lie on the clockwise arc (a, b].
+		if !m.Between(a, b) && m != a {
+			t.Fatalf("midpoint %s outside arc (%s, %s]", m.Short(), a.Short(), b.Short())
+		}
+		// Distance from a to m must be half the arc length (rounded down).
+		wantDist := a.Distance(b).Half()
+		if got := a.Distance(m); got != wantDist {
+			t.Fatalf("Distance(a, mid) = %s, want %s", got.Short(), wantDist.Short())
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for i := 0; i < 20; i++ {
+		k := Random(rng)
+		got, err := Parse(k.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Fatalf("round trip mismatch")
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "zz", "abcd", "0x00"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestHashKeyDeterministicAndSpread(t *testing.T) {
+	a := HashString("/home/alice/file.txt")
+	b := HashString("/home/alice/file.txt")
+	c := HashString("/home/alice/file2.txt")
+	if a != b {
+		t.Error("HashString not deterministic")
+	}
+	if a == c {
+		t.Error("distinct inputs should hash to distinct keys")
+	}
+	// Adjacent names must land far apart: that is the point of hashing.
+	d := a.Distance(c)
+	if d[0] == 0 && d[1] == 0 && d[2] == 0 && d[3] == 0 {
+		t.Error("hashed keys of sibling files are suspiciously close")
+	}
+}
+
+// Property tests via testing/quick. quick generates random [Size]byte
+// values directly, which convert to Key.
+
+func TestQuickAddSubInverse(t *testing.T) {
+	f := func(a, b [Size]byte) bool {
+		ka, kb := Key(a), Key(b)
+		return ka.Add(kb).Sub(kb) == ka
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDistanceAdditive(t *testing.T) {
+	f := func(a, b [Size]byte) bool {
+		ka, kb := Key(a), Key(b)
+		// a + distance(a, b) == b on the ring.
+		return ka.Add(ka.Distance(kb)) == kb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBetweenComplement(t *testing.T) {
+	f := func(k, a, b [Size]byte) bool {
+		kk, ka, kb := Key(k), Key(a), Key(b)
+		if ka == kb {
+			return kk.Between(ka, kb)
+		}
+		// Exactly one of (a,b] and (b,a] contains k.
+		return kk.Between(ka, kb) != kk.Between(kb, ka)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	f := func(a, b [Size]byte) bool {
+		ka, kb := Key(a), Key(b)
+		return ka.Compare(kb) == -kb.Compare(ka)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCompare(b *testing.B) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	x, y := Random(rng), Random(rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Compare(y)
+	}
+}
+
+func BenchmarkBetween(b *testing.B) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	k, x, y := Random(rng), Random(rng), Random(rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = k.Between(x, y)
+	}
+}

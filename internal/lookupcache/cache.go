@@ -1,0 +1,144 @@
+// Package lookupcache implements D2's client-side lookup cache (§5): it
+// remembers the key ranges owned by nodes seen in recent lookup results so
+// future requests for keys inside a cached range skip the DHT lookup
+// entirely. Entries expire after a TTL (1.25 h in the paper, tuned to the
+// node churn rate); a stale hit only costs latency because the store falls
+// back to a normal lookup when the block is not found.
+package lookupcache
+
+import (
+	"sort"
+	"time"
+
+	"github.com/defragdht/d2/internal/keys"
+)
+
+// DefaultTTL is the paper's cache entry lifetime, chosen from the
+// PlanetLab leave/join rate (§5).
+const DefaultTTL = 75 * time.Minute
+
+// Cache maps key ranges to values of type V (a node address or index).
+// Time is passed explicitly so the simulator can drive it with virtual
+// clocks. Cache is not safe for concurrent use; each client owns one.
+type Cache[V any] struct {
+	ttl time.Duration
+	// entries are non-overlapping arcs sorted by hi. A range that wraps
+	// the origin is split on insert, so for every entry either lo < hi or
+	// lo == MaxKey (the arc [0, hi]).
+	entries []entry[V]
+
+	hits   uint64
+	misses uint64
+}
+
+type entry[V any] struct {
+	lo, hi  keys.Key // arc (lo, hi]
+	value   V
+	expires time.Duration
+}
+
+// New creates a cache with the given TTL (DefaultTTL if zero).
+func New[V any](ttl time.Duration) *Cache[V] {
+	if ttl == 0 {
+		ttl = DefaultTTL
+	}
+	return &Cache[V]{ttl: ttl}
+}
+
+// Len returns the number of live entries (including not-yet-swept expired
+// ones).
+func (c *Cache[V]) Len() int { return len(c.entries) }
+
+// Stats returns the hit and miss counts accumulated by Lookup.
+func (c *Cache[V]) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// ResetStats zeroes the hit/miss counters (used between measurement
+// windows).
+func (c *Cache[V]) ResetStats() { c.hits, c.misses = 0, 0 }
+
+// Lookup returns the cached value whose range covers k, if fresh.
+func (c *Cache[V]) Lookup(k keys.Key, now time.Duration) (V, bool) {
+	i := c.search(k)
+	if i < len(c.entries) {
+		e := &c.entries[i]
+		if k.Between(e.lo, e.hi) {
+			if e.expires > now {
+				c.hits++
+				return e.value, true
+			}
+			// Expired: drop it eagerly.
+			c.entries = append(c.entries[:i], c.entries[i+1:]...)
+		}
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// search returns the index of the first entry with hi ≥ k.
+func (c *Cache[V]) search(k keys.Key) int {
+	return sort.Search(len(c.entries), func(i int) bool {
+		return !c.entries[i].hi.Less(k)
+	})
+}
+
+// Insert records that the node identified by v owned the arc (lo, hi] at
+// time now. Overlapping older entries are evicted: the new result is the
+// freshest view of that part of the ring.
+func (c *Cache[V]) Insert(lo, hi keys.Key, v V, now time.Duration) {
+	if lo.Compare(hi) > 0 {
+		// Wrapping arc: split into (lo, Max] and (Max, hi] ≡ [0, hi].
+		c.insertArc(lo, keys.MaxKey, v, now)
+		c.insertArc(keys.MaxKey, hi, v, now)
+		return
+	}
+	c.insertArc(lo, hi, v, now)
+}
+
+func (c *Cache[V]) insertArc(lo, hi keys.Key, v V, now time.Duration) {
+	// Evict entries overlapping (lo, hi]. Entries and the new arc are
+	// plain intervals in key order (wrapped arcs were split), so overlap
+	// is an interval test on (lo, hi] vs (e.lo, e.hi].
+	out := c.entries[:0]
+	for i := range c.entries {
+		e := c.entries[i]
+		if overlaps(lo, hi, e.lo, e.hi) {
+			continue
+		}
+		out = append(out, e)
+	}
+	c.entries = out
+	e := entry[V]{lo: lo, hi: hi, value: v, expires: now + c.ttl}
+	i := c.search(hi)
+	c.entries = append(c.entries, entry[V]{})
+	copy(c.entries[i+1:], c.entries[i:])
+	c.entries[i] = e
+}
+
+// overlaps reports whether the half-open arcs (aLo, aHi] and (bLo, bHi]
+// intersect, treating them as linear intervals (callers split wraps).
+func overlaps(aLo, aHi, bLo, bHi keys.Key) bool {
+	// (aLo, aHi] ∩ (bLo, bHi] ≠ ∅ ⇔ aLo < bHi && bLo < aHi.
+	return aLo.Less(bHi) && bLo.Less(aHi)
+}
+
+// Invalidate removes the entry covering k, if any: called after a cached
+// node turned out not to hold the block (stale entry).
+func (c *Cache[V]) Invalidate(k keys.Key) {
+	i := c.search(k)
+	if i < len(c.entries) && k.Between(c.entries[i].lo, c.entries[i].hi) {
+		c.entries = append(c.entries[:i], c.entries[i+1:]...)
+	}
+}
+
+// Sweep drops every expired entry; call it occasionally to bound memory in
+// long-running clients.
+func (c *Cache[V]) Sweep(now time.Duration) {
+	out := c.entries[:0]
+	for _, e := range c.entries {
+		if e.expires > now {
+			out = append(out, e)
+		}
+	}
+	c.entries = out
+}

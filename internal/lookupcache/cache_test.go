@@ -1,0 +1,205 @@
+package lookupcache
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"github.com/defragdht/d2/internal/keys"
+)
+
+func k(v uint64) keys.Key {
+	var key keys.Key
+	for j := 0; j < 8; j++ {
+		key[keys.Size-1-j] = byte(v >> (8 * j))
+	}
+	return key
+}
+
+func TestLookupHitAndMiss(t *testing.T) {
+	c := New[int](time.Hour)
+	c.Insert(k(10), k(20), 7, 0)
+
+	if v, ok := c.Lookup(k(15), time.Minute); !ok || v != 7 {
+		t.Errorf("Lookup(15) = (%d, %v), want (7, true)", v, ok)
+	}
+	if v, ok := c.Lookup(k(20), time.Minute); !ok || v != 7 {
+		t.Errorf("Lookup(20) = (%d, %v), want hit at inclusive upper bound", v, ok)
+	}
+	if _, ok := c.Lookup(k(10), time.Minute); ok {
+		t.Error("Lookup(10) hit: lower bound must be exclusive")
+	}
+	if _, ok := c.Lookup(k(25), time.Minute); ok {
+		t.Error("Lookup(25) hit: outside range")
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 2 {
+		t.Errorf("Stats() = (%d, %d), want (2, 2)", hits, misses)
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	c := New[int](time.Hour)
+	c.Insert(k(10), k(20), 7, 0)
+	if _, ok := c.Lookup(k(15), 2*time.Hour); ok {
+		t.Error("entry should have expired after TTL")
+	}
+	if c.Len() != 0 {
+		t.Error("expired entry should be dropped on lookup")
+	}
+}
+
+func TestDefaultTTL(t *testing.T) {
+	c := New[int](0)
+	c.Insert(k(10), k(20), 1, 0)
+	if _, ok := c.Lookup(k(15), DefaultTTL-time.Minute); !ok {
+		t.Error("entry expired before the default 1.25h TTL")
+	}
+	if _, ok := c.Lookup(k(15), DefaultTTL+time.Minute); ok {
+		t.Error("entry alive past the default TTL")
+	}
+}
+
+func TestInsertEvictsOverlap(t *testing.T) {
+	c := New[int](time.Hour)
+	c.Insert(k(10), k(30), 1, 0)
+	// A fresher, narrower result replaces the overlapping part.
+	c.Insert(k(15), k(25), 2, time.Minute)
+	if v, _ := c.Lookup(k(20), 2*time.Minute); v != 2 {
+		t.Errorf("overlapped range should return the newer value, got %d", v)
+	}
+	// The old entry was evicted wholesale (it overlapped).
+	if _, ok := c.Lookup(k(12), 2*time.Minute); ok {
+		t.Error("stale overlapping entry should have been evicted")
+	}
+}
+
+func TestWrappingRange(t *testing.T) {
+	c := New[int](time.Hour)
+	lo := keys.MaxKey.Sub(k(100))
+	hi := k(50)
+	c.Insert(lo, hi, 9, 0)
+	if v, ok := c.Lookup(keys.MaxKey.Sub(k(10)), time.Minute); !ok || v != 9 {
+		t.Errorf("high side of wrapped range: (%d, %v), want (9, true)", v, ok)
+	}
+	if v, ok := c.Lookup(k(25), time.Minute); !ok || v != 9 {
+		t.Errorf("low side of wrapped range: (%d, %v), want (9, true)", v, ok)
+	}
+	if v, ok := c.Lookup(keys.Zero, time.Minute); !ok || v != 9 {
+		t.Errorf("zero key in wrapped range: (%d, %v), want (9, true)", v, ok)
+	}
+	if _, ok := c.Lookup(k(60), time.Minute); ok {
+		t.Error("key outside wrapped range hit")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New[int](time.Hour)
+	c.Insert(k(10), k(20), 7, 0)
+	c.Invalidate(k(15))
+	if _, ok := c.Lookup(k(15), time.Minute); ok {
+		t.Error("invalidated entry still hit")
+	}
+	// Invalidate of uncovered key is a no-op.
+	c.Insert(k(30), k(40), 8, 0)
+	c.Invalidate(k(25))
+	if _, ok := c.Lookup(k(35), time.Minute); !ok {
+		t.Error("unrelated entry removed by Invalidate")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	c := New[int](time.Hour)
+	c.Insert(k(10), k(20), 1, 0)
+	c.Insert(k(30), k(40), 2, 30*time.Minute)
+	c.Sweep(85 * time.Minute) // entry 1 expired at 60m, entry 2 expires at 90m
+	if c.Len() != 1 {
+		t.Errorf("Len after sweep = %d, want 1", c.Len())
+	}
+	if _, ok := c.Lookup(k(35), 86*time.Minute); !ok {
+		t.Error("fresh entry removed by sweep")
+	}
+}
+
+func TestManyDisjointEntries(t *testing.T) {
+	c := New[int](time.Hour)
+	for i := 0; i < 100; i++ {
+		c.Insert(k(uint64(i*10)), k(uint64(i*10+9)), i, 0)
+	}
+	if c.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", c.Len())
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := c.Lookup(k(uint64(i*10+5)), time.Minute)
+		if !ok || v != i {
+			t.Fatalf("Lookup in entry %d = (%d, %v)", i, v, ok)
+		}
+	}
+}
+
+func TestRandomizedAgainstNaive(t *testing.T) {
+	// Compare the cache against a naive list-of-arcs model under random
+	// inserts and lookups.
+	rng := rand.New(rand.NewPCG(42, 43))
+	c := New[int](time.Hour)
+	var model []arc
+	now := time.Duration(0)
+	for step := 0; step < 2000; step++ {
+		now += time.Second
+		if rng.Float64() < 0.3 {
+			a := keys.Random(rng)
+			span := k(uint64(rng.IntN(1 << 30)))
+			b := a.Add(span)
+			v := step
+			c.Insert(a, b, v, now)
+			// Model: remove overlapped, append.
+			var out []arc
+			for _, m := range model {
+				if m.overlapsArc(a, b) {
+					continue
+				}
+				out = append(out, m)
+			}
+			model = append(out, arc{lo: a, hi: b, v: v, exp: now + time.Hour})
+		} else {
+			probe := keys.Random(rng)
+			got, ok := c.Lookup(probe, now)
+			wantOK := false
+			wantV := 0
+			for _, m := range model {
+				if probe.Between(m.lo, m.hi) && m.exp > now {
+					wantOK = true
+					wantV = m.v
+					break
+				}
+			}
+			if ok != wantOK || (ok && got != wantV) {
+				t.Fatalf("step %d: Lookup = (%d, %v), model says (%d, %v)", step, got, ok, wantV, wantOK)
+			}
+		}
+	}
+}
+
+// overlapsArc mirrors the cache's overlap logic for possibly-wrapping arcs.
+func (m arc) overlapsArc(lo, hi keys.Key) bool {
+	// Sample-free circular interval intersection: arcs (a, b] and (c, d]
+	// intersect iff either endpoint region contains the other's bound.
+	return hi.Between(m.lo, m.hi) || m.hi.Between(lo, hi)
+}
+
+type arc struct {
+	lo, hi keys.Key
+	v      int
+	exp    time.Duration
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	c := New[int](time.Hour)
+	for i := 0; i < 1000; i++ {
+		c.Insert(k(uint64(i*100)), k(uint64(i*100+99)), i, 0)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(k(uint64((i%1000)*100+50)), time.Minute)
+	}
+}

@@ -1,0 +1,149 @@
+// Package netmodel models the wide-area network of the paper's Emulab
+// deployment (§9.1): pairwise end-to-end latencies shaped like the King
+// inter-DNS measurements (clustered continents, mean RTT ≈ 90 ms), and the
+// TCP behaviour the paper analyzes in §9.3 — connections idle longer than
+// an RTO drop back to slow start, making isolated 8 KB block fetches cost
+// at least 2 RTTs, while D2's repeated fetches from the same replica group
+// keep windows open.
+package netmodel
+
+import (
+	"math"
+	"math/rand/v2"
+	"time"
+)
+
+// Topology assigns each node a position in a clustered 2-D latency space.
+type Topology struct {
+	pos [][2]float64
+	// baseRTT is the minimum RTT between distinct nodes.
+	baseRTT time.Duration
+}
+
+// NewTopology places n nodes in clusters ("continents") so that
+// intra-cluster RTTs are tens of milliseconds and cross-cluster RTTs are
+// 100–300 ms, giving a mean pairwise RTT near the paper's 90 ms.
+func NewTopology(n int, seed uint64) *Topology {
+	rng := rand.New(rand.NewPCG(seed, 0x544f504f)) // "TOPO"
+	const clusters = 6
+	centers := make([][2]float64, clusters)
+	for i := range centers {
+		centers[i] = [2]float64{rng.Float64() * 120, rng.Float64() * 120}
+	}
+	t := &Topology{pos: make([][2]float64, n), baseRTT: 2 * time.Millisecond}
+	for i := 0; i < n; i++ {
+		c := centers[rng.IntN(clusters)]
+		t.pos[i] = [2]float64{
+			c[0] + rng.NormFloat64()*8,
+			c[1] + rng.NormFloat64()*8,
+		}
+	}
+	return t
+}
+
+// Len returns the number of nodes.
+func (t *Topology) Len() int { return len(t.pos) }
+
+// RTT returns the round-trip time between nodes i and j: symmetric,
+// deterministic, with RTT(i, i) equal to the small base RTT.
+func (t *Topology) RTT(i, j int) time.Duration {
+	if i == j {
+		return t.baseRTT
+	}
+	dx := t.pos[i][0] - t.pos[j][0]
+	dy := t.pos[i][1] - t.pos[j][1]
+	dist := math.Sqrt(dx*dx + dy*dy)
+	return t.baseRTT + time.Duration(dist*float64(time.Millisecond))
+}
+
+// OneWay returns half the RTT.
+func (t *Topology) OneWay(i, j int) time.Duration { return t.RTT(i, j) / 2 }
+
+// MeanRTT estimates the mean pairwise RTT by sampling.
+func (t *Topology) MeanRTT(samples int, seed uint64) time.Duration {
+	rng := rand.New(rand.NewPCG(seed, 1))
+	var sum time.Duration
+	n := len(t.pos)
+	for s := 0; s < samples; s++ {
+		i, j := rng.IntN(n), rng.IntN(n)
+		for j == i {
+			j = rng.IntN(n)
+		}
+		sum += t.RTT(i, j)
+	}
+	return sum / time.Duration(samples)
+}
+
+// TCP parameters of the §9.3 analysis.
+const (
+	// MSS is the sender's maximum segment payload.
+	MSS = 1460
+	// InitCwnd is Linux's initial window of 2 segments (§9.3 footnote 7).
+	InitCwnd = 2
+	// MaxCwnd caps window growth (64 segments ≈ 93 KB in flight).
+	MaxCwnd = 64
+	// RTO is the idle time after which a connection re-enters slow start.
+	RTO = time.Second
+)
+
+// TCP tracks per-connection congestion windows so the simulator can charge
+// slow-start rounds exactly when the paper's analysis says they occur.
+type TCP struct {
+	pairs map[[2]int32]*connState
+}
+
+type connState struct {
+	cwnd    int
+	lastUse time.Duration
+}
+
+// NewTCP creates an empty connection table. Connections are considered
+// pre-established (the paper pre-opens all pairs, §9.1), so there is no
+// handshake cost — only window state.
+func NewTCP() *TCP {
+	return &TCP{pairs: make(map[[2]int32]*connState)}
+}
+
+// Segments returns the number of MSS segments needed for n bytes.
+func Segments(n int64) int {
+	return int((n + MSS - 1) / MSS)
+}
+
+// TransferRounds returns the number of RTT-long window rounds needed to
+// move n bytes from src to dst at virtual time now, and updates the
+// connection state. A connection idle for more than RTO restarts from
+// InitCwnd (slow start); otherwise the window carries over and one round
+// usually suffices.
+func (t *TCP) TransferRounds(src, dst int, n int64, now time.Duration) int {
+	key := [2]int32{int32(src), int32(dst)}
+	st := t.pairs[key]
+	if st == nil {
+		st = &connState{cwnd: InitCwnd}
+		t.pairs[key] = st
+	} else if now-st.lastUse > RTO {
+		st.cwnd = InitCwnd
+	}
+	segs := Segments(n)
+	rounds := 0
+	w := st.cwnd
+	sent := 0
+	for sent < segs {
+		rounds++
+		sent += w
+		if w < MaxCwnd {
+			w *= 2
+			if w > MaxCwnd {
+				w = MaxCwnd
+			}
+		}
+	}
+	st.cwnd = w
+	st.lastUse = now
+	if rounds == 0 {
+		rounds = 1
+	}
+	return rounds
+}
+
+// Reset drops all connection state (between measurement windows).
+func (t *TCP) Reset() { t.pairs = make(map[[2]int32]*connState) }

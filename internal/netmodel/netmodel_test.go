@@ -1,0 +1,131 @@
+package netmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTopologyRTTProperties(t *testing.T) {
+	topo := NewTopology(200, 1)
+	if topo.Len() != 200 {
+		t.Fatalf("Len = %d", topo.Len())
+	}
+	for _, pair := range [][2]int{{0, 1}, {5, 199}, {42, 17}} {
+		i, j := pair[0], pair[1]
+		a, b := topo.RTT(i, j), topo.RTT(j, i)
+		if a != b {
+			t.Errorf("RTT not symmetric for (%d,%d): %v vs %v", i, j, a, b)
+		}
+		if a <= 0 {
+			t.Errorf("RTT(%d,%d) = %v", i, j, a)
+		}
+	}
+	if self := topo.RTT(7, 7); self > 5*time.Millisecond {
+		t.Errorf("self RTT = %v, want tiny", self)
+	}
+	if ow := topo.OneWay(0, 1); ow != topo.RTT(0, 1)/2 {
+		t.Errorf("OneWay = %v, want RTT/2", ow)
+	}
+}
+
+func TestTopologyMeanRTTNearPaper(t *testing.T) {
+	topo := NewTopology(1000, 2)
+	mean := topo.MeanRTT(20000, 3)
+	// The paper's network has mean RTT ≈ 90 ms; accept a broad band.
+	if mean < 50*time.Millisecond || mean > 150*time.Millisecond {
+		t.Errorf("mean RTT = %v, want ≈ 90ms", mean)
+	}
+}
+
+func TestTopologyDeterministic(t *testing.T) {
+	a := NewTopology(50, 9)
+	b := NewTopology(50, 9)
+	for i := 0; i < 50; i++ {
+		for j := i + 1; j < 50; j++ {
+			if a.RTT(i, j) != b.RTT(i, j) {
+				t.Fatal("topology not deterministic")
+			}
+		}
+	}
+}
+
+func TestSegments(t *testing.T) {
+	tests := []struct {
+		n    int64
+		want int
+	}{
+		{1, 1}, {MSS, 1}, {MSS + 1, 2}, {8192, 6}, {0, 0},
+	}
+	for _, tt := range tests {
+		if got := Segments(tt.n); got != tt.want {
+			t.Errorf("Segments(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestColdTransferTakesTwoRounds(t *testing.T) {
+	// §9.3: an 8 KB block on a cold connection needs ≥ 2 RTTs (2 then 4
+	// segments).
+	tcp := NewTCP()
+	rounds := tcp.TransferRounds(0, 1, 8192, 0)
+	if rounds != 2 {
+		t.Errorf("cold 8KB transfer = %d rounds, want 2", rounds)
+	}
+}
+
+func TestWarmConnectionSingleRound(t *testing.T) {
+	tcp := NewTCP()
+	tcp.TransferRounds(0, 1, 8192, 0)
+	// Immediately reuse: window is open (2+4 doubled to 8 ≥ 6 segments).
+	rounds := tcp.TransferRounds(0, 1, 8192, 100*time.Millisecond)
+	if rounds != 1 {
+		t.Errorf("warm 8KB transfer = %d rounds, want 1", rounds)
+	}
+}
+
+func TestIdleConnectionRestartsSlowStart(t *testing.T) {
+	tcp := NewTCP()
+	tcp.TransferRounds(0, 1, 8192, 0)
+	// Idle 14 s ≫ RTO: the paper's traditional-DHT scenario.
+	rounds := tcp.TransferRounds(0, 1, 8192, 14*time.Second)
+	if rounds != 2 {
+		t.Errorf("idle 8KB transfer = %d rounds, want 2 (slow-start restart)", rounds)
+	}
+}
+
+func TestConnectionsAreIndependent(t *testing.T) {
+	tcp := NewTCP()
+	tcp.TransferRounds(0, 1, 8192, 0)
+	rounds := tcp.TransferRounds(0, 2, 8192, time.Millisecond)
+	if rounds != 2 {
+		t.Errorf("fresh pair rounds = %d, want 2", rounds)
+	}
+	// Direction matters: (1, 0) is a different sender state.
+	rounds = tcp.TransferRounds(1, 0, 8192, 2*time.Millisecond)
+	if rounds != 2 {
+		t.Errorf("reverse pair rounds = %d, want 2", rounds)
+	}
+}
+
+func TestLargeTransferCapsWindow(t *testing.T) {
+	tcp := NewTCP()
+	// 1 MB cold: rounds with cwnd 2,4,...,64,64,... = 719 segs.
+	rounds := tcp.TransferRounds(0, 1, 1<<20, 0)
+	if rounds < 7 {
+		t.Errorf("1MB cold transfer = %d rounds, want many", rounds)
+	}
+	// Warm big transfers keep the capped window.
+	again := tcp.TransferRounds(0, 1, 1<<20, time.Millisecond)
+	if again >= rounds {
+		t.Errorf("warm transfer (%d) not faster than cold (%d)", again, rounds)
+	}
+}
+
+func TestReset(t *testing.T) {
+	tcp := NewTCP()
+	tcp.TransferRounds(0, 1, 8192, 0)
+	tcp.Reset()
+	if rounds := tcp.TransferRounds(0, 1, 8192, time.Millisecond); rounds != 2 {
+		t.Errorf("rounds after Reset = %d, want 2 (cold)", rounds)
+	}
+}

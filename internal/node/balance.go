@@ -1,0 +1,100 @@
+package node
+
+import (
+	"context"
+	"time"
+
+	"github.com/defragdht/d2/internal/transport"
+)
+
+// balanceProbe runs one Karger–Ruhl probe (§6): sample a random node A by
+// random walk; if load(A) > t · load(self), change our ID to become A's
+// predecessor, taking the lower half of A's primary range through block
+// pointers.
+func (n *Node) balanceProbe() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	sample, err := transport.Expect[transport.SampleResp](
+		n.call(ctx, n.tr.Addr(), transport.SampleReq{Hops: 6}))
+	if err != nil || sample.Peer.IsZero() || sample.Peer.Addr == n.tr.Addr() {
+		return
+	}
+	load, err := transport.Expect[transport.LoadResp](
+		n.call(ctx, sample.Peer.Addr, transport.LoadReq{}))
+	if err != nil {
+		return
+	}
+	mine := n.RespBytes()
+	if float64(load.RespBytes) <= n.cfg.BalanceThreshold*float64(mine) {
+		return
+	}
+	n.moveTo(ctx, load.Self)
+}
+
+// moveTo relocates this node to become a's predecessor at the byte-median
+// of a's range. The move is the paper's voluntary leave+rejoin: our old
+// range's new owner gets pointers to us, and we take pointers to a for
+// our new range; pointer stabilization moves the data later.
+func (n *Node) moveTo(ctx context.Context, a transport.PeerInfo) {
+	split, err := transport.Expect[transport.SplitResp](
+		n.call(ctx, a.Addr, transport.SplitReq{}))
+	if err != nil || !split.Ok {
+		return
+	}
+	n.mu.Lock()
+	oldSelf := n.self
+	oldPred := n.pred
+	succ := n.succs[0]
+	n.mu.Unlock()
+	if split.Median.Equal(oldSelf.ID) || succ.Addr == oldSelf.Addr {
+		return
+	}
+
+	// Leave: install pointers at our successor (the new owner of our old
+	// primary range) for the blocks we hold there.
+	if !oldPred.IsZero() {
+		for _, it := range n.st.Arc(oldPred.ID, oldSelf.ID) {
+			if it.Block.IsPointer() {
+				continue
+			}
+			_, _ = transport.Expect[transport.PutPtrResp](n.call(ctx, succ.Addr, transport.PutPtrReq{
+				Key: it.Key, Target: oldSelf.Addr, Size: it.Block.Size,
+			}))
+		}
+	}
+
+	// Rejoin at the median: a becomes our successor.
+	aNeighbors, err := transport.Expect[transport.NeighborsResp](
+		n.call(ctx, a.Addr, transport.NeighborsReq{}))
+	if err != nil {
+		return
+	}
+	n.mu.Lock()
+	n.self = transport.PeerInfo{ID: split.Median, Addr: n.tr.Addr()}
+	n.pred = aNeighbors.Pred
+	n.succs = append([]transport.PeerInfo{a}, aNeighbors.Succs...)
+	n.trimSuccsLocked()
+	newSelf := n.self
+	newPred := n.pred
+	n.mu.Unlock()
+
+	_, _ = transport.Expect[transport.NotifyResp](
+		n.call(ctx, a.Addr, transport.NotifyReq{Cand: newSelf}))
+
+	// Take pointers to a for our new primary range.
+	if !newPred.IsZero() {
+		resp, err := transport.Expect[transport.RangeResp](n.call(ctx, a.Addr, transport.RangeReq{
+			Lo: newPred.ID, Hi: newSelf.ID,
+		}))
+		if err == nil {
+			now := time.Now()
+			for _, it := range resp.Items {
+				if b, ok := n.st.Get(it.Key); ok && !b.IsPointer() {
+					continue
+				}
+				n.st.PutPointer(it.Key, a.Addr, it.Size, now)
+			}
+		}
+	}
+}

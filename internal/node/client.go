@@ -1,0 +1,265 @@
+package node
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"github.com/defragdht/d2/internal/keys"
+	"github.com/defragdht/d2/internal/lookupcache"
+	"github.com/defragdht/d2/internal/transport"
+)
+
+// ErrNotFound reports a missing block.
+var ErrNotFound = errors.New("node: block not found")
+
+// Client reads and writes blocks through the DHT, avoiding lookups with a
+// range-keyed lookup cache (§5). One Client serves one user; it is safe
+// for concurrent use.
+type Client struct {
+	tr       transport.Transport
+	seeds    []transport.Addr
+	replicas int
+
+	mu    sync.Mutex
+	cache *lookupcache.Cache[transport.PeerInfo]
+	rng   *rand.Rand
+	start time.Time
+	// stats
+	hits, misses uint64
+}
+
+// ClientConfig parameterizes a client.
+type ClientConfig struct {
+	// Seeds are entry points into the ring (at least one).
+	Seeds []transport.Addr
+	// Replicas is the cluster's r, used to try secondary replicas on
+	// primary failure (default 3).
+	Replicas int
+	// CacheTTL is the lookup-cache TTL (default 75 min, §5).
+	CacheTTL time.Duration
+	// Seed drives replica selection.
+	Seed uint64
+}
+
+// NewClient creates a client using the given transport endpoint.
+func NewClient(tr transport.Transport, cfg ClientConfig) (*Client, error) {
+	if len(cfg.Seeds) == 0 {
+		return nil, errors.New("node: client needs at least one seed")
+	}
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 3
+	}
+	c := &Client{
+		tr:       tr,
+		seeds:    cfg.Seeds,
+		replicas: cfg.Replicas,
+		cache:    lookupcache.New[transport.PeerInfo](cfg.CacheTTL),
+		rng:      rand.New(rand.NewPCG(cfg.Seed, 0x434c4e54)), // "CLNT"
+		start:    time.Now(),
+	}
+	// A client is a pure caller; answer anything inbound with an error.
+	tr.Serve(func(transport.Addr, transport.Message) (transport.Message, error) {
+		return nil, errors.New("node: client endpoint serves no requests")
+	})
+	return c, nil
+}
+
+// now returns the cache clock.
+func (c *Client) now() time.Duration { return time.Since(c.start) }
+
+// Stats returns the lookup-cache hit and miss counts.
+func (c *Client) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Lookup resolves the owner of key k, from cache when possible.
+func (c *Client) Lookup(ctx context.Context, k keys.Key) (transport.PeerInfo, error) {
+	c.mu.Lock()
+	owner, ok := c.cache.Lookup(k, c.now())
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	c.mu.Unlock()
+	if ok {
+		return owner, nil
+	}
+	return c.freshLookup(ctx, k)
+}
+
+// freshLookup performs a full DHT lookup and caches the owner's range.
+// Lookups retry briefly: right after a crash, routing state needs a few
+// stabilization rounds to drop the dead node (§8.1: routing failures are
+// transient and resolved by retrying after the link repair time).
+func (c *Client) freshLookup(ctx context.Context, k keys.Key) (transport.PeerInfo, error) {
+	var lastErr error
+	for attempt := 0; attempt < 4; attempt++ {
+		for _, seed := range c.seeds {
+			owner, pred, err := c.iterLookup(ctx, seed, k)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if !pred.IsZero() {
+				c.mu.Lock()
+				c.cache.Insert(pred.ID, owner.ID, owner, c.now())
+				c.mu.Unlock()
+			}
+			return owner, nil
+		}
+		select {
+		case <-ctx.Done():
+			return transport.PeerInfo{}, ctx.Err()
+		case <-time.After(time.Duration(50*(attempt+1)) * time.Millisecond):
+		}
+	}
+	return transport.PeerInfo{}, fmt.Errorf("node: lookup failed: %w", lastErr)
+}
+
+// iterLookup drives the iterative protocol from a seed.
+func (c *Client) iterLookup(ctx context.Context, start transport.Addr, k keys.Key) (owner, pred transport.PeerInfo, err error) {
+	cur := start
+	for hops := 0; hops < 128; hops++ {
+		resp, err := transport.Expect[transport.FindSuccResp](
+			c.tr.Call(ctx, cur, transport.FindSuccReq{Key: k}))
+		if err != nil {
+			return transport.PeerInfo{}, transport.PeerInfo{}, err
+		}
+		if resp.Done {
+			return resp.Node, resp.Pred, nil
+		}
+		if resp.Node.Addr == cur {
+			return transport.PeerInfo{}, transport.PeerInfo{}, fmt.Errorf("node: lookup stuck at %s", cur)
+		}
+		cur = resp.Node.Addr
+	}
+	return transport.PeerInfo{}, transport.PeerInfo{}, errors.New("node: lookup exceeded hop limit")
+}
+
+// invalidate drops the cache entry covering k after a stale hit.
+func (c *Client) invalidate(k keys.Key) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cache.Invalidate(k)
+}
+
+// Put stores a block with r replicas.
+func (c *Client) Put(ctx context.Context, k keys.Key, data []byte) error {
+	owner, err := c.Lookup(ctx, k)
+	if err != nil {
+		return err
+	}
+	_, err = transport.Expect[transport.PutResp](c.tr.Call(ctx, owner.Addr, transport.PutReq{
+		Key: k, Data: data, Replicate: true,
+	}))
+	if err != nil {
+		// Stale cache entry or dead node: retry once with a fresh lookup.
+		c.invalidate(k)
+		owner, err = c.freshLookup(ctx, k)
+		if err != nil {
+			return err
+		}
+		_, err = transport.Expect[transport.PutResp](c.tr.Call(ctx, owner.Addr, transport.PutReq{
+			Key: k, Data: data, Replicate: true,
+		}))
+	}
+	return err
+}
+
+// Get fetches a block, following pointer redirects and trying secondary
+// replicas before falling back to a fresh lookup (§5: stale entries cost
+// latency, never correctness).
+func (c *Client) Get(ctx context.Context, k keys.Key) ([]byte, error) {
+	owner, err := c.Lookup(ctx, k)
+	if err != nil {
+		return nil, err
+	}
+	data, err := c.getFrom(ctx, owner.Addr, k)
+	if err == nil {
+		return data, nil
+	}
+	// Miss or stale: invalidate, re-lookup, and walk the replica group.
+	c.invalidate(k)
+	owner, lerr := c.freshLookup(ctx, k)
+	if lerr != nil {
+		return nil, lerr
+	}
+	data, err = c.getFrom(ctx, owner.Addr, k)
+	if err == nil {
+		return data, nil
+	}
+	succs, serr := c.successorsOf(ctx, owner)
+	if serr == nil {
+		for _, p := range succs {
+			if data, gerr := c.getFrom(ctx, p.Addr, k); gerr == nil {
+				return data, nil
+			}
+		}
+	}
+	return nil, err
+}
+
+// getFrom fetches a block from one node, following one pointer redirect.
+func (c *Client) getFrom(ctx context.Context, addr transport.Addr, k keys.Key) ([]byte, error) {
+	for i := 0; i < 2; i++ {
+		resp, err := transport.Expect[transport.GetResp](
+			c.tr.Call(ctx, addr, transport.GetReq{Key: k}))
+		if err != nil {
+			return nil, err
+		}
+		if !resp.Found {
+			return nil, ErrNotFound
+		}
+		if resp.Redirect == "" {
+			return resp.Data, nil
+		}
+		addr = resp.Redirect
+	}
+	return nil, fmt.Errorf("node: pointer chain too long for %s", k.Short())
+}
+
+// successorsOf fetches the replica group following the owner.
+func (c *Client) successorsOf(ctx context.Context, owner transport.PeerInfo) ([]transport.PeerInfo, error) {
+	resp, err := transport.Expect[transport.NeighborsResp](
+		c.tr.Call(ctx, owner.Addr, transport.NeighborsReq{}))
+	if err != nil {
+		return nil, err
+	}
+	n := c.replicas - 1
+	if n > len(resp.Succs) {
+		n = len(resp.Succs)
+	}
+	return resp.Succs[:n], nil
+}
+
+// Remove deletes a block (and its replicas) after the node-side delay.
+func (c *Client) Remove(ctx context.Context, k keys.Key) error {
+	owner, err := c.Lookup(ctx, k)
+	if err != nil {
+		return err
+	}
+	_, err = transport.Expect[transport.RemoveResp](c.tr.Call(ctx, owner.Addr, transport.RemoveReq{
+		Key: k, Replicate: true,
+	}))
+	if err != nil {
+		c.invalidate(k)
+		owner, err = c.freshLookup(ctx, k)
+		if err != nil {
+			return err
+		}
+		_, err = transport.Expect[transport.RemoveResp](c.tr.Call(ctx, owner.Addr, transport.RemoveReq{
+			Key: k, Replicate: true,
+		}))
+	}
+	return err
+}
+
+// Close releases the client endpoint.
+func (c *Client) Close() error { return c.tr.Close() }

@@ -1,0 +1,266 @@
+// Package node implements a live D2 DHT node: ring membership with
+// successor-list stabilization, iterative lookups over small-world links,
+// replication on the r successors of each key, Karger–Ruhl load balancing
+// through voluntary leave/rejoin with block pointers (§6), pointer
+// stabilization, delayed removal (§3), and TTL expiry. Nodes communicate
+// over any transport.Transport; the in-memory transport runs a 1,000-node
+// cluster in one process.
+package node
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"github.com/defragdht/d2/internal/keys"
+	"github.com/defragdht/d2/internal/store"
+	"github.com/defragdht/d2/internal/transport"
+)
+
+// Config holds node parameters; zero values take defaults suited to live
+// operation (tests shorten the intervals).
+type Config struct {
+	// ID is the node's ring position; zero picks a random one.
+	ID keys.Key
+	// Replicas is r (default 3).
+	Replicas int
+	// SuccListLen is the successor-list length (default max(r, 4)).
+	SuccListLen int
+	// StabilizeInterval drives ring maintenance (default 500 ms).
+	StabilizeInterval time.Duration
+	// RepairInterval drives replica repair and stale-block handoff
+	// (default 5 s).
+	RepairInterval time.Duration
+	// BalanceInterval is the load-balance probe period; zero disables
+	// balancing (the paper uses 10 min).
+	BalanceInterval time.Duration
+	// BalanceThreshold is t (default 4).
+	BalanceThreshold float64
+	// PointerStabilization is how long pointers are held before fetching
+	// (default 1 h; §8.1).
+	PointerStabilization time.Duration
+	// RemoveDelay postpones removals (default 30 s; §3).
+	RemoveDelay time.Duration
+	// DefaultTTL is applied to blocks stored without an explicit TTL
+	// (zero = no expiry).
+	DefaultTTL time.Duration
+	// MaxLinks caps the long-link table (default 16).
+	MaxLinks int
+	// Seed drives ID choice and sampling.
+	Seed uint64
+}
+
+func (c *Config) applyDefaults() {
+	if c.Replicas == 0 {
+		c.Replicas = 3
+	}
+	if c.SuccListLen == 0 {
+		c.SuccListLen = c.Replicas
+		if c.SuccListLen < 4 {
+			c.SuccListLen = 4
+		}
+	}
+	if c.StabilizeInterval == 0 {
+		c.StabilizeInterval = 500 * time.Millisecond
+	}
+	if c.RepairInterval == 0 {
+		c.RepairInterval = 5 * time.Second
+	}
+	if c.BalanceThreshold == 0 {
+		c.BalanceThreshold = 4
+	}
+	if c.PointerStabilization == 0 {
+		c.PointerStabilization = time.Hour
+	}
+	if c.RemoveDelay == 0 {
+		c.RemoveDelay = 30 * time.Second
+	}
+	if c.MaxLinks == 0 {
+		c.MaxLinks = 16
+	}
+}
+
+// Node is one live DHT participant.
+type Node struct {
+	cfg Config
+	tr  transport.Transport
+	st  *store.Store
+
+	mu    sync.Mutex
+	self  transport.PeerInfo
+	pred  transport.PeerInfo
+	succs []transport.PeerInfo
+	links []transport.PeerInfo
+	rng   *rand.Rand
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	// removeTimers tracks pending delayed removals so Close cancels them.
+	removeTimers map[keys.Key]*time.Timer
+}
+
+// Start creates a node on the transport and begins serving. The node
+// initially forms a one-node ring; call Join to enter an existing one.
+func Start(tr transport.Transport, cfg Config) *Node {
+	cfg.applyDefaults()
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x4e4f4445)) // "NODE"
+	id := cfg.ID
+	if id.IsZero() {
+		id = keys.Random(rng)
+	}
+	n := &Node{
+		cfg:          cfg,
+		tr:           tr,
+		st:           store.New(),
+		self:         transport.PeerInfo{ID: id, Addr: tr.Addr()},
+		rng:          rng,
+		stop:         make(chan struct{}),
+		removeTimers: make(map[keys.Key]*time.Timer),
+	}
+	n.succs = []transport.PeerInfo{n.self}
+	tr.Serve(n.handle)
+	n.startLoops()
+	return n
+}
+
+func (n *Node) startLoops() {
+	n.loop(n.cfg.StabilizeInterval, n.stabilize)
+	n.loop(n.cfg.RepairInterval, n.repair)
+	n.loop(n.cfg.RepairInterval, n.stabilizePointers)
+	n.loop(time.Minute, func() { n.st.SweepExpired(time.Now()) })
+	if n.cfg.BalanceInterval > 0 {
+		n.loop(n.cfg.BalanceInterval, n.balanceProbe)
+	}
+}
+
+// loop runs fn every interval until the node closes.
+func (n *Node) loop(interval time.Duration, fn func()) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-n.stop:
+				return
+			case <-t.C:
+				fn()
+			}
+		}
+	}()
+}
+
+// Self returns the node's identity.
+func (n *Node) Self() transport.PeerInfo {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.self
+}
+
+// Predecessor returns the current predecessor (zero if unknown).
+func (n *Node) Predecessor() transport.PeerInfo {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.pred
+}
+
+// Successor returns the first successor.
+func (n *Node) Successor() transport.PeerInfo {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.succs[0]
+}
+
+// Store exposes the local block store (read-mostly, for tests and tools).
+func (n *Node) Store() *store.Store { return n.st }
+
+// StoredBytes returns the node's stored data volume.
+func (n *Node) StoredBytes() int64 { return n.st.Bytes() }
+
+// RespBytes returns the node's primary-responsibility load: the bytes
+// (including pointers) in its (pred, self] range (§6).
+func (n *Node) RespBytes() int64 {
+	n.mu.Lock()
+	pred, self := n.pred, n.self
+	n.mu.Unlock()
+	if pred.IsZero() {
+		return n.st.Bytes()
+	}
+	return n.st.ArcBytes(pred.ID, self.ID)
+}
+
+// Join enters the ring known to the seed address.
+func (n *Node) Join(ctx context.Context, seed transport.Addr) error {
+	n.mu.Lock()
+	id := n.self.ID
+	n.mu.Unlock()
+	owner, pred, err := n.iterLookup(ctx, seed, id)
+	if err != nil {
+		return fmt.Errorf("node: join via %s: %w", seed, err)
+	}
+	n.mu.Lock()
+	n.pred = pred
+	if owner.Addr != n.self.Addr {
+		n.succs = append([]transport.PeerInfo{owner}, n.succs...)
+		n.trimSuccsLocked()
+	}
+	n.mu.Unlock()
+	// Announce ourselves so the ring links in quickly.
+	_, _ = transport.Expect[transport.NotifyResp](
+		n.call(ctx, owner.Addr, transport.NotifyReq{Cand: n.Self()}))
+	n.stabilize()
+	return nil
+}
+
+// Close stops background loops and the transport. Data is not handed off:
+// the replica repair of surviving nodes restores redundancy, exactly as
+// with a crash.
+func (n *Node) Close() error {
+	select {
+	case <-n.stop:
+		return nil // already closed
+	default:
+	}
+	close(n.stop)
+	n.mu.Lock()
+	for _, t := range n.removeTimers {
+		t.Stop()
+	}
+	n.removeTimers = map[keys.Key]*time.Timer{}
+	n.mu.Unlock()
+	err := n.tr.Close()
+	n.wg.Wait()
+	return err
+}
+
+// Leave performs a graceful departure: push every stored block to the
+// nodes now responsible, then close.
+func (n *Node) Leave(ctx context.Context) error {
+	items := n.st.Arc(n.Self().ID, n.Self().ID) // whole store
+	for _, it := range items {
+		if it.Block.IsPointer() {
+			continue
+		}
+		owner, _, err := n.Lookup(ctx, it.Key)
+		if err != nil || owner.Addr == n.tr.Addr() {
+			continue
+		}
+		_, _ = transport.Expect[transport.PutResp](n.call(ctx, owner.Addr, transport.PutReq{
+			Key: it.Key, Data: it.Block.Data, Replicate: true,
+		}))
+	}
+	return n.Close()
+}
+
+// call is the node's outbound RPC helper with a default timeout.
+func (n *Node) call(ctx context.Context, to transport.Addr, req transport.Message) (transport.Message, error) {
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, 10*time.Second)
+		defer cancel()
+	}
+	return n.tr.Call(ctx, to, req)
+}

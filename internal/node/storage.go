@@ -1,0 +1,253 @@
+package node
+
+import (
+	"context"
+	"time"
+
+	"github.com/defragdht/d2/internal/keys"
+	"github.com/defragdht/d2/internal/store"
+	"github.com/defragdht/d2/internal/transport"
+)
+
+// handlePut stores a replica; when Replicate is set (the primary's copy),
+// the block is forwarded to the r-1 following successors.
+func (n *Node) handlePut(r transport.PutReq) transport.Message {
+	ttl := time.Duration(r.TTL) * time.Second
+	if ttl == 0 {
+		ttl = n.cfg.DefaultTTL
+	}
+	n.st.Put(r.Key, r.Data, ttl, time.Now())
+	if r.Replicate {
+		n.forwardToReplicas(transport.PutReq{Key: r.Key, Data: r.Data, TTL: r.TTL})
+	}
+	return transport.PutResp{}
+}
+
+// handleGet serves a block, redirecting when only a pointer is held.
+func (n *Node) handleGet(r transport.GetReq) transport.Message {
+	b, ok := n.st.Get(r.Key)
+	if !ok {
+		return transport.GetResp{Found: false}
+	}
+	if b.IsPointer() {
+		return transport.GetResp{Found: true, Redirect: b.Pointer}
+	}
+	return transport.GetResp{Found: true, Data: b.Data}
+}
+
+// handleRemove deletes a block after the removal delay (§3), forwarding to
+// the replica group when asked.
+func (n *Node) handleRemove(r transport.RemoveReq) transport.Message {
+	delay := time.Duration(r.DelaySec) * time.Second
+	if delay == 0 {
+		delay = n.cfg.RemoveDelay
+	}
+	n.scheduleRemoval(r.Key, delay)
+	if r.Replicate {
+		n.forwardToReplicas(transport.RemoveReq{Key: r.Key, DelaySec: r.DelaySec})
+	}
+	return transport.RemoveResp{}
+}
+
+// scheduleRemoval arms (or re-arms) the delayed delete for a key.
+func (n *Node) scheduleRemoval(k keys.Key, delay time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if t, ok := n.removeTimers[k]; ok {
+		t.Stop()
+	}
+	n.removeTimers[k] = time.AfterFunc(delay, func() {
+		n.st.Delete(k)
+		n.mu.Lock()
+		delete(n.removeTimers, k)
+		n.mu.Unlock()
+	})
+}
+
+// forwardToReplicas sends the request to the r-1 successors, best effort.
+func (n *Node) forwardToReplicas(req transport.Message) {
+	n.mu.Lock()
+	targets := make([]transport.PeerInfo, 0, n.cfg.Replicas-1)
+	for _, p := range n.succs {
+		if p.Addr == n.self.Addr {
+			continue
+		}
+		targets = append(targets, p)
+		if len(targets) == n.cfg.Replicas-1 {
+			break
+		}
+	}
+	n.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, p := range targets {
+		_, _ = n.call(ctx, p.Addr, req)
+	}
+}
+
+// handleSplit returns the byte-median of this node's primary range, so a
+// light prober can take the lower half (§6).
+func (n *Node) handleSplit() transport.Message {
+	n.mu.Lock()
+	pred, self := n.pred, n.self
+	n.mu.Unlock()
+	if pred.IsZero() {
+		return transport.SplitResp{}
+	}
+	m, ok := n.st.MedianKey(pred.ID, self.ID)
+	if !ok || m.Equal(self.ID) {
+		return transport.SplitResp{}
+	}
+	return transport.SplitResp{Ok: true, Median: m}
+}
+
+// handleRange lists (or ships) the blocks in an arc.
+func (n *Node) handleRange(r transport.RangeReq) transport.Message {
+	items := n.st.Arc(r.Lo, r.Hi)
+	resp := transport.RangeResp{}
+	for _, it := range items {
+		if it.Block.IsPointer() {
+			continue
+		}
+		out := transport.RangeItem{Key: it.Key, Size: it.Block.Size}
+		if r.WithData {
+			out.Data = it.Block.Data
+		}
+		resp.Items = append(resp.Items, out)
+		if r.Limit > 0 && len(resp.Items) >= r.Limit {
+			break
+		}
+	}
+	return resp
+}
+
+// repair runs one replica-maintenance round:
+//  1. push blocks of our primary range to our r-1 successors (diffing
+//     keys first so data moves only when missing), and
+//  2. hand blocks outside our replica responsibility to their primary,
+//     then drop them.
+func (n *Node) repair() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	n.mu.Lock()
+	self := n.self
+	pred := n.pred
+	succs := make([]transport.PeerInfo, len(n.succs))
+	copy(succs, n.succs)
+	n.mu.Unlock()
+	if pred.IsZero() || len(succs) == 0 || succs[0].Addr == self.Addr {
+		return
+	}
+
+	// (1) Primary-range replication to successors.
+	primary := n.st.Arc(pred.ID, self.ID)
+	replicas := n.cfg.Replicas - 1
+	if replicas > len(succs) {
+		replicas = len(succs)
+	}
+	for i := 0; i < replicas; i++ {
+		n.pushMissing(ctx, succs[i], pred.ID, self.ID, primary)
+	}
+
+	// (2) Hand off blocks we should not hold. Our responsibility reaches
+	// back r-1 predecessors; walk the pred chain to find the boundary.
+	lo, ok := n.replicaRangeStart(ctx)
+	if !ok {
+		return
+	}
+	n.handOffOutside(ctx, lo, self.ID)
+}
+
+// pushMissing ships the primary blocks the target lacks in (lo, hi].
+func (n *Node) pushMissing(ctx context.Context, target transport.PeerInfo, lo, hi keys.Key, items []storeItem) {
+	if target.Addr == n.tr.Addr() {
+		return
+	}
+	resp, err := transport.Expect[transport.RangeResp](
+		n.call(ctx, target.Addr, transport.RangeReq{Lo: lo, Hi: hi}))
+	if err != nil {
+		return
+	}
+	have := make(map[keys.Key]bool, len(resp.Items))
+	for _, it := range resp.Items {
+		have[it.Key] = true
+	}
+	for _, it := range items {
+		if it.Block.IsPointer() || have[it.Key] {
+			continue
+		}
+		_, _ = transport.Expect[transport.PutResp](n.call(ctx, target.Addr, transport.PutReq{
+			Key: it.Key, Data: it.Block.Data,
+		}))
+	}
+}
+
+// storeItem aliases the store scan item for signatures here.
+type storeItem = store.Item
+
+// replicaRangeStart returns the lower bound of the keys this node should
+// hold: the ID of its (r-1)-th predecessor.
+func (n *Node) replicaRangeStart(ctx context.Context) (keys.Key, bool) {
+	cur := n.Predecessor()
+	if cur.IsZero() {
+		return keys.Key{}, false
+	}
+	for i := 1; i < n.cfg.Replicas-1; i++ {
+		resp, err := transport.Expect[transport.NeighborsResp](
+			n.call(ctx, cur.Addr, transport.NeighborsReq{}))
+		if err != nil || resp.Pred.IsZero() || resp.Pred.Addr == n.tr.Addr() {
+			return cur.ID, true
+		}
+		cur = resp.Pred
+	}
+	return cur.ID, true
+}
+
+// handOffOutside pushes blocks outside (lo, hi] to their primary owner and
+// drops the local copy once delivered.
+func (n *Node) handOffOutside(ctx context.Context, lo, hi keys.Key) {
+	all := n.st.Arc(hi, hi) // whole store in key order
+	for _, it := range all {
+		if it.Key.Between(lo, hi) || it.Block.IsPointer() {
+			continue
+		}
+		owner, _, err := n.Lookup(ctx, it.Key)
+		if err != nil || owner.Addr == n.tr.Addr() {
+			continue
+		}
+		if _, err := transport.Expect[transport.PutResp](n.call(ctx, owner.Addr, transport.PutReq{
+			Key: it.Key, Data: it.Block.Data, Replicate: true,
+		})); err == nil {
+			n.st.Delete(it.Key)
+		}
+	}
+}
+
+// stabilizePointers fetches the data for pointers held longer than the
+// pointer stabilization time (§6).
+func (n *Node) stabilizePointers() {
+	deadline := time.Now().Add(-n.cfg.PointerStabilization)
+	stale := n.st.StalePointers(deadline)
+	if len(stale) == 0 {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, it := range stale {
+		resp, err := transport.Expect[transport.GetResp](
+			n.call(ctx, it.Block.Pointer, transport.GetReq{Key: it.Key}))
+		if err != nil || !resp.Found {
+			continue
+		}
+		if resp.Redirect != "" {
+			// Pointer chain: follow one level.
+			resp, err = transport.Expect[transport.GetResp](
+				n.call(ctx, resp.Redirect, transport.GetReq{Key: it.Key}))
+			if err != nil || !resp.Found || resp.Redirect != "" {
+				continue
+			}
+		}
+		n.st.Put(it.Key, resp.Data, n.cfg.DefaultTTL, time.Now())
+	}
+}

@@ -1,0 +1,49 @@
+package placement
+
+import (
+	"encoding/binary"
+
+	"github.com/defragdht/d2/internal/keys"
+)
+
+// DefaultHybridCutoffBlocks places the first 2 MB of every file with
+// locality keys.
+const DefaultHybridCutoffBlocks = 256
+
+// Hybrid implements the paper's future-work placement (§11): it combines
+// locality-preserving and consistent-hashing placement so that small files
+// keep D2's availability and lookup locality while large files regain the
+// parallel download bandwidth of a traditional DHT. The first
+// CutoffBlocks data blocks of each file (and all metadata) use locality
+// keys; blocks past the cutoff hash to uniformly random nodes.
+type Hybrid struct {
+	ns *Namespace
+	// CutoffBlocks is the number of leading data blocks kept local.
+	cutoff uint64
+}
+
+var _ Keyer = (*Hybrid)(nil)
+
+// NewHybrid creates a hybrid keyer for the volume. cutoffBlocks ≤ 0 takes
+// the default (256 blocks = 2 MB).
+func NewHybrid(vol keys.VolumeID, cutoffBlocks int) *Hybrid {
+	if cutoffBlocks <= 0 {
+		cutoffBlocks = DefaultHybridCutoffBlocks
+	}
+	return &Hybrid{ns: NewNamespace(vol), cutoff: uint64(cutoffBlocks)}
+}
+
+// Strategy identifies hybrid as a D2 variant (it shares the locality key
+// space; only large-file tails leave it).
+func (h *Hybrid) Strategy() Strategy { return D2 }
+
+// BlockKey returns a locality key for metadata and early blocks, and a
+// hashed key for blocks past the cutoff.
+func (h *Hybrid) BlockKey(path string, block uint64) keys.Key {
+	if block <= h.cutoff {
+		return h.ns.BlockKey(path, block)
+	}
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], block)
+	return keys.HashKey([]byte(path), b[:])
+}

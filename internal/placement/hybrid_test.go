@@ -1,0 +1,65 @@
+package placement
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/defragdht/d2/internal/keys"
+	"github.com/defragdht/d2/internal/ring"
+)
+
+func testRing(n int) *ring.Ring {
+	var ids []keys.Key
+	for i := 0; i < n; i++ {
+		ids = append(ids, keys.HashString(fmt.Sprintf("hnode%d", i)))
+	}
+	return ring.New(ids)
+}
+
+func TestHybridSmallFilesStayLocal(t *testing.T) {
+	h := NewHybrid(testVol, 256)
+	r := testRing(100)
+	nodes := map[int]bool{}
+	// A small file (all blocks under the cutoff) in one directory.
+	for b := uint64(0); b <= 100; b++ {
+		nodes[r.SuccessorIndex(h.BlockKey("/docs/small", b))] = true
+	}
+	if len(nodes) > 2 {
+		t.Errorf("small file spread over %d nodes, want locality (≤ 2)", len(nodes))
+	}
+}
+
+func TestHybridLargeFileTailSpreads(t *testing.T) {
+	h := NewHybrid(testVol, 64)
+	r := testRing(100)
+	tail := map[int]bool{}
+	for b := uint64(65); b < 165; b++ {
+		tail[r.SuccessorIndex(h.BlockKey("/media/huge.iso", b))] = true
+	}
+	if len(tail) < 40 {
+		t.Errorf("large-file tail on %d nodes, want wide spread", len(tail))
+	}
+	// The head (and inode) remain local.
+	head := map[int]bool{}
+	for b := uint64(0); b <= 64; b++ {
+		head[r.SuccessorIndex(h.BlockKey("/media/huge.iso", b))] = true
+	}
+	if len(head) > 2 {
+		t.Errorf("large-file head on %d nodes, want locality", len(head))
+	}
+}
+
+func TestHybridDeterministic(t *testing.T) {
+	a := NewHybrid(testVol, 0)
+	if a.cutoff != DefaultHybridCutoffBlocks {
+		t.Errorf("default cutoff = %d", a.cutoff)
+	}
+	k1 := a.BlockKey("/f", 1000)
+	k2 := a.BlockKey("/f", 1000)
+	if k1 != k2 {
+		t.Error("hashed tail keys must be stable")
+	}
+	if a.Strategy() != D2 {
+		t.Errorf("Strategy() = %v", a.Strategy())
+	}
+}

@@ -1,0 +1,198 @@
+// Package placement implements the three block-to-key strategies the paper
+// compares (§7): D2's locality-preserving keys, per-block consistent
+// hashing (the "traditional" DHT), and per-file consistent hashing (the
+// "traditional-file" DHT). All three produce 64-byte keys in the same key
+// space so the rest of the system is shared, exactly as in the paper's
+// prototype.
+package placement
+
+import (
+	"encoding/binary"
+	"strings"
+
+	"github.com/defragdht/d2/internal/keys"
+)
+
+// Strategy enumerates the placement strategies under comparison.
+type Strategy int
+
+// The three systems of the evaluation.
+const (
+	// D2 assigns locality-preserving keys: blocks of one file are
+	// contiguous, files of one directory adjacent, directories ordered by
+	// a preorder traversal of the namespace.
+	D2 Strategy = iota + 1
+	// HashedBlock is the traditional DHT: every block hashes to a
+	// uniformly random key (CFS-style).
+	HashedBlock
+	// HashedFile is the traditional-file DHT: a whole file hashes to one
+	// random point; all its blocks are placed there (PAST-style).
+	HashedFile
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case D2:
+		return "d2"
+	case HashedBlock:
+		return "traditional"
+	case HashedFile:
+		return "traditional-file"
+	default:
+		return "unknown"
+	}
+}
+
+// Keyer maps a file block to its DHT key under one strategy.
+type Keyer interface {
+	// BlockKey returns the key for the given block of the file at path.
+	// Block 0 is the file's inode/metadata block; data blocks are 1..N.
+	BlockKey(path string, block uint64) keys.Key
+	// Strategy identifies the strategy.
+	Strategy() Strategy
+}
+
+// ForStrategy returns a Keyer for the given strategy. D2 keyers carry
+// namespace state (directory slot tables), so each volume needs its own.
+func ForStrategy(s Strategy, vol keys.VolumeID) Keyer {
+	switch s {
+	case D2:
+		return NewNamespace(vol)
+	case HashedBlock:
+		return hashedBlockKeyer{}
+	case HashedFile:
+		return hashedFileKeyer{}
+	default:
+		panic("placement: unknown strategy")
+	}
+}
+
+// hashedBlockKeyer implements the traditional DHT: uniform random keys per
+// block.
+type hashedBlockKeyer struct{}
+
+var _ Keyer = hashedBlockKeyer{}
+
+func (hashedBlockKeyer) Strategy() Strategy { return HashedBlock }
+
+func (hashedBlockKeyer) BlockKey(path string, block uint64) keys.Key {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], block)
+	return keys.HashKey([]byte(path), b[:])
+}
+
+// hashedFileKeyer implements the traditional-file DHT: the file's path
+// hashes to one random point; block numbers occupy the low key bytes so
+// blocks are distinct keys placed (essentially always) on the same node.
+type hashedFileKeyer struct{}
+
+var _ Keyer = hashedFileKeyer{}
+
+func (hashedFileKeyer) Strategy() Strategy { return HashedFile }
+
+func (hashedFileKeyer) BlockKey(path string, block uint64) keys.Key {
+	k := keys.HashKey([]byte(path))
+	return k.WithBlock(block).WithVersion(0)
+}
+
+// Namespace implements D2's locality-preserving keys for a volume. It
+// assigns each directory entry a 2-byte slot in creation order, as D2-FS
+// does when files are added to directories (§4.2), and remembers the
+// assignment so a path always encodes to the same key.
+//
+// Namespace is not safe for concurrent use; the FS layer serializes volume
+// mutations (single-writer volumes, §3).
+type Namespace struct {
+	vol  keys.VolumeID
+	dirs map[string]*dirSlots
+}
+
+var _ Keyer = (*Namespace)(nil)
+
+type dirSlots struct {
+	slots map[string]uint16
+	next  uint16
+}
+
+// NewNamespace creates an empty namespace for the volume.
+func NewNamespace(vol keys.VolumeID) *Namespace {
+	return &Namespace{vol: vol, dirs: make(map[string]*dirSlots)}
+}
+
+// Strategy identifies the D2 strategy.
+func (ns *Namespace) Strategy() Strategy { return D2 }
+
+// SplitPath splits a slash-separated path into components, dropping empty
+// segments.
+func SplitPath(path string) []string {
+	parts := strings.Split(path, "/")
+	out := parts[:0]
+	for _, p := range parts {
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// slotFor returns the 2-byte slot of name within dir, assigning the next
+// unused value on first use.
+func (ns *Namespace) slotFor(dir, name string) uint16 {
+	d := ns.dirs[dir]
+	if d == nil {
+		d = &dirSlots{slots: make(map[string]uint16), next: 1}
+		ns.dirs[dir] = d
+	}
+	if s, ok := d.slots[name]; ok {
+		return s
+	}
+	s := d.next
+	d.next++
+	d.slots[name] = s
+	return s
+}
+
+// PathCode encodes the path's directory slots, assigning new slots as
+// needed and hashing levels beyond the 12-level budget.
+func (ns *Namespace) PathCode(path string) keys.PathCode {
+	comps := SplitPath(path)
+	n := len(comps)
+	depth := n
+	if depth > keys.MaxPathDepth {
+		depth = keys.MaxPathDepth
+	}
+	slots := make([]uint16, depth)
+	dir := ""
+	for i := 0; i < depth; i++ {
+		slots[i] = ns.slotFor(dir, comps[i])
+		dir = dir + "/" + comps[i]
+	}
+	return keys.NewPathCode(slots, comps[depth:])
+}
+
+// BlockKey returns the locality-preserving key for a block of the file at
+// path.
+func (ns *Namespace) BlockKey(path string, block uint64) keys.Key {
+	return keys.Encode(ns.vol, ns.PathCode(path), block, 0)
+}
+
+// URLNamespace implements D2 keys for applications that cannot consult
+// parent directories, such as a web cache: each path component is encoded
+// as a 2-byte hash (§4.2 footnote 2). It is stateless and safe for
+// concurrent use.
+type URLNamespace struct {
+	vol keys.VolumeID
+}
+
+var _ Keyer = URLNamespace{}
+
+// NewURLNamespace creates a hash-slot namespace for the volume.
+func NewURLNamespace(vol keys.VolumeID) URLNamespace { return URLNamespace{vol: vol} }
+
+// Strategy identifies the D2 strategy.
+func (URLNamespace) Strategy() Strategy { return D2 }
+
+// BlockKey returns the locality key with hashed per-component slots.
+func (u URLNamespace) BlockKey(path string, block uint64) keys.Key {
+	return keys.Encode(u.vol, keys.HashedPathCode(SplitPath(path)), block, 0)
+}

@@ -1,0 +1,209 @@
+package placement
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/defragdht/d2/internal/keys"
+	"github.com/defragdht/d2/internal/ring"
+)
+
+var testVol = keys.NewVolumeID([]byte("pk"), "test")
+
+func TestSplitPath(t *testing.T) {
+	tests := []struct {
+		in   string
+		want int
+	}{
+		{"/a/b/c", 3},
+		{"a/b", 2},
+		{"/", 0},
+		{"", 0},
+		{"//a//b/", 2},
+	}
+	for _, tt := range tests {
+		if got := SplitPath(tt.in); len(got) != tt.want {
+			t.Errorf("SplitPath(%q) = %v, want %d components", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestNamespaceStableKeys(t *testing.T) {
+	ns := NewNamespace(testVol)
+	k1 := ns.BlockKey("/home/alice/doc.txt", 1)
+	k2 := ns.BlockKey("/home/alice/doc.txt", 1)
+	if k1 != k2 {
+		t.Error("same path+block must produce the same key")
+	}
+	if k1 == ns.BlockKey("/home/alice/doc.txt", 2) {
+		t.Error("different blocks must produce different keys")
+	}
+	if k1 == ns.BlockKey("/home/alice/other.txt", 1) {
+		t.Error("different files must produce different keys")
+	}
+}
+
+func TestNamespaceDirectoryLocality(t *testing.T) {
+	// All blocks of files in one directory must be mutually closer than
+	// blocks of files in a different top-level directory.
+	ns := NewNamespace(testVol)
+	var dirA, dirB []keys.Key
+	for i := 0; i < 5; i++ {
+		dirA = append(dirA, ns.BlockKey(fmt.Sprintf("/a/f%d", i), 1))
+		dirB = append(dirB, ns.BlockKey(fmt.Sprintf("/b/f%d", i), 1))
+	}
+	// Every key in dirA shares the first-level slot; compare to dirB.
+	for _, ka := range dirA {
+		for _, kb := range dirB {
+			if ka.Slot(0) == kb.Slot(0) {
+				t.Fatal("files of /a and /b share first-level slot")
+			}
+		}
+	}
+	// Keys of dirA files must all fall between the smallest and largest
+	// dirA key without any dirB key in between.
+	minA, maxA := dirA[0], dirA[0]
+	for _, k := range dirA {
+		if k.Less(minA) {
+			minA = k
+		}
+		if maxA.Less(k) {
+			maxA = k
+		}
+	}
+	for _, kb := range dirB {
+		if minA.Less(kb) && kb.Less(maxA) {
+			t.Fatalf("key of /b file interleaves inside /a's key range")
+		}
+	}
+}
+
+func TestNamespaceBlocksContiguous(t *testing.T) {
+	ns := NewNamespace(testVol)
+	prev := ns.BlockKey("/x/y", 0)
+	for b := uint64(1); b < 10; b++ {
+		cur := ns.BlockKey("/x/y", b)
+		if !prev.Less(cur) {
+			t.Fatalf("block %d not after block %d", b, b-1)
+		}
+		prev = cur
+	}
+}
+
+func TestNamespaceDeepPaths(t *testing.T) {
+	ns := NewNamespace(testVol)
+	deep := "/a/b/c/d/e/f/g/h/i/j/k/l/m/n/o"
+	k1 := ns.BlockKey(deep, 1)
+	k2 := ns.BlockKey(deep, 1)
+	if k1 != k2 {
+		t.Error("deep paths must still be stable")
+	}
+	other := "/a/b/c/d/e/f/g/h/i/j/k/l/m/n/p"
+	if k1 == ns.BlockKey(other, 1) {
+		t.Error("deep siblings must differ (remainder hash)")
+	}
+}
+
+func TestHashedBlockSpreads(t *testing.T) {
+	keyer := ForStrategy(HashedBlock, testVol)
+	// Keys of consecutive blocks must land on different ring nodes almost
+	// always; measure with a 100-node ring.
+	var ids []keys.Key
+	for i := 0; i < 100; i++ {
+		ids = append(ids, keys.HashString(fmt.Sprintf("node%d", i)))
+	}
+	r := ring.New(ids)
+	nodes := map[int]bool{}
+	for b := uint64(0); b < 50; b++ {
+		nodes[r.SuccessorIndex(keyer.BlockKey("/file", b))] = true
+	}
+	if len(nodes) < 30 {
+		t.Errorf("50 hashed blocks landed on %d nodes, want ~40+", len(nodes))
+	}
+}
+
+func TestHashedFileKeepsBlocksTogether(t *testing.T) {
+	keyer := ForStrategy(HashedFile, testVol)
+	var ids []keys.Key
+	for i := 0; i < 100; i++ {
+		ids = append(ids, keys.HashString(fmt.Sprintf("node%d", i)))
+	}
+	r := ring.New(ids)
+	nodes := map[int]bool{}
+	for b := uint64(0); b < 50; b++ {
+		nodes[r.SuccessorIndex(keyer.BlockKey("/file", b))] = true
+	}
+	if len(nodes) > 2 {
+		t.Errorf("50 blocks of one file landed on %d nodes, want 1 (or 2 at a boundary)", len(nodes))
+	}
+	// Different files still spread.
+	fileNodes := map[int]bool{}
+	for f := 0; f < 50; f++ {
+		fileNodes[r.SuccessorIndex(keyer.BlockKey(fmt.Sprintf("/file%d", f), 0))] = true
+	}
+	if len(fileNodes) < 30 {
+		t.Errorf("50 hashed files landed on %d nodes, want ~40+", len(fileNodes))
+	}
+}
+
+func TestD2KeepsDirectoryOnFewNodes(t *testing.T) {
+	ns := NewNamespace(testVol)
+	var ids []keys.Key
+	for i := 0; i < 100; i++ {
+		ids = append(ids, keys.HashString(fmt.Sprintf("node%d", i)))
+	}
+	r := ring.New(ids)
+	nodes := map[int]bool{}
+	for f := 0; f < 20; f++ {
+		for b := uint64(0); b < 5; b++ {
+			nodes[r.SuccessorIndex(ns.BlockKey(fmt.Sprintf("/proj/src/f%02d", f), b))] = true
+		}
+	}
+	// 100 blocks that are contiguous in key space hit very few of the 100
+	// random nodes.
+	if len(nodes) > 3 {
+		t.Errorf("directory's 100 contiguous blocks landed on %d nodes, want ≤ 3", len(nodes))
+	}
+}
+
+func TestURLNamespace(t *testing.T) {
+	u := NewURLNamespace(testVol)
+	k1 := u.BlockKey("/com.yahoo.www/index.html", 1)
+	k2 := u.BlockKey("/com.yahoo.www/index.html", 1)
+	if k1 != k2 {
+		t.Error("URL keys must be deterministic")
+	}
+	k3 := u.BlockKey("/com.yahoo.www/other.html", 1)
+	if k1.Slot(0) != k3.Slot(0) {
+		t.Error("same-domain objects must share the first slot")
+	}
+	k4 := u.BlockKey("/org.example/whatever", 1)
+	if k1.Slot(0) == k4.Slot(0) {
+		t.Error("different domains should (almost always) differ in slot 0")
+	}
+}
+
+func TestForStrategy(t *testing.T) {
+	for _, s := range []Strategy{D2, HashedBlock, HashedFile} {
+		keyer := ForStrategy(s, testVol)
+		if keyer.Strategy() != s {
+			t.Errorf("ForStrategy(%v).Strategy() = %v", s, keyer.Strategy())
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown strategy must panic")
+		}
+	}()
+	ForStrategy(Strategy(99), testVol)
+}
+
+func TestStrategyString(t *testing.T) {
+	for s, want := range map[Strategy]string{
+		D2: "d2", HashedBlock: "traditional", HashedFile: "traditional-file", Strategy(0): "unknown",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("Strategy(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package ring maintains a sorted view of DHT node IDs on the circular key
+// space and answers ownership queries: which node is the successor of a key,
+// which r nodes form a key's replica group, and what key range each node is
+// responsible for. The simulator, the analysis tools, and tests all share
+// this view; live nodes answer the same queries from their routing state.
+package ring
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/defragdht/d2/internal/keys"
+)
+
+// Ring is a sorted set of node IDs. The zero value is an empty ring ready
+// for use. Ring is not safe for concurrent mutation.
+type Ring struct {
+	ids []keys.Key
+}
+
+// New builds a ring from the given node IDs. Duplicates are dropped.
+func New(ids []keys.Key) *Ring {
+	r := &Ring{ids: make([]keys.Key, len(ids))}
+	copy(r.ids, ids)
+	sort.Slice(r.ids, func(i, j int) bool { return r.ids[i].Less(r.ids[j]) })
+	// Deduplicate in place.
+	out := r.ids[:0]
+	for i, id := range r.ids {
+		if i == 0 || !id.Equal(r.ids[i-1]) {
+			out = append(out, id)
+		}
+	}
+	r.ids = out
+	return r
+}
+
+// Len returns the number of nodes on the ring.
+func (r *Ring) Len() int { return len(r.ids) }
+
+// IDs returns the sorted node IDs. The caller must not mutate the result.
+func (r *Ring) IDs() []keys.Key { return r.ids }
+
+// At returns the node ID at the given rank (sorted position).
+func (r *Ring) At(i int) keys.Key { return r.ids[i] }
+
+// Rank returns the sorted position of id and whether it is on the ring.
+func (r *Ring) Rank(id keys.Key) (int, bool) {
+	i := sort.Search(len(r.ids), func(i int) bool { return !r.ids[i].Less(id) })
+	if i < len(r.ids) && r.ids[i].Equal(id) {
+		return i, true
+	}
+	return i, false
+}
+
+// SuccessorIndex returns the rank of the node that owns key k: the node
+// with the smallest ID ≥ k, wrapping to rank 0 past the highest ID.
+// The ring must be non-empty.
+func (r *Ring) SuccessorIndex(k keys.Key) int {
+	if len(r.ids) == 0 {
+		panic("ring: SuccessorIndex on empty ring")
+	}
+	i := sort.Search(len(r.ids), func(i int) bool { return !r.ids[i].Less(k) })
+	if i == len(r.ids) {
+		return 0
+	}
+	return i
+}
+
+// Successor returns the ID of the node owning key k.
+func (r *Ring) Successor(k keys.Key) keys.Key { return r.ids[r.SuccessorIndex(k)] }
+
+// ReplicaIndices returns the ranks of the rep nodes succeeding key k: the
+// primary replica first, then the secondaries, clockwise. If the ring has
+// fewer than rep nodes, every node is returned once.
+func (r *Ring) ReplicaIndices(k keys.Key, rep int) []int {
+	n := len(r.ids)
+	if rep > n {
+		rep = n
+	}
+	out := make([]int, 0, rep)
+	start := r.SuccessorIndex(k)
+	for i := 0; i < rep; i++ {
+		out = append(out, (start+i)%n)
+	}
+	return out
+}
+
+// ReplicaGroup returns the IDs of the rep nodes succeeding key k.
+func (r *Ring) ReplicaGroup(k keys.Key, rep int) []keys.Key {
+	idx := r.ReplicaIndices(k, rep)
+	out := make([]keys.Key, len(idx))
+	for i, j := range idx {
+		out[i] = r.ids[j]
+	}
+	return out
+}
+
+// PredecessorIndex returns the rank of the node immediately preceding the
+// node at rank i, wrapping around the ring.
+func (r *Ring) PredecessorIndex(i int) int {
+	n := len(r.ids)
+	return (i - 1 + n) % n
+}
+
+// Range returns the half-open key range (pred, id] owned by the node at
+// rank i. With a single node, the range is the entire ring.
+func (r *Ring) Range(i int) (lo, hi keys.Key) {
+	return r.ids[r.PredecessorIndex(i)], r.ids[i]
+}
+
+// Owns reports whether the node at rank i is the primary owner of key k.
+func (r *Ring) Owns(i int, k keys.Key) bool {
+	if len(r.ids) == 1 {
+		return true
+	}
+	lo, hi := r.Range(i)
+	return k.Between(lo, hi)
+}
+
+// Add inserts a node ID, keeping the ring sorted. It returns the new rank,
+// or an error if the ID is already present (IDs must be unique).
+func (r *Ring) Add(id keys.Key) (int, error) {
+	i, ok := r.Rank(id)
+	if ok {
+		return 0, fmt.Errorf("ring: duplicate node ID %s", id.Short())
+	}
+	r.ids = append(r.ids, keys.Key{})
+	copy(r.ids[i+1:], r.ids[i:])
+	r.ids[i] = id
+	return i, nil
+}
+
+// Remove deletes a node ID. It returns the rank it occupied, or an error
+// if the ID is not on the ring.
+func (r *Ring) Remove(id keys.Key) (int, error) {
+	i, ok := r.Rank(id)
+	if !ok {
+		return 0, fmt.Errorf("ring: unknown node ID %s", id.Short())
+	}
+	r.ids = append(r.ids[:i], r.ids[i+1:]...)
+	return i, nil
+}
+
+// Clone returns an independent copy of the ring.
+func (r *Ring) Clone() *Ring {
+	ids := make([]keys.Key, len(r.ids))
+	copy(ids, r.ids)
+	return &Ring{ids: ids}
+}
+
+// RankDistance returns the clockwise distance in ranks from node i to node
+// j, used by Mercury-style small-world link selection.
+func (r *Ring) RankDistance(i, j int) int {
+	n := len(r.ids)
+	return ((j-i)%n + n) % n
+}

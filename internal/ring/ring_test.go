@@ -1,0 +1,194 @@
+package ring
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/defragdht/d2/internal/keys"
+)
+
+func k(v uint64) keys.Key {
+	var key keys.Key
+	for j := 0; j < 8; j++ {
+		key[keys.Size-1-j] = byte(v >> (8 * j))
+	}
+	return key
+}
+
+func TestNewSortsAndDedupes(t *testing.T) {
+	r := New([]keys.Key{k(30), k(10), k(20), k(10)})
+	if r.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", r.Len())
+	}
+	for i, want := range []uint64{10, 20, 30} {
+		if r.At(i) != k(want) {
+			t.Errorf("At(%d) = %s, want %d", i, r.At(i).Short(), want)
+		}
+	}
+}
+
+func TestSuccessor(t *testing.T) {
+	r := New([]keys.Key{k(10), k(20), k(30)})
+	tests := []struct {
+		name string
+		key  keys.Key
+		want keys.Key
+	}{
+		{"below all", k(5), k(10)},
+		{"exact hit", k(20), k(20)},
+		{"between", k(21), k(30)},
+		{"wraps", k(31), k(10)},
+		{"zero", keys.Zero, k(10)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := r.Successor(tt.key); got != tt.want {
+				t.Errorf("Successor(%s) = %s, want %s", tt.key.Short(), got.Short(), tt.want.Short())
+			}
+		})
+	}
+}
+
+func TestReplicaGroupWrapsRing(t *testing.T) {
+	r := New([]keys.Key{k(10), k(20), k(30), k(40)})
+	got := r.ReplicaGroup(k(35), 3)
+	want := []keys.Key{k(40), k(10), k(20)}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ReplicaGroup[%d] = %s, want %s", i, got[i].Short(), want[i].Short())
+		}
+	}
+}
+
+func TestReplicaGroupClampedToRingSize(t *testing.T) {
+	r := New([]keys.Key{k(10), k(20)})
+	got := r.ReplicaGroup(k(5), 5)
+	if len(got) != 2 {
+		t.Fatalf("replica group of size %d, want 2 (ring size)", len(got))
+	}
+	if got[0] != k(10) || got[1] != k(20) {
+		t.Error("replica group should cover each node exactly once")
+	}
+}
+
+func TestRangeAndOwns(t *testing.T) {
+	r := New([]keys.Key{k(10), k(20), k(30)})
+	lo, hi := r.Range(1) // node 20 owns (10, 20]
+	if lo != k(10) || hi != k(20) {
+		t.Fatalf("Range(1) = (%s, %s], want (10, 20]", lo.Short(), hi.Short())
+	}
+	if !r.Owns(1, k(15)) || !r.Owns(1, k(20)) {
+		t.Error("node 20 must own (10, 20]")
+	}
+	if r.Owns(1, k(10)) || r.Owns(1, k(25)) {
+		t.Error("node 20 must not own keys outside (10, 20]")
+	}
+	// Node at rank 0 owns the wrapping range (30, 10].
+	if !r.Owns(0, k(5)) || !r.Owns(0, k(35)) {
+		t.Error("first node must own the wrapping range")
+	}
+}
+
+func TestSingleNodeOwnsEverything(t *testing.T) {
+	r := New([]keys.Key{k(42)})
+	for _, key := range []keys.Key{keys.Zero, k(41), k(42), k(43), keys.MaxKey} {
+		if !r.Owns(0, key) {
+			t.Errorf("single node must own %s", key.Short())
+		}
+	}
+}
+
+func TestAddRemove(t *testing.T) {
+	r := New([]keys.Key{k(10), k(30)})
+	rank, err := r.Add(k(20))
+	if err != nil || rank != 1 {
+		t.Fatalf("Add(20) = (%d, %v), want (1, nil)", rank, err)
+	}
+	if _, err := r.Add(k(20)); err == nil {
+		t.Error("duplicate Add must fail")
+	}
+	rank, err = r.Remove(k(20))
+	if err != nil || rank != 1 {
+		t.Fatalf("Remove(20) = (%d, %v), want (1, nil)", rank, err)
+	}
+	if _, err := r.Remove(k(20)); err == nil {
+		t.Error("Remove of absent node must fail")
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len() = %d after add+remove, want 2", r.Len())
+	}
+}
+
+func TestRankDistance(t *testing.T) {
+	r := New([]keys.Key{k(10), k(20), k(30), k(40)})
+	if d := r.RankDistance(0, 3); d != 3 {
+		t.Errorf("RankDistance(0,3) = %d, want 3", d)
+	}
+	if d := r.RankDistance(3, 0); d != 1 {
+		t.Errorf("RankDistance(3,0) = %d, want 1 (wrap)", d)
+	}
+	if d := r.RankDistance(2, 2); d != 0 {
+		t.Errorf("RankDistance(2,2) = %d, want 0", d)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	r := New([]keys.Key{k(10), k(20)})
+	c := r.Clone()
+	if _, err := c.Add(k(15)); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 || c.Len() != 3 {
+		t.Error("Clone must not share state with the original")
+	}
+}
+
+// Property: for random rings, every key's successor is the unique node
+// whose (pred, id] range contains it.
+func TestQuickOwnershipPartition(t *testing.T) {
+	f := func(seed uint64, probe [keys.Size]byte) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b9))
+		n := 1 + rng.IntN(20)
+		ids := make([]keys.Key, n)
+		for i := range ids {
+			ids[i] = keys.Random(rng)
+		}
+		r := New(ids)
+		key := keys.Key(probe)
+		owner := r.SuccessorIndex(key)
+		count := 0
+		for i := 0; i < r.Len(); i++ {
+			if r.Owns(i, key) {
+				count++
+				if i != owner {
+					return false
+				}
+			}
+		}
+		return count == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Add keeps the ring sorted.
+func TestQuickAddKeepsSorted(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 77))
+		r := New(nil)
+		for i := 0; i < 50; i++ {
+			if _, err := r.Add(keys.Random(rng)); err != nil {
+				return false
+			}
+		}
+		return sort.SliceIsSorted(r.IDs(), func(i, j int) bool {
+			return r.At(i).Less(r.At(j))
+		})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

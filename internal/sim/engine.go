@@ -1,0 +1,147 @@
+// Package sim provides the discrete-event simulation engine used by the
+// availability, performance, and load-balance experiments: a virtual clock
+// with an event heap, and serial bandwidth-limited links that model
+// per-node migration and access-link capacity.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Engine is a discrete-event simulator with a virtual clock. The zero
+// value is ready for use. Engine is not safe for concurrent use: event
+// callbacks run on the caller's goroutine, one at a time, in timestamp
+// order (FIFO among equal timestamps).
+type Engine struct {
+	pq  eventHeap
+	now time.Duration
+	seq uint64
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// At schedules fn to run at the given absolute virtual time. Scheduling in
+// the past runs it at the current time (never rewinding the clock).
+func (e *Engine) At(at time.Duration, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.pq, event{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (e *Engine) After(d time.Duration, fn func()) { e.At(e.now+d, fn) }
+
+// Every schedules fn to run periodically with the given period, starting
+// one period from now, until the engine stops or fn returns false.
+func (e *Engine) Every(period time.Duration, fn func() bool) {
+	var tick func()
+	tick = func() {
+		if fn() {
+			e.After(period, tick)
+		}
+	}
+	e.After(period, tick)
+}
+
+// Run processes events until the queue is empty or the clock would pass
+// until. Events scheduled exactly at until are processed. It returns the
+// number of events processed.
+func (e *Engine) Run(until time.Duration) int {
+	n := 0
+	for len(e.pq) > 0 && e.pq[0].at <= until {
+		ev := heap.Pop(&e.pq).(event)
+		e.now = ev.at
+		ev.fn()
+		n++
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return n
+}
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Link models a serial bandwidth-limited link: transfers queue and complete
+// in FIFO order at the configured rate. It models per-node migration
+// bandwidth (750 kbps in §8.1) and access-link capacity (§9.1).
+type Link struct {
+	eng *Engine
+	// BitsPerSec is the link capacity.
+	BitsPerSec int64
+	busyUntil  time.Duration
+	// queuedBytes tracks bytes accepted but not yet completed.
+	queuedBytes int64
+	// totalBytes counts all bytes ever transferred (for Table 4).
+	totalBytes int64
+}
+
+// NewLink creates a link on the engine with the given capacity.
+func NewLink(eng *Engine, bitsPerSec int64) *Link {
+	return &Link{eng: eng, BitsPerSec: bitsPerSec}
+}
+
+// TransferTime returns how long the link needs to move n bytes once the
+// transfer starts.
+func (l *Link) TransferTime(n int64) time.Duration {
+	return time.Duration(float64(n*8) / float64(l.BitsPerSec) * float64(time.Second))
+}
+
+// Enqueue schedules a transfer of n bytes. done (optional) runs when the
+// transfer completes. It returns the completion time.
+func (l *Link) Enqueue(n int64, done func()) time.Duration {
+	start := l.eng.Now()
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	finish := start + l.TransferTime(n)
+	l.busyUntil = finish
+	l.queuedBytes += n
+	l.totalBytes += n
+	l.eng.At(finish, func() {
+		l.queuedBytes -= n
+		if done != nil {
+			done()
+		}
+	})
+	return finish
+}
+
+// Backlog returns the bytes accepted but not yet delivered.
+func (l *Link) Backlog() int64 { return l.queuedBytes }
+
+// TotalBytes returns all bytes ever enqueued on the link.
+func (l *Link) TotalBytes() int64 { return l.totalBytes }
+
+// BusyUntil returns the time at which the link drains its queue.
+func (l *Link) BusyUntil() time.Duration { return l.busyUntil }

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunOrdersEvents(t *testing.T) {
+	var eng Engine
+	var order []int
+	eng.At(3*time.Second, func() { order = append(order, 3) })
+	eng.At(time.Second, func() { order = append(order, 1) })
+	eng.At(2*time.Second, func() { order = append(order, 2) })
+	n := eng.Run(time.Minute)
+	if n != 3 {
+		t.Fatalf("processed %d events, want 3", n)
+	}
+	for i, want := range []int{1, 2, 3} {
+		if order[i] != want {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if eng.Now() != time.Minute {
+		t.Errorf("Now() = %v, want run bound", eng.Now())
+	}
+}
+
+func TestFIFOAmongEqualTimes(t *testing.T) {
+	var eng Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.At(time.Second, func() { order = append(order, i) })
+	}
+	eng.Run(time.Second)
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestRunStopsAtBound(t *testing.T) {
+	var eng Engine
+	fired := false
+	eng.At(2*time.Second, func() { fired = true })
+	eng.Run(time.Second)
+	if fired {
+		t.Error("event past the bound fired")
+	}
+	if eng.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", eng.Pending())
+	}
+	eng.Run(3 * time.Second)
+	if !fired {
+		t.Error("event not fired on later run")
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	var eng Engine
+	var at time.Duration
+	eng.At(time.Second, func() {
+		eng.After(5*time.Second, func() { at = eng.Now() })
+	})
+	eng.Run(time.Minute)
+	if at != 6*time.Second {
+		t.Errorf("After fired at %v, want 6s", at)
+	}
+}
+
+func TestSchedulingInPastClamps(t *testing.T) {
+	var eng Engine
+	var at time.Duration
+	eng.At(10*time.Second, func() {
+		eng.At(time.Second, func() { at = eng.Now() })
+	})
+	eng.Run(time.Minute)
+	if at != 10*time.Second {
+		t.Errorf("past event fired at %v, want clamped to 10s", at)
+	}
+}
+
+func TestEvery(t *testing.T) {
+	var eng Engine
+	count := 0
+	eng.Every(time.Second, func() bool {
+		count++
+		return count < 5
+	})
+	eng.Run(time.Minute)
+	if count != 5 {
+		t.Errorf("periodic fired %d times, want 5", count)
+	}
+}
+
+func TestLinkSerialTransfers(t *testing.T) {
+	var eng Engine
+	link := NewLink(&eng, 8000) // 1000 bytes/sec
+	var done []time.Duration
+	link.Enqueue(1000, func() { done = append(done, eng.Now()) })
+	link.Enqueue(2000, func() { done = append(done, eng.Now()) })
+	eng.Run(time.Minute)
+	if len(done) != 2 {
+		t.Fatalf("%d transfers completed", len(done))
+	}
+	if done[0] != time.Second {
+		t.Errorf("first transfer completed at %v, want 1s", done[0])
+	}
+	if done[1] != 3*time.Second {
+		t.Errorf("second transfer completed at %v, want 3s (serialized)", done[1])
+	}
+	if link.TotalBytes() != 3000 {
+		t.Errorf("TotalBytes = %d", link.TotalBytes())
+	}
+	if link.Backlog() != 0 {
+		t.Errorf("Backlog = %d after drain", link.Backlog())
+	}
+}
+
+func TestLinkBacklogDuringTransfer(t *testing.T) {
+	var eng Engine
+	link := NewLink(&eng, 8000)
+	link.Enqueue(4000, nil)
+	if link.Backlog() != 4000 {
+		t.Errorf("Backlog = %d, want 4000", link.Backlog())
+	}
+	if link.BusyUntil() != 4*time.Second {
+		t.Errorf("BusyUntil = %v, want 4s", link.BusyUntil())
+	}
+	eng.Run(time.Minute)
+	if link.Backlog() != 0 {
+		t.Errorf("Backlog = %d after run", link.Backlog())
+	}
+}
+
+func TestLinkIdleGapThenTransfer(t *testing.T) {
+	var eng Engine
+	link := NewLink(&eng, 8000)
+	var completed time.Duration
+	eng.At(10*time.Second, func() {
+		link.Enqueue(1000, func() { completed = eng.Now() })
+	})
+	eng.Run(time.Minute)
+	if completed != 11*time.Second {
+		t.Errorf("transfer after idle completed at %v, want 11s", completed)
+	}
+}

@@ -1,0 +1,429 @@
+// Package simdht simulates a complete D2 cluster over virtual time: block
+// placement and replication on a DHT ring, replica regeneration after
+// failures under a per-node migration bandwidth limit, and the
+// Karger–Ruhl/Mercury active load balancer with block pointers (§6). The
+// same cluster runs the traditional and traditional-file baselines by
+// swapping the placement strategy and disabling balancing, as the paper's
+// prototype does (§7).
+package simdht
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"time"
+
+	"github.com/defragdht/d2/internal/btree"
+	"github.com/defragdht/d2/internal/keys"
+	"github.com/defragdht/d2/internal/sim"
+)
+
+// Config holds the cluster parameters; zero values take the paper's
+// defaults (§8.1).
+type Config struct {
+	// Nodes is the cluster size.
+	Nodes int
+	// Replicas is r, the copies per block (default 3).
+	Replicas int
+	// Balance enables the active load balancer (off for the traditional
+	// baselines unless testing Traditional+Merc).
+	Balance bool
+	// BalanceThreshold is t: a probe relocates the prober when the
+	// probed node's load exceeds t times its own (default 4).
+	BalanceThreshold float64
+	// ProbeInterval is the per-node load-balance probe period
+	// (default 10 min).
+	ProbeInterval time.Duration
+	// UsePointers defers data movement on voluntary moves (default on;
+	// disable only for the pointer ablation). Set DisablePointers to turn
+	// off.
+	DisablePointers bool
+	// PointerStabilization is how long a pointer is held before the
+	// pointing node fetches the block (default 1 h).
+	PointerStabilization time.Duration
+	// MigrationBPS is the per-node bandwidth limit on data migration and
+	// replica regeneration (default 750 kbps).
+	MigrationBPS int64
+	// UserWriteBPS is each user's write bandwidth (default 1500 kbps).
+	UserWriteBPS int64
+	// RemoveDelay postpones block removal (default 30 s, §3).
+	RemoveDelay time.Duration
+	// FetchRetry is the wait before retrying a regeneration fetch that
+	// found no live source (default 5 min).
+	FetchRetry time.Duration
+	// Seed drives node ID assignment and probe randomness.
+	Seed uint64
+}
+
+func (c *Config) applyDefaults() {
+	if c.Replicas == 0 {
+		c.Replicas = 3
+	}
+	if c.BalanceThreshold == 0 {
+		c.BalanceThreshold = 4
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 10 * time.Minute
+	}
+	if c.PointerStabilization == 0 {
+		c.PointerStabilization = time.Hour
+	}
+	if c.MigrationBPS == 0 {
+		c.MigrationBPS = 750_000
+	}
+	if c.UserWriteBPS == 0 {
+		c.UserWriteBPS = 1_500_000
+	}
+	if c.RemoveDelay == 0 {
+		c.RemoveDelay = 30 * time.Second
+	}
+	if c.FetchRetry == 0 {
+		c.FetchRetry = 5 * time.Minute
+	}
+}
+
+// Node is one simulated DHT node.
+type Node struct {
+	// Idx is the node's stable index (its identity across ID changes).
+	Idx int
+	// ID is the node's current position on the ring.
+	ID keys.Key
+	// Up reports whether the node is alive.
+	Up bool
+	// HeldBytes is the actual stored volume (replicas the node holds).
+	HeldBytes int64
+	// RespBytes is the primary responsibility: bytes of blocks whose key
+	// falls in the node's (pred, id] range, whether stored or pointed-to.
+	// The balancer compares these (§6 uses primary load).
+	RespBytes int64
+
+	held map[int32]struct{}
+	link *sim.Link
+}
+
+// member pairs a ring position with the node occupying it.
+type member struct {
+	id   keys.Key
+	node int
+}
+
+// ptrRef records that node holds a pointer for a block, targeting the
+// node that actually stores it.
+type ptrRef struct {
+	node   int
+	target int
+}
+
+type blockMeta struct {
+	key      keys.Key
+	size     int32
+	holders  []int32
+	pointers []ptrRef
+	fetching []int32
+	live     bool
+}
+
+// Cluster is the simulated DHT.
+type Cluster struct {
+	Eng *sim.Engine
+	cfg Config
+	rng *rand.Rand
+
+	nodes   []*Node
+	members []member // sorted by id; only up nodes
+
+	global btree.Tree[int32]
+	blocks []blockMeta
+	free   []int32
+	byKey  map[keys.Key]int32
+
+	userLinks map[int32]*sim.Link
+
+	// MigratedBytes counts all regeneration + rebalance transfer bytes
+	// (Table 4's L).
+	MigratedBytes int64
+	// WrittenBytes counts user-written bytes (Table 4's W).
+	WrittenBytes int64
+	// Moves counts voluntary ID changes performed by the balancer.
+	Moves int64
+}
+
+// New creates a cluster of cfg.Nodes up nodes with uniformly random IDs.
+func New(eng *sim.Engine, cfg Config) *Cluster {
+	cfg.applyDefaults()
+	c := &Cluster{
+		Eng:       eng,
+		cfg:       cfg,
+		rng:       rand.New(rand.NewPCG(cfg.Seed, 0x53494d44)), // "SIMD"
+		byKey:     make(map[keys.Key]int32),
+		userLinks: make(map[int32]*sim.Link),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &Node{
+			Idx:  i,
+			Up:   true,
+			held: make(map[int32]struct{}),
+			link: sim.NewLink(eng, cfg.MigrationBPS),
+		}
+		for {
+			n.ID = keys.Random(c.rng)
+			if _, taken := c.rankOf(n.ID); !taken {
+				break
+			}
+			// Collision in a 512-bit space: effectively unreachable, but
+			// IDs must be unique.
+		}
+		c.nodes = append(c.nodes, n)
+		c.insertMember(n)
+	}
+	if cfg.Balance {
+		c.startBalancers()
+	}
+	return c
+}
+
+// Config returns the cluster configuration (with defaults applied).
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Nodes returns the cluster's nodes, indexed by stable node index.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// NumBlocks returns the number of live blocks.
+func (c *Cluster) NumBlocks() int { return c.global.Len() }
+
+// rankOf returns the sorted position of id among members and whether a
+// member with exactly that id exists.
+func (c *Cluster) rankOf(id keys.Key) (int, bool) {
+	i := sort.Search(len(c.members), func(i int) bool {
+		return !c.members[i].id.Less(id)
+	})
+	if i < len(c.members) && c.members[i].id.Equal(id) {
+		return i, true
+	}
+	return i, false
+}
+
+// succRank returns the rank of the member owning key k.
+func (c *Cluster) succRank(k keys.Key) int {
+	i, _ := c.rankOf(k)
+	if i == len(c.members) {
+		return 0
+	}
+	return i
+}
+
+// replicaNodes returns the node indices of the r members succeeding key k.
+func (c *Cluster) replicaNodes(k keys.Key) []int {
+	l := len(c.members)
+	if l == 0 {
+		return nil
+	}
+	r := c.cfg.Replicas
+	if r > l {
+		r = l
+	}
+	out := make([]int, 0, r)
+	start := c.succRank(k)
+	for i := 0; i < r; i++ {
+		out = append(out, c.members[(start+i)%l].node)
+	}
+	return out
+}
+
+// ownerNode returns the node index primarily responsible for key k, or -1
+// if the ring is empty.
+func (c *Cluster) ownerNode(k keys.Key) int {
+	if len(c.members) == 0 {
+		return -1
+	}
+	return c.members[c.succRank(k)].node
+}
+
+// rangeOf returns the primary range (pred, id] of the member at rank i.
+func (c *Cluster) rangeOf(i int) (lo, hi keys.Key) {
+	l := len(c.members)
+	return c.members[(i-1+l)%l].id, c.members[i].id
+}
+
+// insertMember adds the node to the sorted member list (no resync).
+func (c *Cluster) insertMember(n *Node) {
+	i, exists := c.rankOf(n.ID)
+	if exists {
+		panic(fmt.Sprintf("simdht: duplicate member ID %s", n.ID.Short()))
+	}
+	c.members = append(c.members, member{})
+	copy(c.members[i+1:], c.members[i:])
+	c.members[i] = member{id: n.ID, node: n.Idx}
+}
+
+// deleteMember removes the node from the member list (no resync).
+func (c *Cluster) deleteMember(n *Node) {
+	i, exists := c.rankOf(n.ID)
+	if !exists || c.members[i].node != n.Idx {
+		panic(fmt.Sprintf("simdht: removing absent member %s", n.ID.Short()))
+	}
+	c.members = append(c.members[:i], c.members[i+1:]...)
+}
+
+// affectedArc returns the key arc whose replica groups changed after a
+// membership change at position x: (r-th predecessor of x, x]. Call it
+// after the mutation. When the ring is too small, the whole ring is
+// affected (lo == hi).
+func (c *Cluster) affectedArc(x keys.Key) (lo, hi keys.Key) {
+	l := len(c.members)
+	if l == 0 || l <= c.cfg.Replicas {
+		return x, x
+	}
+	rank, exists := c.rankOf(x)
+	if exists {
+		// x joined: walk back r members from it.
+		return c.members[(rank-c.cfg.Replicas+l)%l].id, x
+	}
+	// x left: its keys now belong to its successor; groups changed for
+	// the same arc ending at x.
+	succ := c.succRank(x)
+	return c.members[(succ-c.cfg.Replicas+l)%l].id, x
+}
+
+// recomputeResp recalculates a node's primary responsibility bytes by
+// scanning its range.
+func (c *Cluster) recomputeResp(n *Node) {
+	n.RespBytes = 0
+	if !n.Up {
+		return
+	}
+	rank, exists := c.rankOf(n.ID)
+	if !exists {
+		return
+	}
+	if len(c.members) == 1 {
+		c.global.AscendRange(keys.Zero, keys.MaxKey, func(_ keys.Key, h int32) bool {
+			n.RespBytes += int64(c.blocks[h].size)
+			return true
+		})
+		return
+	}
+	lo, hi := c.rangeOf(rank)
+	c.global.AscendArc(lo, hi, func(_ keys.Key, h int32) bool {
+		n.RespBytes += int64(c.blocks[h].size)
+		return true
+	})
+}
+
+// NodeFail takes a node down: it leaves the ring (keeping its disk) and
+// its ranges' replica groups regenerate on the survivors.
+func (c *Cluster) NodeFail(idx int) {
+	n := c.nodes[idx]
+	if !n.Up {
+		return
+	}
+	n.Up = false
+	c.deleteMember(n)
+	n.RespBytes = 0
+	if len(c.members) == 0 {
+		return
+	}
+	lo, hi := c.affectedArc(n.ID)
+	c.resyncArc(lo, hi, false)
+	c.recomputeResp(c.nodes[c.ownerNode(n.ID)])
+}
+
+// NodeRecover brings a node back up at its previous ID with its stored
+// blocks intact.
+func (c *Cluster) NodeRecover(idx int) {
+	n := c.nodes[idx]
+	if n.Up {
+		return
+	}
+	n.Up = true
+	for {
+		if _, taken := c.rankOf(n.ID); !taken {
+			break
+		}
+		// Another node moved onto this exact ID while we were down
+		// (effectively impossible in a 512-bit space).
+		n.ID = keys.Random(c.rng)
+	}
+	c.insertMember(n)
+	lo, hi := c.affectedArc(n.ID)
+	c.resyncArc(lo, hi, false)
+	c.recomputeResp(n)
+	if rank, ok := c.rankOf(n.ID); ok {
+		l := len(c.members)
+		c.recomputeResp(c.nodes[c.members[(rank+1)%l].node])
+	}
+	// Blocks the node holds that no longer belong to it (groups moved on
+	// while it was down) are dropped as their arcs resync; sweep the ones
+	// outside the resynced arc now.
+	c.sweepStale(n)
+}
+
+// sweepStale drops the node's held replicas that are no longer in their
+// block's replica group, provided the group is fully stocked.
+func (c *Cluster) sweepStale(n *Node) {
+	var drop []int32
+	for h := range n.held {
+		b := &c.blocks[h]
+		if !b.live {
+			drop = append(drop, h)
+			continue
+		}
+		if c.nodeInGroup(n.Idx, b.key) {
+			continue
+		}
+		if c.groupFullyStocked(b) {
+			drop = append(drop, h)
+		}
+	}
+	for _, h := range drop {
+		c.dropReplica(n, h)
+	}
+}
+
+func (c *Cluster) nodeInGroup(idx int, k keys.Key) bool {
+	for _, d := range c.replicaNodes(k) {
+		if d == idx {
+			return true
+		}
+	}
+	return false
+}
+
+// groupFullyStocked reports whether every desired replica of the block is
+// an actual stored copy.
+func (c *Cluster) groupFullyStocked(b *blockMeta) bool {
+	desired := c.replicaNodes(b.key)
+	for _, d := range desired {
+		if !c.holds(d, b) {
+			return false
+		}
+	}
+	return len(desired) > 0
+}
+
+func (c *Cluster) holds(idx int, b *blockMeta) bool {
+	for _, h := range b.holders {
+		if int(h) == idx {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Cluster) hasPointer(idx int, b *blockMeta) bool {
+	for _, p := range b.pointers {
+		if p.node == idx {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Cluster) isFetching(idx int, b *blockMeta) bool {
+	for _, f := range b.fetching {
+		if int(f) == idx {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{5}, 5},
+		{"several", []float64{1, 2, 3, 4}, 2.5},
+		{"negative", []float64{-2, 2}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.xs); !almostEqual(got, tt.want) {
+				t.Errorf("Mean = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 2, 2}); !almostEqual(got, 0) {
+		t.Errorf("StdDev of constants = %v, want 0", got)
+	}
+	// Population stddev of {1,3} is 1.
+	if got := StdDev([]float64{1, 3}); !almostEqual(got, 1) {
+		t.Errorf("StdDev({1,3}) = %v, want 1", got)
+	}
+	if got := StdDev(nil); got != 0 {
+		t.Errorf("StdDev(nil) = %v, want 0", got)
+	}
+}
+
+func TestNormStdDev(t *testing.T) {
+	if got := NormStdDev([]float64{10, 10, 10}); !almostEqual(got, 0) {
+		t.Errorf("balanced system imbalance = %v, want 0", got)
+	}
+	if got := NormStdDev([]float64{0, 0}); got != 0 {
+		t.Errorf("zero-mean imbalance = %v, want 0", got)
+	}
+	// Doubling all loads must not change the normalized deviation.
+	a := NormStdDev([]float64{1, 2, 3})
+	b := NormStdDev([]float64{2, 4, 6})
+	if !almostEqual(a, b) {
+		t.Errorf("NormStdDev not scale invariant: %v vs %v", a, b)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); !almostEqual(got, 2) {
+		t.Errorf("GeoMean({1,4}) = %v, want 2", got)
+	}
+	if got := GeoMean([]float64{2, 0, 8}); !almostEqual(got, 4) {
+		t.Errorf("GeoMean must skip non-positive values, got %v", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v, want 0", got)
+	}
+	// Geometric mean of x and 1/x is 1: speedups and slowdowns cancel.
+	if got := GeoMean([]float64{3, 1.0 / 3}); !almostEqual(got, 1) {
+		t.Errorf("GeoMean({3,1/3}) = %v, want 1", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {-5, 1}, {110, 5},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); !almostEqual(got, tt.want) {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+	// Percentile must not mutate its input.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	xs := []float64{3, -1, 4}
+	if got := Min(xs); got != -1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Max(xs); got != 4 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := Sum(xs); got != 6 {
+		t.Errorf("Sum = %v", got)
+	}
+	if Min(nil) != 0 || Max(nil) != 0 || Sum(nil) != 0 {
+		t.Error("empty-slice behaviour")
+	}
+}
+
+func TestQuickMeanBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		// Clamp inputs to a range whose sums cannot overflow.
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			xs = append(xs, math.Mod(x, 1e12))
+		}
+		if len(xs) == 0 {
+			return Mean(xs) == 0
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-6 && m <= Max(xs)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,221 @@
+// Package store is the local block store of a live D2 node (the paper's
+// D2-Store used BerkeleyDB; this is a pure-Go ordered in-memory store).
+// Beyond put/get/remove it supports the two operations defragmentation
+// needs: ordered range scans (for migration and replica repair) and block
+// pointers — lightweight entries that record where a block's data actually
+// lives while a load-balance move is pending (§6).
+package store
+
+import (
+	"sync"
+	"time"
+
+	"github.com/defragdht/d2/internal/btree"
+	"github.com/defragdht/d2/internal/keys"
+	"github.com/defragdht/d2/internal/transport"
+)
+
+// Block is one stored entry: either actual data or a pointer.
+type Block struct {
+	// Data is the block payload (nil for pointer entries).
+	Data []byte
+	// Pointer, when set, names the node that stores the data.
+	Pointer transport.Addr
+	// Size is the data size (pointers record the pointed-to size so load
+	// accounting reflects eventual storage).
+	Size int64
+	// PointerSince is when the pointer was installed, for stabilization.
+	PointerSince time.Time
+	// Expires, when non-zero, is the block's TTL deadline (§3: blocks
+	// are removed after a refreshable TTL in case explicit removal is
+	// lost in a partition).
+	Expires time.Time
+}
+
+// IsPointer reports whether this entry is a block pointer.
+func (b *Block) IsPointer() bool { return b.Pointer != "" }
+
+// Store is a thread-safe ordered block store.
+type Store struct {
+	mu    sync.RWMutex
+	tree  btree.Tree[*Block]
+	bytes int64 // data bytes actually stored (pointers excluded)
+}
+
+// New creates an empty store.
+func New() *Store { return &Store{} }
+
+// Len returns the number of entries (data and pointers).
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.Len()
+}
+
+// Bytes returns the stored data volume (pointers excluded).
+func (s *Store) Bytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytes
+}
+
+// Put stores block data, replacing any previous entry (including a
+// pointer: the data has arrived). A zero ttl means no expiry.
+func (s *Store) Put(k keys.Key, data []byte, ttl time.Duration, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := &Block{Data: data, Size: int64(len(data))}
+	if ttl > 0 {
+		b.Expires = now.Add(ttl)
+	}
+	if prev, had := s.tree.Set(k, b); had && !prev.IsPointer() {
+		s.bytes -= prev.Size
+	}
+	s.bytes += b.Size
+}
+
+// PutPointer installs a pointer entry unless data is already present.
+func (s *Store) PutPointer(k keys.Key, target transport.Addr, size int64, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.tree.Get(k); ok && !prev.IsPointer() {
+		return // real data wins over a pointer
+	}
+	s.tree.Set(k, &Block{Pointer: target, Size: size, PointerSince: now})
+}
+
+// Get returns the entry under k.
+func (s *Store) Get(k keys.Key) (*Block, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.Get(k)
+}
+
+// Delete removes the entry under k immediately.
+func (s *Store) Delete(k keys.Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev, ok := s.tree.Delete(k)
+	if ok && !prev.IsPointer() {
+		s.bytes -= prev.Size
+	}
+	return ok
+}
+
+// Refresh extends a block's TTL.
+func (s *Store) Refresh(k keys.Key, ttl time.Duration, now time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.tree.Get(k)
+	if !ok {
+		return false
+	}
+	if ttl > 0 {
+		b.Expires = now.Add(ttl)
+	} else {
+		b.Expires = time.Time{}
+	}
+	return true
+}
+
+// SweepExpired removes entries whose TTL passed, returning the count.
+func (s *Store) SweepExpired(now time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var dead []keys.Key
+	s.tree.AscendRange(keys.Zero, keys.MaxKey, func(k keys.Key, b *Block) bool {
+		if !b.Expires.IsZero() && b.Expires.Before(now) {
+			dead = append(dead, k)
+		}
+		return true
+	})
+	for _, k := range dead {
+		if prev, ok := s.tree.Delete(k); ok && !prev.IsPointer() {
+			s.bytes -= prev.Size
+		}
+	}
+	return len(dead)
+}
+
+// Item pairs a key with its entry in scan results.
+type Item struct {
+	Key   keys.Key
+	Block *Block
+}
+
+// Arc returns the entries in the circular arc (lo, hi], in key order.
+func (s *Store) Arc(lo, hi keys.Key) []Item {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Item
+	s.tree.AscendArc(lo, hi, func(k keys.Key, b *Block) bool {
+		out = append(out, Item{Key: k, Block: b})
+		return true
+	})
+	return out
+}
+
+// ArcBytes returns the byte volume (data plus pointer sizes) in the arc
+// (lo, hi] — the primary-responsibility load the balancer compares (§6).
+func (s *Store) ArcBytes(lo, hi keys.Key) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total int64
+	s.tree.AscendArc(lo, hi, func(_ keys.Key, b *Block) bool {
+		total += b.Size
+		return true
+	})
+	return total
+}
+
+// MedianKey returns the key splitting the arc (lo, hi] into two
+// byte-balanced halves (false when the arc is empty).
+func (s *Store) MedianKey(lo, hi keys.Key) (keys.Key, bool) {
+	total := s.ArcBytes(lo, hi)
+	if total == 0 {
+		return keys.Key{}, false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var acc int64
+	var split keys.Key
+	found := false
+	s.tree.AscendArc(lo, hi, func(k keys.Key, b *Block) bool {
+		acc += b.Size
+		if acc >= total/2 {
+			split = k
+			found = true
+			return false
+		}
+		return true
+	})
+	return split, found
+}
+
+// StalePointers returns pointers installed before the deadline, due for
+// stabilization (§6: a node retrieves the block for a pointer it has held
+// longer than the pointer stabilization time).
+func (s *Store) StalePointers(deadline time.Time) []Item {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Item
+	s.tree.AscendRange(keys.Zero, keys.MaxKey, func(k keys.Key, b *Block) bool {
+		if b.IsPointer() && b.PointerSince.Before(deadline) {
+			out = append(out, Item{Key: k, Block: b})
+		}
+		return true
+	})
+	return out
+}
+
+// Keys returns every stored key (snapshot).
+func (s *Store) Keys() []keys.Key {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]keys.Key, 0, s.tree.Len())
+	s.tree.AscendRange(keys.Zero, keys.MaxKey, func(k keys.Key, _ *Block) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}

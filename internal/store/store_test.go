@@ -1,0 +1,140 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	"github.com/defragdht/d2/internal/keys"
+)
+
+func k(v uint64) keys.Key {
+	var key keys.Key
+	for j := 0; j < 8; j++ {
+		key[keys.Size-1-j] = byte(v >> (8 * j))
+	}
+	return key
+}
+
+var t0 = time.Unix(1000, 0)
+
+func TestPutGetDelete(t *testing.T) {
+	s := New()
+	s.Put(k(1), []byte("hello"), 0, t0)
+	b, ok := s.Get(k(1))
+	if !ok || string(b.Data) != "hello" || b.IsPointer() {
+		t.Fatalf("Get = (%+v, %v)", b, ok)
+	}
+	if s.Bytes() != 5 || s.Len() != 1 {
+		t.Errorf("Bytes=%d Len=%d", s.Bytes(), s.Len())
+	}
+	s.Put(k(1), []byte("hi"), 0, t0) // replace shrinks accounting
+	if s.Bytes() != 2 {
+		t.Errorf("Bytes after replace = %d", s.Bytes())
+	}
+	if !s.Delete(k(1)) || s.Bytes() != 0 || s.Len() != 0 {
+		t.Error("Delete accounting wrong")
+	}
+	if s.Delete(k(1)) {
+		t.Error("double delete succeeded")
+	}
+}
+
+func TestPointerSemantics(t *testing.T) {
+	s := New()
+	s.PutPointer(k(1), "addr-a", 8192, t0)
+	b, ok := s.Get(k(1))
+	if !ok || !b.IsPointer() || b.Size != 8192 {
+		t.Fatalf("pointer entry = %+v", b)
+	}
+	if s.Bytes() != 0 {
+		t.Errorf("pointers must not count as stored bytes, got %d", s.Bytes())
+	}
+	// Data replaces the pointer.
+	s.Put(k(1), make([]byte, 100), 0, t0)
+	b, _ = s.Get(k(1))
+	if b.IsPointer() || s.Bytes() != 100 {
+		t.Error("data did not replace pointer cleanly")
+	}
+	// A later pointer must not clobber real data.
+	s.PutPointer(k(1), "addr-b", 50, t0)
+	if b, _ = s.Get(k(1)); b.IsPointer() {
+		t.Error("pointer overwrote data")
+	}
+}
+
+func TestTTLSweep(t *testing.T) {
+	s := New()
+	s.Put(k(1), []byte("a"), time.Minute, t0)
+	s.Put(k(2), []byte("b"), time.Hour, t0)
+	s.Put(k(3), []byte("c"), 0, t0)
+	if n := s.SweepExpired(t0.Add(10 * time.Minute)); n != 1 {
+		t.Fatalf("swept %d, want 1", n)
+	}
+	if _, ok := s.Get(k(1)); ok {
+		t.Error("expired block survived sweep")
+	}
+	if _, ok := s.Get(k(3)); !ok {
+		t.Error("no-TTL block swept")
+	}
+	// Refresh extends life.
+	s.Refresh(k(2), time.Hour, t0.Add(50*time.Minute))
+	if n := s.SweepExpired(t0.Add(90 * time.Minute)); n != 0 {
+		t.Errorf("refreshed block swept (%d)", n)
+	}
+	if s.Refresh(k(99), time.Hour, t0) {
+		t.Error("Refresh of absent key succeeded")
+	}
+}
+
+func TestArcAndBytes(t *testing.T) {
+	s := New()
+	for i := uint64(1); i <= 10; i++ {
+		s.Put(k(i*10), make([]byte, 100), 0, t0)
+	}
+	items := s.Arc(k(25), k(55))
+	if len(items) != 3 { // 30, 40, 50
+		t.Fatalf("Arc returned %d items", len(items))
+	}
+	if got := s.ArcBytes(k(25), k(55)); got != 300 {
+		t.Errorf("ArcBytes = %d", got)
+	}
+	// Wrapping arc.
+	if got := len(s.Arc(k(85), k(25))); got != 4 { // 90, 100, 10, 20
+		t.Errorf("wrap arc = %d items", got)
+	}
+}
+
+func TestMedianKey(t *testing.T) {
+	s := New()
+	for i := uint64(1); i <= 4; i++ {
+		s.Put(k(i*10), make([]byte, 100), 0, t0)
+	}
+	m, ok := s.MedianKey(k(5), k(45))
+	if !ok || m != k(20) {
+		t.Fatalf("MedianKey = (%s, %v), want 20", m.Short(), ok)
+	}
+	if _, ok := s.MedianKey(k(200), k(300)); ok {
+		t.Error("median of empty arc")
+	}
+}
+
+func TestStalePointers(t *testing.T) {
+	s := New()
+	s.PutPointer(k(1), "a", 10, t0)
+	s.PutPointer(k(2), "b", 10, t0.Add(time.Hour))
+	s.Put(k(3), []byte("x"), 0, t0)
+	stale := s.StalePointers(t0.Add(30 * time.Minute))
+	if len(stale) != 1 || stale[0].Key != k(1) {
+		t.Fatalf("StalePointers = %v", stale)
+	}
+}
+
+func TestKeysSnapshot(t *testing.T) {
+	s := New()
+	s.Put(k(2), []byte("b"), 0, t0)
+	s.Put(k(1), []byte("a"), 0, t0)
+	ks := s.Keys()
+	if len(ks) != 2 || !ks[0].Less(ks[1]) {
+		t.Fatalf("Keys = %v", ks)
+	}
+}

@@ -1,0 +1,242 @@
+package synth
+
+import (
+	"math/rand/v2"
+	"sort"
+	"time"
+)
+
+// FailureConfig controls the PlanetLab-like node failure schedule used by
+// the availability experiments (§8.1): independent per-node crash/repair
+// cycles plus a few large correlated failure events, calibrated so the
+// probability that all nodes of a 3-node replica group are simultaneously
+// down at some point in the week is around 0.02 (§8.2).
+type FailureConfig struct {
+	Seed     uint64
+	Nodes    int           // default 247, as in the paper
+	Duration time.Duration // default 7 days
+	// MeanUp and MeanDown are the mean lengths of up and down sessions.
+	MeanUp   time.Duration // default 100 h
+	MeanDown time.Duration // default 2 h
+	// FlakySigma is the lognormal spread of per-node failure-rate
+	// multipliers: some PlanetLab nodes fail far more often than others.
+	FlakySigma float64 // default 0.8
+	// CorrelatedEvents is the number of mass-failure events in the trace.
+	CorrelatedEvents int // default 3
+	// CorrelatedFrac is the fraction of nodes taken down by each event.
+	CorrelatedFrac float64 // default 0.10
+	// CorrelatedDown is the mean outage length of a correlated event.
+	CorrelatedDown time.Duration // default 3 h
+}
+
+func (c *FailureConfig) applyDefaults() {
+	if c.Nodes == 0 {
+		c.Nodes = 247
+	}
+	if c.Duration == 0 {
+		c.Duration = 7 * 24 * time.Hour
+	}
+	if c.MeanUp == 0 {
+		c.MeanUp = 100 * time.Hour
+	}
+	if c.MeanDown == 0 {
+		c.MeanDown = 2 * time.Hour
+	}
+	if c.FlakySigma == 0 {
+		c.FlakySigma = 0.8
+	}
+	if c.CorrelatedEvents == 0 {
+		c.CorrelatedEvents = 3
+	}
+	if c.CorrelatedFrac == 0 {
+		c.CorrelatedFrac = 0.10
+	}
+	if c.CorrelatedDown == 0 {
+		c.CorrelatedDown = 3 * time.Hour
+	}
+}
+
+// Downtime is one contiguous outage of one node.
+type Downtime struct {
+	Start, End time.Duration
+}
+
+// Transition is a node going down or coming back up.
+type Transition struct {
+	At   time.Duration
+	Node int
+	Up   bool
+}
+
+// Schedule is a complete failure schedule: per-node sorted, merged outage
+// intervals over the trace duration.
+type Schedule struct {
+	Nodes    int
+	Duration time.Duration
+	// ByNode[i] lists node i's outages, sorted and non-overlapping.
+	ByNode [][]Downtime
+}
+
+// Failures generates a failure schedule.
+func Failures(cfg FailureConfig) *Schedule {
+	cfg.applyDefaults()
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x4641494c)) // "FAIL"
+	s := &Schedule{Nodes: cfg.Nodes, Duration: cfg.Duration, ByNode: make([][]Downtime, cfg.Nodes)}
+
+	// Independent crash/repair cycles with per-node flakiness.
+	for n := 0; n < cfg.Nodes; n++ {
+		flaky := lognormal(rng, 0, cfg.FlakySigma)
+		meanUp := float64(cfg.MeanUp) / flaky
+		t := time.Duration(expDur(rng, meanUp)) // first crash
+		for t < cfg.Duration {
+			down := time.Duration(expDur(rng, float64(cfg.MeanDown)))
+			end := t + down
+			if end > cfg.Duration {
+				end = cfg.Duration
+			}
+			s.ByNode[n] = append(s.ByNode[n], Downtime{Start: t, End: end})
+			t = end + time.Duration(expDur(rng, meanUp))
+		}
+	}
+
+	// Correlated mass failures: a random subset crashes simultaneously.
+	for e := 0; e < cfg.CorrelatedEvents; e++ {
+		at := time.Duration(rng.Float64() * float64(cfg.Duration))
+		down := time.Duration(expDur(rng, float64(cfg.CorrelatedDown)))
+		end := at + down
+		if end > cfg.Duration {
+			end = cfg.Duration
+		}
+		for n := 0; n < cfg.Nodes; n++ {
+			if rng.Float64() < cfg.CorrelatedFrac {
+				s.ByNode[n] = append(s.ByNode[n], Downtime{Start: at, End: end})
+			}
+		}
+	}
+
+	for n := range s.ByNode {
+		s.ByNode[n] = mergeDowntimes(s.ByNode[n])
+	}
+	return s
+}
+
+// mergeDowntimes sorts and merges overlapping outage intervals.
+func mergeDowntimes(ds []Downtime) []Downtime {
+	if len(ds) == 0 {
+		return ds
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].Start < ds[j].Start })
+	out := ds[:1]
+	for _, d := range ds[1:] {
+		last := &out[len(out)-1]
+		if d.Start <= last.End {
+			if d.End > last.End {
+				last.End = d.End
+			}
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// IsUp reports whether node n is up at time at. Outage intervals are
+// half-open [Start, End): a node is back up at the instant repair
+// completes.
+func (s *Schedule) IsUp(n int, at time.Duration) bool {
+	ds := s.ByNode[n]
+	i := sort.Search(len(ds), func(i int) bool { return ds[i].End > at })
+	return i == len(ds) || ds[i].Start > at
+}
+
+// Transitions returns every down/up transition in time order.
+func (s *Schedule) Transitions() []Transition {
+	var out []Transition
+	for n, ds := range s.ByNode {
+		for _, d := range ds {
+			out = append(out, Transition{At: d.Start, Node: n, Up: false})
+			if d.End < s.Duration {
+				out = append(out, Transition{At: d.End, Node: n, Up: true})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		// Process ups before downs at identical instants so a node count
+		// never transiently underflows reality.
+		return out[i].Up && !out[j].Up
+	})
+	return out
+}
+
+// DownFraction returns the fraction of the node-time that is down, a
+// sanity metric for calibration.
+func (s *Schedule) DownFraction() float64 {
+	var down time.Duration
+	for _, ds := range s.ByNode {
+		for _, d := range ds {
+			down += d.End - d.Start
+		}
+	}
+	return float64(down) / float64(time.Duration(s.Nodes)*s.Duration)
+}
+
+// GroupFailureProb estimates, by Monte Carlo over random r-node groups,
+// the probability that all r nodes are simultaneously down at some point
+// during the schedule — the quantity the paper reports as 0.02 for r = 3
+// without regeneration (§8.2).
+func (s *Schedule) GroupFailureProb(r, samples int, seed uint64) float64 {
+	rng := rand.New(rand.NewPCG(seed, 0x47525550)) // "GRUP"
+	hit := 0
+	for i := 0; i < samples; i++ {
+		group := make([]int, r)
+		for j := range group {
+			group[j] = rng.IntN(s.Nodes)
+		}
+		if s.groupEverAllDown(group) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(samples)
+}
+
+// groupEverAllDown reports whether there is an instant at which every node
+// in group is down, by fully intersecting their outage interval lists.
+func (s *Schedule) groupEverAllDown(group []int) bool {
+	cur := s.ByNode[group[0]]
+	for _, n := range group[1:] {
+		cur = intersectDowntimes(cur, s.ByNode[n])
+		if len(cur) == 0 {
+			return false
+		}
+	}
+	return len(cur) > 0
+}
+
+// intersectDowntimes returns the intervals during which both input lists
+// (sorted, non-overlapping) are down.
+func intersectDowntimes(a, b []Downtime) []Downtime {
+	var out []Downtime
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo := a[i].Start
+		if b[j].Start > lo {
+			lo = b[j].Start
+		}
+		hi := a[i].End
+		if b[j].End < hi {
+			hi = b[j].End
+		}
+		if lo < hi {
+			out = append(out, Downtime{Start: lo, End: hi})
+		}
+		if a[i].End < b[j].End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}

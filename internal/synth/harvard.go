@@ -1,0 +1,413 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"time"
+
+	"github.com/defragdht/d2/internal/trace"
+)
+
+// HarvardConfig controls the Harvard-like NFS workload generator: a week of
+// research/email file-system activity by a population of users, with
+// name-space-local tasks and 10–20 %/day data churn (Tables 1 and 3).
+type HarvardConfig struct {
+	Seed  uint64
+	Users int // default 83, as in the paper's trace
+	Days  int // default 7
+	// TargetBytes is the initial active data volume (default 4 GB, a
+	// scaled-down stand-in for the trace's 83 GB; experiments scale
+	// per-node capacity accordingly).
+	TargetBytes int64
+	// SessionsPerDay is the mean number of work sessions per user-day.
+	SessionsPerDay float64 // default 4
+	// TasksPerSession is the mean number of tasks per session.
+	TasksPerSession float64 // default 5
+	// FilesPerTask is the mean number of files a task touches.
+	FilesPerTask float64 // default 10
+	// WriteTaskFrac is the fraction of tasks that also write.
+	WriteTaskFrac float64 // default 0.3
+	// ChurnPerDay is the target daily created/deleted byte volume as a
+	// fraction of TargetBytes (default 0.15, matching Table 3's 10–20 %).
+	ChurnPerDay float64
+	// MaxReadBytes caps the bytes read from one file in one event.
+	MaxReadBytes int64 // default 512 KB
+}
+
+func (c *HarvardConfig) applyDefaults() {
+	if c.Users == 0 {
+		c.Users = 83
+	}
+	if c.Days == 0 {
+		c.Days = 7
+	}
+	if c.TargetBytes == 0 {
+		c.TargetBytes = 4 << 30
+	}
+	if c.SessionsPerDay == 0 {
+		c.SessionsPerDay = 4
+	}
+	if c.TasksPerSession == 0 {
+		c.TasksPerSession = 5
+	}
+	if c.FilesPerTask == 0 {
+		c.FilesPerTask = 10
+	}
+	if c.WriteTaskFrac == 0 {
+		c.WriteTaskFrac = 0.3
+	}
+	if c.ChurnPerDay == 0 {
+		c.ChurnPerDay = 0.15
+	}
+	if c.MaxReadBytes == 0 {
+		c.MaxReadBytes = 512 << 10
+	}
+}
+
+// liveDir tracks the mutable file population of one directory during
+// generation, so deletes reference live files and creates extend it.
+type liveDir struct {
+	path    string
+	files   []trace.File
+	live    []bool
+	nextGen int // suffix for trace-created files
+	initial int // how many of files existed at t=0
+}
+
+func (d *liveDir) liveIndices() []int {
+	var out []int
+	for i, l := range d.live {
+		if l {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// harvardGen holds generator state.
+type harvardGen struct {
+	cfg      HarvardConfig
+	rng      *rand.Rand
+	dirs     []*liveDir
+	userDirs [][]int // per user: indices into dirs, favorites first
+	favor    []*zipf // per user: zipf over userDirs
+	events   []trace.Event
+	// tree layout: [first dir index, dir count] per subtree
+	homeRanges [][2]int
+	projRanges [][2]int
+	libRange   [2]int
+	// daily churn quotas in bytes
+	createQuota []int64
+	deleteQuota []int64
+	// taskChurnBudget is the create/delete byte volume one write task
+	// should contribute so the daily quota is actually consumed.
+	taskChurnBudget int64
+	// maxFileBytes caps generated file sizes (scaled to the volume).
+	maxFileBytes int64
+}
+
+// Harvard generates the Harvard-like workload.
+func Harvard(cfg HarvardConfig) *trace.Trace {
+	cfg.applyDefaults()
+	g := &harvardGen{
+		cfg: cfg,
+		rng: rand.New(rand.NewPCG(cfg.Seed, 0x48415256)), // "HARV"
+	}
+	g.buildFilesystem()
+	g.assignWorkingSets()
+	quota := int64(float64(cfg.TargetBytes) * cfg.ChurnPerDay)
+	g.createQuota = make([]int64, cfg.Days)
+	g.deleteQuota = make([]int64, cfg.Days)
+	for d := range g.createQuota {
+		g.createQuota[d] = quota
+		g.deleteQuota[d] = quota
+	}
+	// Spread the daily quota across the expected number of write tasks so
+	// the generated volume actually tracks ChurnPerDay at every scale.
+	writeTasksPerDay := float64(cfg.Users) * cfg.SessionsPerDay *
+		cfg.TasksPerSession * cfg.WriteTaskFrac
+	if writeTasksPerDay < 1 {
+		writeTasksPerDay = 1
+	}
+	g.taskChurnBudget = int64(float64(quota) / writeTasksPerDay)
+	// Schedule every session first, then generate them in global time
+	// order so creates and deletes respect causality across users: a
+	// file read in a later session can only be missing if a temporally
+	// earlier (or overlapping) session deleted it.
+	sessions := g.scheduleSessions()
+	for _, s := range sessions {
+		g.genSession(s.user, s.day, s.at)
+	}
+	sortEventsStable(g.events)
+
+	tr := &trace.Trace{
+		Name:     "harvard",
+		Duration: time.Duration(cfg.Days) * 24 * time.Hour,
+		Users:    cfg.Users,
+		Events:   g.events,
+	}
+	for _, d := range g.dirs {
+		// Initial snapshot: only the files that existed at t=0; files
+		// appended during generation enter via OpCreate events.
+		tr.Initial = append(tr.Initial, d.files[:d.initial]...)
+	}
+	return tr
+}
+
+// buildFilesystem creates the initial tree: per-user homes (60 % of bytes),
+// shared project directories (35 %), and a small shared /lib (5 %).
+func (g *harvardGen) buildFilesystem() {
+	cfg := g.cfg
+	homeBytes := cfg.TargetBytes * 60 / 100
+	projBytes := cfg.TargetBytes * 35 / 100
+	libBytes := cfg.TargetBytes - homeBytes - projBytes
+
+	// Cap individual file sizes at ~1.5 % of the volume so the "very
+	// large file" tail scales with the workload (at full scale this is
+	// the paper's multi-GB tail; at test scales it stays below a node's
+	// capacity most of the time).
+	maxFile := cfg.TargetBytes / 64
+	if maxFile < 1<<20 {
+		maxFile = 1 << 20
+	}
+	g.maxFileBytes = maxFile
+	addTree := func(root string, bytes int64, depth int) (first, count int) {
+		dirs := GenTree(g.rng, TreeConfig{Root: root, TargetBytes: bytes, MaxDepth: depth, MaxFileBytes: maxFile})
+		first = len(g.dirs)
+		for i := range dirs {
+			ld := &liveDir{path: dirs[i].Path, files: dirs[i].Files}
+			ld.live = make([]bool, len(ld.files))
+			for j := range ld.live {
+				ld.live[j] = true
+			}
+			ld.initial = len(ld.files)
+			g.dirs = append(g.dirs, ld)
+		}
+		return first, len(dirs)
+	}
+
+	perHome := homeBytes / int64(cfg.Users)
+	g.homeRanges = make([][2]int, cfg.Users)
+	for u := 0; u < cfg.Users; u++ {
+		f, n := addTree(fmt.Sprintf("/home/u%03d", u), perHome, 5)
+		g.homeRanges[u] = [2]int{f, n}
+	}
+	nProj := cfg.Users/3 + 1
+	perProj := projBytes / int64(nProj)
+	g.projRanges = make([][2]int, nProj)
+	for p := 0; p < nProj; p++ {
+		f, n := addTree(fmt.Sprintf("/proj/p%03d", p), perProj, 4)
+		g.projRanges[p] = [2]int{f, n}
+	}
+	f, n := addTree("/lib", libBytes, 3)
+	g.libRange = [2]int{f, n}
+}
+
+// assignWorkingSets gives each user their home dirs, 2–4 shared projects,
+// and /lib, with Zipf-skewed favorites.
+func (g *harvardGen) assignWorkingSets() {
+	cfg := g.cfg
+	g.userDirs = make([][]int, cfg.Users)
+	g.favor = make([]*zipf, cfg.Users)
+	for u := 0; u < cfg.Users; u++ {
+		var ds []int
+		hr := g.homeRanges[u]
+		for i := 0; i < hr[1]; i++ {
+			ds = append(ds, hr[0]+i)
+		}
+		nShared := 2 + g.rng.IntN(3)
+		for s := 0; s < nShared; s++ {
+			pr := g.projRanges[g.rng.IntN(len(g.projRanges))]
+			for i := 0; i < pr[1]; i++ {
+				ds = append(ds, pr[0]+i)
+			}
+		}
+		lr := g.libRange
+		for i := 0; i < lr[1]; i++ {
+			ds = append(ds, lr[0]+i)
+		}
+		g.userDirs[u] = ds
+		g.favor[u] = newZipf(len(ds), 1.1)
+	}
+}
+
+type session struct {
+	user int32
+	day  int
+	at   time.Duration
+}
+
+// scheduleSessions draws every user's session start times: mostly during
+// the 9 AM–6 PM workday, sorted globally by start time.
+func (g *harvardGen) scheduleSessions() []session {
+	cfg := g.cfg
+	day := 24 * time.Hour
+	var out []session
+	for u := 0; u < cfg.Users; u++ {
+		for d := 0; d < cfg.Days; d++ {
+			nSessions := poisson(g.rng, cfg.SessionsPerDay)
+			for s := 0; s < nSessions; s++ {
+				var startHour float64
+				if g.rng.Float64() < 0.9 {
+					startHour = 9 + g.rng.Float64()*9
+				} else {
+					startHour = g.rng.Float64() * 24
+				}
+				out = append(out, session{
+					user: int32(u),
+					day:  d,
+					at:   time.Duration(d)*day + time.Duration(startHour*float64(time.Hour)),
+				})
+			}
+		}
+	}
+	sortSessions(out)
+	return out
+}
+
+func sortSessions(ss []session) {
+	sortFunc := func(i, j int) bool {
+		if ss[i].at != ss[j].at {
+			return ss[i].at < ss[j].at
+		}
+		return ss[i].user < ss[j].user
+	}
+	sort.Slice(ss, sortFunc)
+}
+
+// genSession emits one session: a series of tasks separated by think times.
+func (g *harvardGen) genSession(u int32, dayIdx int, at time.Duration) {
+	cfg := g.cfg
+	nTasks := 1 + poisson(g.rng, cfg.TasksPerSession-1)
+	for t := 0; t < nTasks; t++ {
+		at = g.genTask(u, dayIdx, at)
+		// Inter-task think time: long enough to split tasks at every
+		// threshold the paper studies (1 s … 1 min) with some mass at
+		// each scale.
+		at += time.Duration(expDur(g.rng, 90) * float64(time.Second))
+		if at >= time.Duration(cfg.Days)*24*time.Hour {
+			return
+		}
+	}
+}
+
+// genTask emits one task: reads of a locality-preserving run of files in
+// one or two working-set directories, plus writes for write tasks. It
+// returns the time after the last event.
+func (g *harvardGen) genTask(u int32, dayIdx int, at time.Duration) time.Duration {
+	cfg := g.cfg
+	end := time.Duration(cfg.Days) * 24 * time.Hour
+	nDirs := 1
+	if g.rng.Float64() < 0.3 {
+		nDirs = 2
+	}
+	filesWanted := 1 + poisson(g.rng, cfg.FilesPerTask-1)
+	perDir := (filesWanted + nDirs - 1) / nDirs
+
+	for di := 0; di < nDirs; di++ {
+		dir := g.dirs[g.userDirs[u][g.favor[u].Sample(g.rng)]]
+		liveIdx := dir.liveIndices()
+		if len(liveIdx) == 0 {
+			continue
+		}
+		// Read a consecutive run of files: tasks exhibit name-space
+		// locality, the property D2's key encoding exploits.
+		start := g.rng.IntN(len(liveIdx))
+		for k := 0; k < perDir && start+k < len(liveIdx); k++ {
+			f := dir.files[liveIdx[start+k]]
+			length := clampI64(f.Size, 1, cfg.MaxReadBytes)
+			if at >= end {
+				return at
+			}
+			g.events = append(g.events, trace.Event{
+				At: at, User: u, Op: trace.OpRead, Path: f.Path, Length: length,
+			})
+			// Intra-task gaps: mostly sub-second, occasionally a few
+			// seconds, so the 1 s / 5 s / 15 s / 1 min thresholds of
+			// Table 2 produce graded task sizes.
+			gap := expDur(g.rng, 0.35)
+			if k%5 == 4 {
+				gap += expDur(g.rng, 3)
+			}
+			at += time.Duration(gap * float64(time.Second))
+		}
+		if g.rng.Float64() < cfg.WriteTaskFrac {
+			// Churn lands in a uniformly chosen working-set directory:
+			// reads concentrate on favorites, but creation and deletion
+			// spread across the namespace (mail folders, build outputs),
+			// as in the NFS trace whose daily churn Table 3 reports.
+			wdir := g.dirs[pick(g.rng, g.userDirs[u])]
+			at = g.genWrites(u, dayIdx, at, wdir)
+		}
+	}
+	return at
+}
+
+// genWrites emits modify/create/delete events in dir, consuming the day's
+// churn quota.
+func (g *harvardGen) genWrites(u int32, dayIdx int, at time.Duration, dir *liveDir) time.Duration {
+	end := time.Duration(g.cfg.Days) * 24 * time.Hour
+	step := func(meanSec float64) {
+		at += time.Duration(expDur(g.rng, meanSec) * float64(time.Second))
+	}
+	// Modify one or two live files.
+	liveIdx := dir.liveIndices()
+	nMod := 1 + g.rng.IntN(2)
+	for m := 0; m < nMod && len(liveIdx) > 0; m++ {
+		f := dir.files[pick(g.rng, liveIdx)]
+		length := clampI64(int64(lognormal(g.rng, 8.5, 1.0)), 1, f.Size)
+		offset := int64(0)
+		if f.Size > length {
+			offset = g.rng.Int64N(f.Size - length + 1)
+		}
+		if at >= end {
+			return at
+		}
+		g.events = append(g.events, trace.Event{
+			At: at, User: u, Op: trace.OpWrite, Path: f.Path, Offset: offset, Length: length,
+		})
+		g.createQuota[dayIdx] -= length // modifications count as written bytes
+		step(0.5)
+	}
+	// Create new files until this task's share of the day's quota (and
+	// the quota itself) is spent.
+	taskCreate := g.taskChurnBudget
+	for g.createQuota[dayIdx] > 0 && taskCreate > 0 {
+		size := clampI64(int64(lognormal(g.rng, 9.01, 2.0)), 1, g.maxFileBytes)
+		taskCreate -= size
+		path := fmt.Sprintf("%s/g%05d", dir.path, dir.nextGen)
+		dir.nextGen++
+		dir.files = append(dir.files, trace.File{Path: path, Size: size})
+		dir.live = append(dir.live, true)
+		if at >= end {
+			return at
+		}
+		g.events = append(g.events, trace.Event{
+			At: at, User: u, Op: trace.OpCreate, Path: path, Length: size,
+		})
+		g.createQuota[dayIdx] -= size
+		step(0.5)
+	}
+	// Delete live files until this task's share of the quota is spent.
+	taskDelete := g.taskChurnBudget
+	for g.deleteQuota[dayIdx] > 0 && taskDelete > 0 {
+		liveIdx = dir.liveIndices()
+		if len(liveIdx) <= 2 { // keep directories from emptying out
+			break
+		}
+		i := pick(g.rng, liveIdx)
+		f := dir.files[i]
+		dir.live[i] = false
+		if at >= end {
+			return at
+		}
+		g.events = append(g.events, trace.Event{
+			At: at, User: u, Op: trace.OpDelete, Path: f.Path,
+		})
+		g.deleteQuota[dayIdx] -= f.Size
+		taskDelete -= f.Size
+		step(0.5)
+	}
+	return at
+}

@@ -1,0 +1,125 @@
+package synth
+
+import (
+	"math/rand/v2"
+	"time"
+
+	"github.com/defragdht/d2/internal/trace"
+)
+
+// HPConfig controls the HP-like block-level disk workload: applications
+// (identified by pid) accessing extents of a multi-disk server. The whole
+// disk is modeled as one large file whose block numbers are the physical
+// block numbers, so ordering keys by block number reproduces the paper's
+// "ordered" scenario for HP (§4.1).
+type HPConfig struct {
+	Seed uint64
+	Apps int // default 40
+	Days int // default 7
+	// DiskBytes is the disk size (default 2 GB, scaled from 40 GB).
+	DiskBytes int64
+	// RegionsPerApp is how many contiguous disk regions each app owns,
+	// mimicking files allocated near each other by a local FS.
+	RegionsPerApp int // default 6
+	// BurstsPerAppHour is the mean access bursts per app per hour.
+	BurstsPerAppHour float64 // default 25
+	// MeanRunBlocks is the mean length of a sequential access run.
+	MeanRunBlocks float64 // default 12
+	// WriteFrac is the fraction of bursts that write.
+	WriteFrac float64 // default 0.3
+}
+
+func (c *HPConfig) applyDefaults() {
+	if c.Apps == 0 {
+		c.Apps = 40
+	}
+	if c.Days == 0 {
+		c.Days = 7
+	}
+	if c.DiskBytes == 0 {
+		c.DiskBytes = 2 << 30
+	}
+	if c.RegionsPerApp == 0 {
+		c.RegionsPerApp = 6
+	}
+	if c.BurstsPerAppHour == 0 {
+		c.BurstsPerAppHour = 25
+	}
+	if c.MeanRunBlocks == 0 {
+		c.MeanRunBlocks = 12
+	}
+	if c.WriteFrac == 0 {
+		c.WriteFrac = 0.3
+	}
+}
+
+// DiskPath is the pseudo-file representing the whole disk in HP traces.
+const DiskPath = "/disk"
+
+// HP generates the HP-like block-level workload.
+func HP(cfg HPConfig) *trace.Trace {
+	cfg.applyDefaults()
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x48500042)) // "HP"
+
+	totalBlocks := cfg.DiskBytes / trace.BlockSize
+	// Carve the disk into contiguous per-app regions. Local file systems
+	// put blocks written together near each other, which is exactly the
+	// locality the ordered scenario exploits.
+	type region struct{ start, size int64 }
+	regions := make([][]region, cfg.Apps)
+	nRegions := int64(cfg.Apps * cfg.RegionsPerApp)
+	regionSize := totalBlocks / nRegions
+	idx := int64(0)
+	for r := int64(0); r < nRegions; r++ {
+		app := int(r) % cfg.Apps
+		regions[app] = append(regions[app], region{start: idx, size: regionSize})
+		idx += regionSize
+	}
+
+	var events []trace.Event
+	favor := newZipf(cfg.RegionsPerApp, 1.0)
+	hours := cfg.Days * 24
+	for app := 0; app < cfg.Apps; app++ {
+		for h := 0; h < hours; h++ {
+			// Apps are busier during the workday.
+			mean := cfg.BurstsPerAppHour
+			hourOfDay := h % 24
+			if hourOfDay < 8 || hourOfDay > 19 {
+				mean *= 0.25
+			}
+			n := poisson(rng, mean)
+			for b := 0; b < n; b++ {
+				at := time.Duration(h)*time.Hour +
+					time.Duration(rng.Float64()*float64(time.Hour))
+				reg := regions[app][favor.Sample(rng)]
+				run := 1 + int64(poisson(rng, cfg.MeanRunBlocks-1))
+				start := reg.start
+				if reg.size > run {
+					start += rng.Int64N(reg.size - run)
+				} else {
+					run = reg.size
+				}
+				op := trace.OpRead
+				if rng.Float64() < cfg.WriteFrac {
+					op = trace.OpWrite
+				}
+				events = append(events, trace.Event{
+					At:     at,
+					User:   int32(app),
+					Op:     op,
+					Path:   DiskPath,
+					Offset: start * trace.BlockSize,
+					Length: run * trace.BlockSize,
+				})
+			}
+		}
+	}
+	sortEventsStable(events)
+	return &trace.Trace{
+		Name:     "hp",
+		Duration: time.Duration(cfg.Days) * 24 * time.Hour,
+		Users:    cfg.Apps,
+		Initial:  []trace.File{{Path: DiskPath, Size: cfg.DiskBytes}},
+		Events:   events,
+	}
+}

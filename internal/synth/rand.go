@@ -1,0 +1,96 @@
+// Package synth generates the synthetic workloads and failure schedules
+// that stand in for the paper's proprietary traces: a Harvard-like NFS
+// workload, an HP-like block-level disk workload, an NLANR-like web
+// workload, and a PlanetLab-like node failure schedule. All generators are
+// deterministic given their seed. DESIGN.md documents why each substitution
+// preserves the behaviour the experiments measure.
+package synth
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// lognormal samples exp(N(mu, sigma)) — the file-size distribution: most
+// files are small with a multi-order-of-magnitude heavy tail, matching the
+// paper's observation that mean and max file sizes differ by over four
+// orders of magnitude (§10).
+func lognormal(rng *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*rng.NormFloat64())
+}
+
+// expDur samples an exponential with the given mean.
+func expDur(rng *rand.Rand, mean float64) float64 {
+	return rng.ExpFloat64() * mean
+}
+
+// zipf samples ranks in [0, n) with probability proportional to
+// 1/(rank+1)^alpha using a precomputed CDF. It models popularity skew in
+// file, directory, domain, and URL choice.
+type zipf struct {
+	cdf []float64
+}
+
+// newZipf builds a Zipf sampler over n ranks with exponent alpha.
+func newZipf(n int, alpha float64) *zipf {
+	if n <= 0 {
+		n = 1
+	}
+	cdf := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), alpha)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &zipf{cdf: cdf}
+}
+
+// Sample draws one rank.
+func (z *zipf) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// N returns the number of ranks.
+func (z *zipf) N() int { return len(z.cdf) }
+
+// poisson samples a Poisson variate with the given mean (Knuth's method;
+// means here are small).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 { // numerical guard for absurd means
+			return k
+		}
+	}
+}
+
+// pick returns a uniformly random element of xs.
+func pick[T any](rng *rand.Rand, xs []T) T {
+	return xs[rng.IntN(len(xs))]
+}
+
+// clampI64 bounds v to [lo, hi].
+func clampI64(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,417 @@
+package synth
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/defragdht/d2/internal/trace"
+)
+
+// smallHarvard is a fast configuration for unit tests.
+func smallHarvard(seed uint64) HarvardConfig {
+	return HarvardConfig{
+		Seed:        seed,
+		Users:       12,
+		Days:        3,
+		TargetBytes: 64 << 20,
+	}
+}
+
+func TestGenTreeRespectsBudget(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	dirs := GenTree(rng, TreeConfig{Root: "/r", TargetBytes: 10 << 20})
+	total := TotalBytes(dirs)
+	if total < 10<<20 || total > 11<<20 {
+		t.Errorf("total bytes = %d, want ~%d", total, 10<<20)
+	}
+	for _, d := range dirs {
+		if !strings.HasPrefix(d.Path, "/r/") {
+			t.Errorf("dir %q not under root", d.Path)
+		}
+		for _, f := range d.Files {
+			if !strings.HasPrefix(f.Path, d.Path+"/") {
+				t.Errorf("file %q not under dir %q", f.Path, d.Path)
+			}
+			if f.Size <= 0 {
+				t.Errorf("file %q has size %d", f.Path, f.Size)
+			}
+		}
+	}
+}
+
+func TestGenTreeDeterministic(t *testing.T) {
+	a := GenTree(rand.New(rand.NewPCG(7, 7)), TreeConfig{Root: "/r", TargetBytes: 1 << 20})
+	b := GenTree(rand.New(rand.NewPCG(7, 7)), TreeConfig{Root: "/r", TargetBytes: 1 << 20})
+	if len(a) != len(b) {
+		t.Fatalf("different dir counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Path != b[i].Path || len(a[i].Files) != len(b[i].Files) {
+			t.Fatal("tree generation not deterministic")
+		}
+	}
+}
+
+func TestHarvardValid(t *testing.T) {
+	tr := Harvard(smallHarvard(42))
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("no events generated")
+	}
+	if len(tr.Initial) == 0 {
+		t.Fatal("no initial files")
+	}
+	got := tr.TotalInitialBytes()
+	if got < 60<<20 || got > 72<<20 {
+		t.Errorf("initial bytes = %d, want ~%d", got, 64<<20)
+	}
+}
+
+func TestHarvardDeterministic(t *testing.T) {
+	a := Harvard(smallHarvard(1))
+	b := Harvard(smallHarvard(1))
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+	c := Harvard(smallHarvard(2))
+	if len(a.Events) == len(c.Events) {
+		same := true
+		for i := range a.Events {
+			if a.Events[i] != c.Events[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestHarvardCausality(t *testing.T) {
+	// Reads must overwhelmingly hit live files: deletes respect global
+	// time order during generation.
+	tr := Harvard(smallHarvard(3))
+	cat := trace.NewCatalog(tr.Initial)
+	deadReads := 0
+	reads := 0
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		if e.Op == trace.OpRead {
+			reads++
+			if idx, ok := cat.Lookup(e.Path); !ok || !cat.Live(idx) {
+				deadReads++
+			}
+		}
+		cat.Apply(e)
+	}
+	if reads == 0 {
+		t.Fatal("no reads")
+	}
+	if frac := float64(deadReads) / float64(reads); frac > 0.02 {
+		t.Errorf("%.2f%% of reads hit dead files, want < 2%%", frac*100)
+	}
+}
+
+func TestHarvardChurnMatchesTable3(t *testing.T) {
+	// Table 3: Harvard writes and removes 10–20 % of resident data per
+	// day (after day 1, which is partial in the paper too).
+	tr := Harvard(HarvardConfig{Seed: 5, Users: 20, Days: 4, TargetBytes: 128 << 20})
+	churn := trace.DailyChurn(tr)
+	if len(churn) != 4 {
+		t.Fatalf("got %d churn days", len(churn))
+	}
+	for d := 1; d < len(churn); d++ {
+		w := churn[d].WriteRatio()
+		if w < 0.04 || w > 0.45 {
+			t.Errorf("day %d write ratio %.3f outside [0.04, 0.45]", d, w)
+		}
+	}
+}
+
+func TestHarvardTaskShapeMatchesTable2(t *testing.T) {
+	// Table 2 shape: tasks at inter=5 s touch on the order of 10–20
+	// files and ~50–150 blocks on average, and longer thresholds give
+	// strictly larger tasks.
+	tr := Harvard(HarvardConfig{Seed: 7, Users: 30, Days: 2, TargetBytes: 256 << 20})
+	meanStats := func(inter time.Duration) (files, blocks float64) {
+		tasks := trace.Tasks(tr, inter, 5*time.Minute)
+		if len(tasks) == 0 {
+			t.Fatal("no tasks")
+		}
+		var fsum, bsum float64
+		for _, task := range tasks {
+			fset := map[string]bool{}
+			var blk float64
+			for _, ei := range task.Events {
+				e := &tr.Events[ei]
+				fset[e.Path] = true
+				_, n := e.BlockSpan()
+				blk += float64(n) + 1 // data blocks + inode
+			}
+			fsum += float64(len(fset))
+			bsum += blk
+		}
+		n := float64(len(tasks))
+		return fsum / n, bsum / n
+	}
+	files5, blocks5 := meanStats(5 * time.Second)
+	files60, blocks60 := meanStats(time.Minute)
+	if files5 < 3 || files5 > 40 {
+		t.Errorf("mean files per 5s-task = %.1f, want O(10)", files5)
+	}
+	if blocks5 < 15 || blocks5 > 400 {
+		t.Errorf("mean blocks per 5s-task = %.1f, want O(100)", blocks5)
+	}
+	if files60 <= files5 || blocks60 <= blocks5 {
+		t.Errorf("1min tasks (%.1f files, %.1f blocks) not larger than 5s tasks (%.1f, %.1f)",
+			files60, blocks60, files5, blocks5)
+	}
+}
+
+func TestHPValid(t *testing.T) {
+	tr := HP(HPConfig{Seed: 1, Apps: 8, Days: 2, DiskBytes: 128 << 20})
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("no events")
+	}
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		if e.Path != DiskPath {
+			t.Fatalf("event %d path %q, want %q", i, e.Path, DiskPath)
+		}
+		if e.Offset+e.Length > 128<<20 {
+			t.Fatalf("event %d range [%d, %d) beyond disk end", i, e.Offset, e.Offset+e.Length)
+		}
+		if e.Offset%trace.BlockSize != 0 || e.Length%trace.BlockSize != 0 {
+			t.Fatalf("event %d not block aligned", i)
+		}
+	}
+}
+
+func TestHPSpatialLocality(t *testing.T) {
+	// Each app's accesses must cluster in a small portion of the disk.
+	tr := HP(HPConfig{Seed: 2, Apps: 10, Days: 1, DiskBytes: 256 << 20, RegionsPerApp: 4})
+	minOff := map[int32]int64{}
+	maxOff := map[int32]int64{}
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		if v, ok := minOff[e.User]; !ok || e.Offset < v {
+			minOff[e.User] = e.Offset
+		}
+		if v, ok := maxOff[e.User]; !ok || e.Offset+e.Length > v {
+			maxOff[e.User] = e.Offset + e.Length
+		}
+	}
+	// Regions are striped, so an app's span can cover much of the disk;
+	// instead check that distinct apps touch distinct block sets mostly.
+	blocksOf := func(u int32) map[int64]bool {
+		out := map[int64]bool{}
+		for i := range tr.Events {
+			e := &tr.Events[i]
+			if e.User != u {
+				continue
+			}
+			first, n := e.BlockSpan()
+			for b := first; b < first+n; b++ {
+				out[b] = true
+			}
+		}
+		return out
+	}
+	a, b := blocksOf(0), blocksOf(1)
+	overlap := 0
+	for blk := range a {
+		if b[blk] {
+			overlap++
+		}
+	}
+	if len(a) > 0 && float64(overlap)/float64(len(a)) > 0.05 {
+		t.Errorf("apps 0 and 1 share %.1f%% of blocks, want ~0 (disjoint regions)",
+			100*float64(overlap)/float64(len(a)))
+	}
+}
+
+func TestWebValid(t *testing.T) {
+	tr := Web(WebConfig{Seed: 1, Clients: 20, Days: 1, Domains: 100, TargetBytes: 64 << 20})
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) == 0 || len(tr.Initial) == 0 {
+		t.Fatal("empty web trace")
+	}
+	known := map[string]bool{}
+	for _, f := range tr.Initial {
+		known[f.Path] = true
+		if !strings.HasPrefix(f.Path, "/com.dom") {
+			t.Fatalf("object path %q lacks reversed-domain prefix", f.Path)
+		}
+	}
+	for i := range tr.Events {
+		if !known[tr.Events[i].Path] {
+			t.Fatalf("event references unknown object %q", tr.Events[i].Path)
+		}
+		if tr.Events[i].Op != trace.OpRead {
+			t.Fatalf("web trace must be read-only, got %v", tr.Events[i].Op)
+		}
+	}
+}
+
+func TestWebCacheSemantics(t *testing.T) {
+	web := Web(WebConfig{Seed: 2, Clients: 10, Days: 2, Domains: 50, TargetBytes: 16 << 20})
+	wc := WebCache(web, 24*time.Hour)
+	if err := wc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(wc.Initial) != 0 {
+		t.Error("web cache must start empty")
+	}
+	cached := map[string]bool{}
+	for i := range wc.Events {
+		e := &wc.Events[i]
+		switch e.Op {
+		case trace.OpCreate:
+			if cached[e.Path] {
+				t.Fatalf("create of already-cached %q", e.Path)
+			}
+			cached[e.Path] = true
+		case trace.OpRead:
+			if !cached[e.Path] {
+				t.Fatalf("read of uncached %q", e.Path)
+			}
+		case trace.OpDelete:
+			if !cached[e.Path] {
+				t.Fatalf("delete of uncached %q", e.Path)
+			}
+			delete(cached, e.Path)
+		default:
+			t.Fatalf("unexpected op %v", e.Op)
+		}
+	}
+}
+
+func TestWebCacheChurnIsExtreme(t *testing.T) {
+	// Table 3: webcache insert volume rivals or exceeds resident data.
+	web := Web(WebConfig{Seed: 3, Clients: 30, Days: 3, Domains: 2000, TargetBytes: 256 << 20})
+	wc := WebCache(web, 24*time.Hour)
+	churn := trace.DailyChurn(wc)
+	extreme := false
+	for d := 1; d < len(churn); d++ {
+		if churn[d].WriteRatio() > 0.5 || churn[d].RemoveRatio() > 0.5 {
+			extreme = true
+		}
+	}
+	if !extreme {
+		t.Error("webcache churn not extreme; Table 3 reproduction needs W_i/T_i ~ 1")
+	}
+}
+
+func TestFailuresSchedule(t *testing.T) {
+	s := Failures(FailureConfig{Seed: 1, Nodes: 50, Duration: 48 * time.Hour})
+	if s.Nodes != 50 {
+		t.Fatalf("Nodes = %d", s.Nodes)
+	}
+	for n, ds := range s.ByNode {
+		for i, d := range ds {
+			if d.Start >= d.End {
+				t.Fatalf("node %d outage %d empty: %v", n, i, d)
+			}
+			if i > 0 && ds[i-1].End >= d.Start {
+				t.Fatalf("node %d outages overlap after merge", n)
+			}
+			if d.End > s.Duration {
+				t.Fatalf("node %d outage past end", n)
+			}
+		}
+	}
+}
+
+func TestFailuresIsUpConsistentWithTransitions(t *testing.T) {
+	s := Failures(FailureConfig{Seed: 2, Nodes: 30, Duration: 24 * time.Hour})
+	up := make([]bool, s.Nodes)
+	for i := range up {
+		up[i] = true
+	}
+	for _, tr := range s.Transitions() {
+		up[tr.Node] = tr.Up
+		// Probe just after the transition.
+		at := tr.At + time.Millisecond
+		if at < s.Duration && s.IsUp(tr.Node, at) != tr.Up {
+			t.Fatalf("IsUp(%d, %v) = %v, transitions say %v", tr.Node, at, !tr.Up, tr.Up)
+		}
+	}
+}
+
+func TestFailuresCalibration(t *testing.T) {
+	// §8.2: P(all 3 replicas simultaneously down at some point in the
+	// week) ≈ 0.02 without regeneration. Allow a generous band.
+	s := Failures(FailureConfig{Seed: 11})
+	p := s.GroupFailureProb(3, 4000, 99)
+	if p < 0.004 || p > 0.10 {
+		t.Errorf("3-group failure probability = %.4f, want ≈ 0.02 (band [0.004, 0.10])", p)
+	}
+	down := s.DownFraction()
+	if down < 0.01 || down > 0.25 {
+		t.Errorf("down fraction = %.3f, want a few percent", down)
+	}
+}
+
+func TestIntersectDowntimes(t *testing.T) {
+	a := []Downtime{{Start: 0, End: 10}, {Start: 20, End: 30}}
+	b := []Downtime{{Start: 5, End: 25}}
+	got := intersectDowntimes(a, b)
+	want := []Downtime{{Start: 5, End: 10}, {Start: 20, End: 25}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("interval %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if out := intersectDowntimes(a, nil); len(out) != 0 {
+		t.Error("intersection with empty list must be empty")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	z := newZipf(100, 1.0)
+	counts := make([]int, 100)
+	for i := 0; i < 10000; i++ {
+		counts[z.Sample(rng)]++
+	}
+	if counts[0] <= counts[50] {
+		t.Error("rank 0 should be far more popular than rank 50")
+	}
+	if counts[0] < 1000 {
+		t.Errorf("rank 0 drew %d of 10000, want heavy head", counts[0])
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	var sum int
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += poisson(rng, 5)
+	}
+	mean := float64(sum) / float64(n)
+	if mean < 4.8 || mean > 5.2 {
+		t.Errorf("poisson(5) sample mean = %.2f", mean)
+	}
+	if poisson(rng, 0) != 0 {
+		t.Error("poisson(0) must be 0")
+	}
+}

@@ -1,0 +1,224 @@
+package synth
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"github.com/defragdht/d2/internal/trace"
+)
+
+// WebConfig controls the NLANR-like web access workload: clients fetching
+// URLs whose names are reversed-domain paths ("com.yahoo.www/index.html"
+// becomes "/com.yahoo.www/index.html"), so ordering keys by name clusters
+// each site's objects (§4.1).
+type WebConfig struct {
+	Seed    uint64
+	Clients int // default 200
+	Days    int // default 7
+	Domains int // default 1500
+	// PagesPerDomain is the mean object count per domain.
+	PagesPerDomain float64 // default 40
+	// TargetBytes approximates the total corpus size (default 4 GB).
+	TargetBytes int64
+	// RequestsPerClientHour is the mean request rate.
+	RequestsPerClientHour float64 // default 15
+	// PagesPerVisit is the mean pages fetched per site visit.
+	PagesPerVisit float64 // default 8
+}
+
+func (c *WebConfig) applyDefaults() {
+	if c.Clients == 0 {
+		c.Clients = 200
+	}
+	if c.Days == 0 {
+		c.Days = 7
+	}
+	if c.Domains == 0 {
+		c.Domains = 1500
+	}
+	if c.PagesPerDomain == 0 {
+		c.PagesPerDomain = 40
+	}
+	if c.TargetBytes == 0 {
+		c.TargetBytes = 4 << 30
+	}
+	if c.RequestsPerClientHour == 0 {
+		c.RequestsPerClientHour = 15
+	}
+	if c.PagesPerVisit == 0 {
+		c.PagesPerVisit = 8
+	}
+}
+
+// Web generates the web access workload: a read-only GET stream over a
+// fixed corpus. Use WebCache to convert it into the insert-on-miss,
+// expire-after-TTL workload of §10.
+func Web(cfg WebConfig) *trace.Trace {
+	cfg.applyDefaults()
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x57454200)) // "WEB"
+
+	// Build the corpus: Zipf-popular domains with lognormal object sizes.
+	type site struct {
+		objects []trace.File
+	}
+	sites := make([]site, cfg.Domains)
+	var initial []trace.File
+	bytesBudget := cfg.TargetBytes
+	for d := 0; d < cfg.Domains && bytesBudget > 0; d++ {
+		n := 1 + poisson(rng, cfg.PagesPerDomain-1)
+		for p := 0; p < n && bytesBudget > 0; p++ {
+			size := clampI64(int64(lognormal(rng, 9.4, 1.6)), 64, 64<<20) // median ~12 KB
+			if size > bytesBudget {
+				size = bytesBudget
+			}
+			f := trace.File{
+				Path: fmt.Sprintf("/com.dom%04d.www/p%02d/o%04d", d, p%7, p),
+				Size: size,
+			}
+			sites[d].objects = append(sites[d].objects, f)
+			initial = append(initial, f)
+			bytesBudget -= size
+		}
+	}
+
+	domainPop := newZipf(cfg.Domains, 0.8)
+	var events []trace.Event
+	hours := cfg.Days * 24
+	for c := 0; c < cfg.Clients; c++ {
+		// Each client favors a handful of domains but also follows
+		// global popularity.
+		affinity := make([]int, 8)
+		for i := range affinity {
+			affinity[i] = domainPop.Sample(rng)
+		}
+		for h := 0; h < hours; h++ {
+			// Web traffic has a mild diurnal cycle.
+			mean := cfg.RequestsPerClientHour
+			hourOfDay := h % 24
+			if hourOfDay < 7 {
+				mean *= 0.3
+			}
+			budget := poisson(rng, mean)
+			for budget > 0 {
+				var d int
+				if rng.Float64() < 0.25 {
+					d = affinity[rng.IntN(len(affinity))]
+				} else {
+					d = domainPop.Sample(rng)
+				}
+				objs := sites[d].objects
+				if len(objs) == 0 {
+					budget--
+					continue
+				}
+				// A visit reads several objects of the same site:
+				// name-space locality in the URL ordering.
+				nPages := 1 + poisson(rng, cfg.PagesPerVisit-1)
+				if nPages > budget {
+					nPages = budget
+				}
+				at := time.Duration(h)*time.Hour +
+					time.Duration(rng.Float64()*float64(time.Hour))
+				start := rng.IntN(len(objs))
+				for p := 0; p < nPages && start+p < len(objs); p++ {
+					f := objs[start+p]
+					events = append(events, trace.Event{
+						At: at, User: int32(c), Op: trace.OpRead,
+						Path: f.Path, Length: f.Size,
+					})
+					at += time.Duration(expDur(rng, 2) * float64(time.Second))
+					budget--
+				}
+			}
+		}
+	}
+	sortEventsStable(events)
+	return &trace.Trace{
+		Name:     "web",
+		Duration: time.Duration(cfg.Days) * 24 * time.Hour,
+		Users:    cfg.Clients,
+		Initial:  initial,
+		Events:   events,
+	}
+}
+
+// expiryHeap orders cached objects by expiry time.
+type expiryEntry struct {
+	at   time.Duration
+	path string
+}
+
+type expiryHeap []expiryEntry
+
+func (h expiryHeap) Len() int            { return len(h) }
+func (h expiryHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h expiryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *expiryHeap) Push(x interface{}) { *h = append(*h, x.(expiryEntry)) }
+func (h *expiryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// WebCache converts a GET stream into the Squirrel-style DHT web-cache
+// workload of §10: a requested object missing from the cache is inserted
+// (OpCreate), a present one is read (OpRead), and objects not refreshed
+// within ttl are evicted (OpDelete). The cache starts empty, producing the
+// extreme data churn of Table 3's Webcache rows.
+func WebCache(web *trace.Trace, ttl time.Duration) *trace.Trace {
+	sizes := make(map[string]int64, len(web.Initial))
+	for _, f := range web.Initial {
+		sizes[f.Path] = f.Size
+	}
+	expiry := make(map[string]time.Duration)
+	var pending expiryHeap
+	var events []trace.Event
+
+	evictDue := func(now time.Duration) {
+		for len(pending) > 0 && pending[0].at <= now {
+			e := heap.Pop(&pending).(expiryEntry)
+			exp, ok := expiry[e.path]
+			if !ok || exp != e.at {
+				continue // refreshed since this entry was queued
+			}
+			delete(expiry, e.path)
+			events = append(events, trace.Event{
+				At: e.at, User: 0, Op: trace.OpDelete, Path: e.path,
+			})
+		}
+	}
+
+	for i := range web.Events {
+		ev := web.Events[i]
+		evictDue(ev.At)
+		size := sizes[ev.Path]
+		if size == 0 {
+			size = ev.Length
+		}
+		if _, cached := expiry[ev.Path]; cached {
+			events = append(events, trace.Event{
+				At: ev.At, User: ev.User, Op: trace.OpRead, Path: ev.Path, Length: size,
+			})
+		} else {
+			events = append(events, trace.Event{
+				At: ev.At, User: ev.User, Op: trace.OpCreate, Path: ev.Path, Length: size,
+			})
+		}
+		exp := ev.At + ttl
+		expiry[ev.Path] = exp
+		heap.Push(&pending, expiryEntry{at: exp, path: ev.Path})
+	}
+	evictDue(web.Duration)
+
+	return &trace.Trace{
+		Name:     "webcache",
+		Duration: web.Duration,
+		Users:    web.Users,
+		Initial:  nil, // the cache starts empty
+		Events:   events,
+	}
+}

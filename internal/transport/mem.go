@@ -1,0 +1,123 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// MemNetwork is an in-process network: endpoints exchange messages by
+// direct handler invocation, optionally with injected latency. It runs
+// thousands of nodes in one process for deployment-scale tests.
+type MemNetwork struct {
+	mu      sync.RWMutex
+	eps     map[Addr]*MemTransport
+	nextID  int
+	latency time.Duration
+}
+
+// NewMemNetwork creates an empty in-memory network. latency, if non-zero,
+// is the simulated one-way delay applied to every call.
+func NewMemNetwork(latency time.Duration) *MemNetwork {
+	return &MemNetwork{eps: make(map[Addr]*MemTransport), latency: latency}
+}
+
+// NewEndpoint creates a fresh endpoint with a unique address.
+func (n *MemNetwork) NewEndpoint() *MemTransport {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nextID++
+	addr := Addr(fmt.Sprintf("mem://n%d", n.nextID))
+	ep := &MemTransport{net: n, addr: addr}
+	n.eps[addr] = ep
+	return ep
+}
+
+// lookupEndpoint finds a live endpoint.
+func (n *MemNetwork) lookupEndpoint(a Addr) (*MemTransport, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	ep, ok := n.eps[a]
+	return ep, ok
+}
+
+// remove deletes a closed endpoint.
+func (n *MemNetwork) remove(a Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.eps, a)
+}
+
+// MemTransport is one in-memory endpoint.
+type MemTransport struct {
+	net  *MemNetwork
+	addr Addr
+
+	mu      sync.RWMutex
+	handler Handler
+	closed  bool
+}
+
+var _ Transport = (*MemTransport)(nil)
+
+// Addr returns the endpoint address.
+func (t *MemTransport) Addr() Addr { return t.addr }
+
+// Serve installs the handler.
+func (t *MemTransport) Serve(h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handler = h
+}
+
+// Call invokes the destination's handler synchronously (plus the
+// configured latency on each direction).
+func (t *MemTransport) Call(ctx context.Context, to Addr, req Message) (Message, error) {
+	t.mu.RLock()
+	closed := t.closed
+	t.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	dst, ok := t.net.lookupEndpoint(to)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnreachable, to)
+	}
+	dst.mu.RLock()
+	h := dst.handler
+	dstClosed := dst.closed
+	dst.mu.RUnlock()
+	if dstClosed || h == nil {
+		return nil, fmt.Errorf("%w: %s", ErrUnreachable, to)
+	}
+	if t.net.latency > 0 {
+		select {
+		case <-time.After(t.net.latency):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	resp, err := h(t.addr, req)
+	if err != nil {
+		return nil, err
+	}
+	if t.net.latency > 0 {
+		select {
+		case <-time.After(t.net.latency):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return resp, nil
+}
+
+// Close removes the endpoint from the network; subsequent calls to it
+// fail with ErrUnreachable.
+func (t *MemTransport) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	t.mu.Unlock()
+	t.net.remove(t.addr)
+	return nil
+}

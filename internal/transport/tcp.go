@@ -1,0 +1,244 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// maxFrame bounds a single RPC frame (a range transfer of many blocks can
+// be large; 64 MB is far beyond anything the node protocol produces).
+const maxFrame = 64 << 20
+
+// envelope is the on-wire frame payload.
+type envelope struct {
+	From Addr
+	Msg  Message
+}
+
+// TCPTransport is a Transport over TCP with length-prefixed gob frames.
+// Each call uses a pooled connection to the destination (one in-flight
+// request per connection, as in the paper's TCP-based D2-Store, §7).
+type TCPTransport struct {
+	addr Addr
+	ln   net.Listener
+
+	mu      sync.Mutex
+	handler Handler
+	pools   map[Addr][]net.Conn
+	serving map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+
+	// DialTimeout bounds connection establishment.
+	DialTimeout time.Duration
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// ListenTCP starts a TCP endpoint on the given address ("127.0.0.1:0"
+// picks a free port).
+func ListenTCP(bind string) (*TCPTransport, error) {
+	registerMessages()
+	ln, err := net.Listen("tcp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", bind, err)
+	}
+	t := &TCPTransport{
+		addr:        Addr(ln.Addr().String()),
+		ln:          ln,
+		pools:       make(map[Addr][]net.Conn),
+		serving:     make(map[net.Conn]struct{}),
+		DialTimeout: 5 * time.Second,
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound address.
+func (t *TCPTransport) Addr() Addr { return t.addr }
+
+// Serve installs the handler.
+func (t *TCPTransport) Serve(h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handler = h
+}
+
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.serving[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.serveConn(conn)
+			t.mu.Lock()
+			delete(t.serving, conn)
+			t.mu.Unlock()
+		}()
+	}
+}
+
+// serveConn answers requests on one inbound connection until it closes.
+func (t *TCPTransport) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		env, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		h := t.handler
+		t.mu.Unlock()
+		var resp Message
+		if h == nil {
+			resp = ToErrResp(fmt.Errorf("node not serving"))
+		} else {
+			r, herr := h(env.From, env.Msg)
+			if herr != nil {
+				resp = ToErrResp(herr)
+			} else {
+				resp = r
+			}
+		}
+		if err := writeFrame(conn, envelope{From: t.addr, Msg: resp}); err != nil {
+			return
+		}
+	}
+}
+
+// Call sends the request over a pooled connection and reads the reply.
+func (t *TCPTransport) Call(ctx context.Context, to Addr, req Message) (Message, error) {
+	conn, err := t.getConn(ctx, to)
+	if err != nil {
+		return nil, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(dl)
+	} else {
+		_ = conn.SetDeadline(time.Time{})
+	}
+	if err := writeFrame(conn, envelope{From: t.addr, Msg: req}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
+	}
+	env, err := readFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
+	}
+	t.putConn(to, conn)
+	return AsError(env.Msg)
+}
+
+func (t *TCPTransport) getConn(ctx context.Context, to Addr) (net.Conn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	pool := t.pools[to]
+	if n := len(pool); n > 0 {
+		conn := pool[n-1]
+		t.pools[to] = pool[:n-1]
+		t.mu.Unlock()
+		return conn, nil
+	}
+	t.mu.Unlock()
+	d := net.Dialer{Timeout: t.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", string(to))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
+	}
+	return conn, nil
+}
+
+func (t *TCPTransport) putConn(to Addr, conn net.Conn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed || len(t.pools[to]) >= 4 {
+		conn.Close()
+		return
+	}
+	t.pools[to] = append(t.pools[to], conn)
+}
+
+// Close shuts the listener and all pooled connections.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	for _, pool := range t.pools {
+		for _, c := range pool {
+			c.Close()
+		}
+	}
+	t.pools = make(map[Addr][]net.Conn)
+	// Unblock in-flight serveConn reads so Close does not wait forever
+	// on idle inbound connections.
+	for c := range t.serving {
+		c.Close()
+	}
+	t.mu.Unlock()
+	err := t.ln.Close()
+	t.wg.Wait()
+	return err
+}
+
+// writeFrame encodes the envelope as a 4-byte length prefix plus gob body.
+func writeFrame(w io.Writer, env envelope) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+		return fmt.Errorf("transport: encode: %w", err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// readFrame decodes one length-prefixed gob frame.
+func readFrame(r io.Reader) (envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return envelope{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return envelope{}, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return envelope{}, err
+	}
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&env); err != nil {
+		return envelope{}, fmt.Errorf("transport: decode: %w", err)
+	}
+	return env, nil
+}

@@ -1,0 +1,269 @@
+// Package transport provides the RPC layer for live D2 nodes: a request/
+// response interface with two implementations — an in-memory network for
+// running hundreds or thousands of nodes in one process (the deployment-
+// scale tests), and a TCP implementation (length-prefixed gob frames) for
+// multi-process clusters. D2-Store used TCP in the paper's prototype (§7).
+package transport
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"github.com/defragdht/d2/internal/keys"
+)
+
+// Addr identifies a node endpoint ("mem://n42" or "127.0.0.1:7000").
+type Addr string
+
+// Handler processes one request and returns the response.
+type Handler func(from Addr, req Message) (Message, error)
+
+// Transport sends requests and serves responses.
+type Transport interface {
+	// Addr returns this endpoint's address.
+	Addr() Addr
+	// Call sends req to the destination and waits for its response.
+	Call(ctx context.Context, to Addr, req Message) (Message, error)
+	// Serve installs the request handler. It must be called before the
+	// first inbound request and at most once.
+	Serve(h Handler)
+	// Close releases the endpoint.
+	Close() error
+}
+
+// Message is a marker for RPC payloads; all implementations are gob-coded
+// structs registered in this package.
+type Message interface{ isMessage() }
+
+// PeerInfo describes a node: its ring position and address.
+type PeerInfo struct {
+	ID   keys.Key
+	Addr Addr
+}
+
+// IsZero reports whether the peer info is unset.
+func (p PeerInfo) IsZero() bool { return p.Addr == "" }
+
+// --- request/response types (the node protocol) ---
+
+// PingReq checks liveness and identity.
+type PingReq struct{}
+
+// PingResp returns the node's current identity.
+type PingResp struct{ Self PeerInfo }
+
+// FindSuccReq asks for routing progress toward Key's owner. The reply
+// either names the owner (Done) or the best next hop.
+type FindSuccReq struct{ Key keys.Key }
+
+// FindSuccResp carries one routing step's result.
+type FindSuccResp struct {
+	Done bool
+	// Node is the owner when Done, otherwise the next hop.
+	Node PeerInfo
+	// Pred is the owner's predecessor when Done (the owned range's lower
+	// bound, for lookup caches).
+	Pred PeerInfo
+}
+
+// NeighborsReq fetches a node's predecessor and successor list.
+type NeighborsReq struct{}
+
+// NeighborsResp returns ring neighbors.
+type NeighborsResp struct {
+	Self  PeerInfo
+	Pred  PeerInfo
+	Succs []PeerInfo
+}
+
+// NotifyReq tells a node about a possible predecessor.
+type NotifyReq struct{ Cand PeerInfo }
+
+// NotifyResp acknowledges a notify.
+type NotifyResp struct{}
+
+// PutReq stores a block replica.
+type PutReq struct {
+	Key keys.Key
+	// Data is the block payload.
+	Data []byte
+	// Replicate asks the primary to forward to its successors.
+	Replicate bool
+	// TTL is the block lifetime in seconds (0 = no expiry).
+	TTL int64
+}
+
+// PutResp acknowledges a put.
+type PutResp struct{}
+
+// GetReq fetches a block.
+type GetReq struct{ Key keys.Key }
+
+// GetResp returns the block or reports absence. When the node only holds
+// a pointer, Redirect names the node storing the data (§6).
+type GetResp struct {
+	Found    bool
+	Data     []byte
+	Redirect Addr
+}
+
+// RemoveReq deletes a block after DelaySec seconds (§3).
+type RemoveReq struct {
+	Key       keys.Key
+	DelaySec  int64
+	Replicate bool
+}
+
+// RemoveResp acknowledges a remove.
+type RemoveResp struct{}
+
+// LoadReq asks for the node's primary-responsibility load (§6).
+type LoadReq struct{}
+
+// LoadResp returns load accounting.
+type LoadResp struct {
+	Self PeerInfo
+	// RespBytes is the primary load used by the balancer.
+	RespBytes int64
+	// StoredBytes is the node's total stored volume.
+	StoredBytes int64
+}
+
+// SplitReq asks an overloaded node for the byte-median key of its primary
+// range, so the prober can rejoin as its predecessor.
+type SplitReq struct{}
+
+// SplitResp returns the split point (Ok=false when the range is empty).
+type SplitResp struct {
+	Ok     bool
+	Median keys.Key
+}
+
+// RangeReq pulls the keys (and optionally data) of an arc, for replica
+// repair and migration.
+type RangeReq struct {
+	Lo, Hi keys.Key
+	// WithData includes block payloads; otherwise only keys are listed.
+	WithData bool
+	// Limit caps the number of returned blocks (0 = no cap).
+	Limit int
+}
+
+// RangeItem is one block in a RangeResp.
+type RangeItem struct {
+	Key keys.Key
+	// Size is the block's data size (always set, even without data).
+	Size int64
+	Data []byte
+}
+
+// RangeResp returns an arc's blocks.
+type RangeResp struct{ Items []RangeItem }
+
+// PutPtrReq installs a block pointer: the receiver becomes responsible
+// for Key but the data stays at Target until pointer stabilization (§6).
+type PutPtrReq struct {
+	Key    keys.Key
+	Target Addr
+	Size   int64
+}
+
+// PutPtrResp acknowledges a pointer install.
+type PutPtrResp struct{}
+
+// SampleReq asks for a uniformly random peer from the node's view, used by
+// Mercury-style random-walk sampling for balance probes (§6).
+type SampleReq struct{ Hops int }
+
+// SampleResp returns the sampled peer.
+type SampleResp struct{ Peer PeerInfo }
+
+// ErrResp carries an application-level error back to the caller.
+type ErrResp struct{ Err string }
+
+func (PingReq) isMessage()       {}
+func (PingResp) isMessage()      {}
+func (FindSuccReq) isMessage()   {}
+func (FindSuccResp) isMessage()  {}
+func (NeighborsReq) isMessage()  {}
+func (NeighborsResp) isMessage() {}
+func (NotifyReq) isMessage()     {}
+func (NotifyResp) isMessage()    {}
+func (PutReq) isMessage()        {}
+func (PutResp) isMessage()       {}
+func (GetReq) isMessage()        {}
+func (GetResp) isMessage()       {}
+func (RemoveReq) isMessage()     {}
+func (RemoveResp) isMessage()    {}
+func (LoadReq) isMessage()       {}
+func (LoadResp) isMessage()      {}
+func (SplitReq) isMessage()      {}
+func (SplitResp) isMessage()     {}
+func (RangeReq) isMessage()      {}
+func (RangeItem) isMessage()     {}
+func (RangeResp) isMessage()     {}
+func (PutPtrReq) isMessage()     {}
+func (PutPtrResp) isMessage()    {}
+func (SampleReq) isMessage()     {}
+func (SampleResp) isMessage()    {}
+func (ErrResp) isMessage()       {}
+
+// RegisterMessages registers every protocol message with gob. The TCP
+// transport calls it; tests may too. It is idempotent per process because
+// gob.Register panics only on conflicting registrations.
+func registerMessages() {
+	for _, m := range []Message{
+		PingReq{}, PingResp{}, FindSuccReq{}, FindSuccResp{},
+		NeighborsReq{}, NeighborsResp{}, NotifyReq{}, NotifyResp{},
+		PutReq{}, PutResp{}, GetReq{}, GetResp{},
+		RemoveReq{}, RemoveResp{}, LoadReq{}, LoadResp{},
+		SplitReq{}, SplitResp{}, RangeReq{}, RangeResp{},
+		PutPtrReq{}, PutPtrResp{},
+		SampleReq{}, SampleResp{}, ErrResp{},
+	} {
+		gob.Register(m)
+	}
+}
+
+// AsError converts an ErrResp into a Go error, passing other messages
+// through.
+func AsError(m Message) (Message, error) {
+	if e, ok := m.(ErrResp); ok {
+		return nil, errors.New(e.Err)
+	}
+	return m, nil
+}
+
+// ToErrResp wraps a handler error for the wire.
+func ToErrResp(err error) Message { return ErrResp{Err: err.Error()} }
+
+// ErrClosed reports an operation on a closed transport.
+var ErrClosed = errors.New("transport: closed")
+
+// ErrUnreachable reports an unknown or dead destination.
+var ErrUnreachable = errors.New("transport: unreachable")
+
+// wrongType builds the error for an unexpected response message.
+func wrongType(m Message) error {
+	return fmt.Errorf("transport: unexpected response type %T", m)
+}
+
+// Expect asserts the concrete response type, collapsing the usual
+// call-and-assert boilerplate at call sites.
+func Expect[T Message](m Message, err error) (T, error) {
+	var zero T
+	if err != nil {
+		return zero, err
+	}
+	m, err = AsError(m)
+	if err != nil {
+		return zero, err
+	}
+	v, ok := m.(T)
+	if !ok {
+		return zero, wrongType(m)
+	}
+	return v, nil
+}

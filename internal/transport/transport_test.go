@@ -1,0 +1,206 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/defragdht/d2/internal/keys"
+)
+
+func TestMemCallRoundTrip(t *testing.T) {
+	net := NewMemNetwork(0)
+	a := net.NewEndpoint()
+	b := net.NewEndpoint()
+	b.Serve(func(from Addr, req Message) (Message, error) {
+		if from != a.Addr() {
+			t.Errorf("from = %s, want %s", from, a.Addr())
+		}
+		return PingResp{Self: PeerInfo{Addr: b.Addr()}}, nil
+	})
+	resp, err := Expect[PingResp](a.Call(context.Background(), b.Addr(), PingReq{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Self.Addr != b.Addr() {
+		t.Errorf("resp addr = %s", resp.Self.Addr)
+	}
+}
+
+func TestMemUnreachable(t *testing.T) {
+	net := NewMemNetwork(0)
+	a := net.NewEndpoint()
+	if _, err := a.Call(context.Background(), "mem://nope", PingReq{}); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("err = %v, want ErrUnreachable", err)
+	}
+	b := net.NewEndpoint()
+	b.Serve(func(Addr, Message) (Message, error) { return PingResp{}, nil })
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Call(context.Background(), b.Addr(), PingReq{}); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("call to closed endpoint: %v, want ErrUnreachable", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Call(context.Background(), b.Addr(), PingReq{}); !errors.Is(err, ErrClosed) {
+		t.Errorf("call from closed endpoint: %v, want ErrClosed", err)
+	}
+}
+
+func TestMemLatency(t *testing.T) {
+	net := NewMemNetwork(20 * time.Millisecond)
+	a := net.NewEndpoint()
+	b := net.NewEndpoint()
+	b.Serve(func(Addr, Message) (Message, error) { return PingResp{}, nil })
+	start := time.Now()
+	if _, err := a.Call(context.Background(), b.Addr(), PingReq{}); err != nil {
+		t.Fatal(err)
+	}
+	if rtt := time.Since(start); rtt < 40*time.Millisecond {
+		t.Errorf("RTT = %v, want ≥ 40ms (two one-way delays)", rtt)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var k keys.Key
+	k[0] = 0xAB
+	srv.Serve(func(from Addr, req Message) (Message, error) {
+		get, ok := req.(GetReq)
+		if !ok {
+			return nil, fmt.Errorf("unexpected %T", req)
+		}
+		if get.Key != k {
+			return GetResp{Found: false}, nil
+		}
+		return GetResp{Found: true, Data: []byte("tcp-data")}, nil
+	})
+
+	cli, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	resp, err := Expect[GetResp](cli.Call(context.Background(), srv.Addr(), GetReq{Key: k}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Found || string(resp.Data) != "tcp-data" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	// Second call reuses the pooled connection.
+	if _, err := Expect[GetResp](cli.Call(context.Background(), srv.Addr(), GetReq{Key: k})); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPHandlerError(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Serve(func(Addr, Message) (Message, error) {
+		return nil, errors.New("boom")
+	})
+	cli, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	_, err = Expect[PingResp](cli.Call(context.Background(), srv.Addr(), PingReq{}))
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestTCPConcurrentCalls(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Serve(func(_ Addr, req Message) (Message, error) {
+		return req, nil // echo
+	})
+	cli, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var k keys.Key
+			k[0] = byte(i)
+			resp, err := Expect[GetReq](cli.Call(context.Background(), srv.Addr(), GetReq{Key: k}))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.Key != k {
+				errs <- fmt.Errorf("echo mismatch for %d", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestTCPContextTimeout(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Serve(func(Addr, Message) (Message, error) {
+		time.Sleep(500 * time.Millisecond)
+		return PingResp{}, nil
+	})
+	cli, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := cli.Call(ctx, srv.Addr(), PingReq{}); err == nil {
+		t.Fatal("slow call did not time out")
+	}
+}
+
+func TestExpectWrongType(t *testing.T) {
+	if _, err := Expect[PingResp](NotifyResp{}, nil); err == nil {
+		t.Error("wrong type accepted")
+	}
+	if _, err := Expect[PingResp](nil, errors.New("x")); err == nil {
+		t.Error("error swallowed")
+	}
+	if _, err := Expect[PingResp](ErrResp{Err: "remote"}, nil); err == nil || err.Error() != "remote" {
+		t.Errorf("ErrResp not converted: %v", err)
+	}
+}
+
+func TestPeerInfoIsZero(t *testing.T) {
+	if !(PeerInfo{}).IsZero() {
+		t.Error("zero PeerInfo not zero")
+	}
+	if (PeerInfo{Addr: "x"}).IsZero() {
+		t.Error("non-zero PeerInfo zero")
+	}
+}
