@@ -22,6 +22,7 @@ func benchScale() experiments.Scale { return experiments.Small }
 
 // BenchmarkTable1_Workloads generates the three synthetic workloads.
 func BenchmarkTable1_Workloads(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScale()
 	for i := 0; i < b.N; i++ {
 		tbl := experiments.Table1(s)
@@ -35,6 +36,7 @@ func BenchmarkTable1_Workloads(b *testing.B) {
 // three placement scenarios; the reported metric is ordered/traditional
 // (the paper shows ≈ 0.1).
 func BenchmarkFig3_Locality(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScale()
 	var ratio float64
 	for i := 0; i < b.N; i++ {
@@ -47,6 +49,7 @@ func BenchmarkFig3_Locality(b *testing.B) {
 // BenchmarkTable2_NodesPerTask measures mean nodes per task; the metric is
 // D2's mean at inter=5s (paper: 2 vs traditional's 11).
 func BenchmarkTable2_NodesPerTask(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScale()
 	var d2Nodes, tradNodes float64
 	for i := 0; i < b.N; i++ {
@@ -60,6 +63,7 @@ func BenchmarkTable2_NodesPerTask(b *testing.B) {
 // BenchmarkFig7_TaskAvailability runs the availability simulation; the
 // metric is traditional/D2 mean unavailability (paper: ≥ 10×).
 func BenchmarkFig7_TaskAvailability(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScale()
 	var improvement float64
 	for i := 0; i < b.N; i++ {
@@ -77,6 +81,7 @@ func BenchmarkFig7_TaskAvailability(b *testing.B) {
 
 // BenchmarkFig8_PerUserUnavailability ranks per-user unavailability.
 func BenchmarkFig8_PerUserUnavailability(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScale()
 	var affected float64
 	for i := 0; i < b.N; i++ {
@@ -122,6 +127,7 @@ func largestSeq1500(points []experiments.PerfPoint) *experiments.PerfPoint {
 // fraction of traditional's at the largest size (paper: < 1/20 at 1,000
 // nodes).
 func BenchmarkFig9_LookupTraffic(b *testing.B) {
+	b.ReportAllocs()
 	var ratio float64
 	for i := 0; i < b.N; i++ {
 		p := largestSeq1500(sweep(b))
@@ -133,6 +139,7 @@ func BenchmarkFig9_LookupTraffic(b *testing.B) {
 // BenchmarkFig10_SpeedupVsTraditional reports the seq geomean speedup at
 // the largest size and 1500 kbps (paper: ≥ 1.9 at 1,000 nodes).
 func BenchmarkFig10_SpeedupVsTraditional(b *testing.B) {
+	b.ReportAllocs()
 	var speedup float64
 	for i := 0; i < b.N; i++ {
 		tbl := experiments.Fig10(sweep(b))
@@ -168,6 +175,7 @@ func sscanFloat(s string, out *float64) (int, error) {
 // BenchmarkFig11_SpeedupVsTradFile reports the seq speedup over the
 // traditional-file DHT.
 func BenchmarkFig11_SpeedupVsTradFile(b *testing.B) {
+	b.ReportAllocs()
 	var speedup float64
 	for i := 0; i < b.N; i++ {
 		tbl := experiments.Fig11(sweep(b))
@@ -179,6 +187,7 @@ func BenchmarkFig11_SpeedupVsTradFile(b *testing.B) {
 // BenchmarkFig12_PerUserSpeedup reports how many users see a speedup > 1
 // (paper: most users, a few degrade).
 func BenchmarkFig12_PerUserSpeedup(b *testing.B) {
+	b.ReportAllocs()
 	var fasterFrac float64
 	for i := 0; i < b.N; i++ {
 		tbl := experiments.Fig12(sweep(b))
@@ -204,6 +213,7 @@ func BenchmarkFig12_PerUserSpeedup(b *testing.B) {
 // BenchmarkFig13_CacheMissRate reports D2's and traditional's mean
 // per-user miss rates at the largest size (paper: 13% vs > 47%).
 func BenchmarkFig13_CacheMissRate(b *testing.B) {
+	b.ReportAllocs()
 	var d2Miss, tradMiss float64
 	for i := 0; i < b.N; i++ {
 		p := largestSeq1500(sweep(b))
@@ -217,6 +227,7 @@ func BenchmarkFig13_CacheMissRate(b *testing.B) {
 // BenchmarkFig14_LatencyScatter reports the fraction of access groups
 // above the diagonal vs the traditional DHT (seq).
 func BenchmarkFig14_LatencyScatter(b *testing.B) {
+	b.ReportAllocs()
 	var share float64
 	for i := 0; i < b.N; i++ {
 		pts := experiments.Fig14Scatter(sweep(b), false)
@@ -236,6 +247,7 @@ func BenchmarkFig14_LatencyScatter(b *testing.B) {
 // BenchmarkFig15_LatencyScatterFile is the same vs the traditional-file
 // DHT.
 func BenchmarkFig15_LatencyScatterFile(b *testing.B) {
+	b.ReportAllocs()
 	var share float64
 	for i := 0; i < b.N; i++ {
 		pts := experiments.Fig15Scatter(sweep(b), false)
@@ -255,6 +267,7 @@ func BenchmarkFig15_LatencyScatterFile(b *testing.B) {
 // BenchmarkFig16_LoadImbalanceHarvard reports D2's mean imbalance over the
 // Harvard run (the paper's Figure 16 line sits at or below traditional's).
 func BenchmarkFig16_LoadImbalanceHarvard(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScale()
 	var d2Imb, tradImb float64
 	for i := 0; i < b.N; i++ {
@@ -276,6 +289,7 @@ func BenchmarkFig16_LoadImbalanceHarvard(b *testing.B) {
 // BenchmarkFig17_LoadImbalanceWebcache is the same under the extreme-churn
 // web cache workload.
 func BenchmarkFig17_LoadImbalanceWebcache(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScale()
 	var d2Imb float64
 	for i := 0; i < b.N; i++ {
@@ -292,6 +306,7 @@ func BenchmarkFig17_LoadImbalanceWebcache(b *testing.B) {
 // BenchmarkTable3_ChurnRatios reports the webcache daily write ratio
 // (paper: ≈ 1 and beyond; Harvard: 0.1–0.2).
 func BenchmarkTable3_ChurnRatios(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScale()
 	var last float64
 	for i := 0; i < b.N; i++ {
@@ -305,6 +320,7 @@ func BenchmarkTable3_ChurnRatios(b *testing.B) {
 // BenchmarkTable4_MigrationOverhead reports the Harvard L/W ratio (paper:
 // ≈ 0.5 over the week).
 func BenchmarkTable4_MigrationOverhead(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScale()
 	var ratio float64
 	for i := 0; i < b.N; i++ {
@@ -321,6 +337,7 @@ func BenchmarkTable4_MigrationOverhead(b *testing.B) {
 // BenchmarkAblation_Pointers reports migration bytes with pointers off
 // divided by with pointers on (> 1 means pointers help, §6).
 func BenchmarkAblation_Pointers(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScale()
 	var tbl *experiments.Table
 	for i := 0; i < b.N; i++ {
@@ -343,6 +360,7 @@ func BenchmarkAblation_Pointers(b *testing.B) {
 
 // BenchmarkAblation_Replicas compares r=3 and r=4 unavailability.
 func BenchmarkAblation_Replicas(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScale()
 	for i := 0; i < b.N; i++ {
 		tbl := experiments.AblationReplicas(s)
@@ -354,6 +372,7 @@ func BenchmarkAblation_Replicas(b *testing.B) {
 
 // BenchmarkAblation_CacheTTL sweeps the lookup-cache TTL.
 func BenchmarkAblation_CacheTTL(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScale()
 	for i := 0; i < b.N; i++ {
 		tbl := experiments.AblationCacheTTL(s)
@@ -367,12 +386,14 @@ func BenchmarkAblation_CacheTTL(b *testing.B) {
 // volume write through a small in-process cluster (blocks, metadata
 // chain, replication).
 func BenchmarkEndToEnd_VolumeWrite(b *testing.B) {
+	b.ReportAllocs()
 	benchVolume(b, true)
 }
 
 // BenchmarkEndToEnd_VolumeRead measures the live read path with a warm
 // lookup cache.
 func BenchmarkEndToEnd_VolumeRead(b *testing.B) {
+	b.ReportAllocs()
 	benchVolume(b, false)
 }
 
@@ -427,6 +448,7 @@ func benchVolume(b *testing.B, write bool) {
 
 // BenchmarkAblation_Hybrid evaluates the §11 future-work hybrid placement.
 func BenchmarkAblation_Hybrid(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScale()
 	for i := 0; i < b.N; i++ {
 		tbl := experiments.AblationHybrid(s)

@@ -1,0 +1,178 @@
+// Command d2bench converts `go test -bench` text output into a structured
+// JSON record (BENCH_<n>.json in this repo), optionally merging a baseline
+// run to compute per-benchmark speedups. It reads benchmark output from the
+// files given as arguments, or from stdin when none are given.
+//
+// Usage:
+//
+//	go test -bench . ./... | d2bench -o BENCH_1.json
+//	d2bench -before /tmp/bench_before.txt -o BENCH_1.json /tmp/bench_after.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// Metrics holds every other "<value> <unit>" pair on the line:
+	// B/op, allocs/op, MB/s, and custom b.ReportMetric units.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPUModel   string      `json:"cpu,omitempty"`
+	CPUs       int         `json:"cpus"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Baseline   []Benchmark `json:"baseline,omitempty"`
+	// Speedup maps benchmark name to baseline ns/op divided by current
+	// ns/op (> 1 means the current run is faster).
+	Speedup map[string]float64 `json:"speedup,omitempty"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "d2bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	before := flag.String("before", "", "baseline `go test -bench` output to diff against")
+	out := flag.String("o", "", "output JSON path (default stdout)")
+	flag.Parse()
+
+	rep := &Report{CPUs: runtime.NumCPU()}
+	if flag.NArg() == 0 {
+		if err := parseInto(rep, os.Stdin, true); err != nil {
+			return err
+		}
+	} else {
+		for _, path := range flag.Args() {
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			err = parseInto(rep, f, true)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+		}
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+
+	if *before != "" {
+		f, err := os.Open(*before)
+		if err != nil {
+			return err
+		}
+		base := &Report{}
+		err = parseInto(base, f, false)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", *before, err)
+		}
+		rep.Baseline = base.Benchmarks
+		rep.Speedup = make(map[string]float64)
+		byName := make(map[string]Benchmark, len(base.Benchmarks))
+		for _, b := range base.Benchmarks {
+			byName[b.Name] = b
+		}
+		for _, b := range rep.Benchmarks {
+			if prev, ok := byName[b.Name]; ok && b.NsPerOp > 0 {
+				rep.Speedup[b.Name] = prev.NsPerOp / b.NsPerOp
+			}
+		}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(*out, enc, 0o644)
+}
+
+// procSuffix strips the -GOMAXPROCS suffix go's benchmark runner appends
+// when GOMAXPROCS > 1, so runs from different machines diff by name.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseInto scans `go test -bench` text, appending benchmark lines to the
+// report. Header lines (goos/goarch/cpu) fill the metadata when meta is set.
+func parseInto(rep *Report, r io.Reader, meta bool) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			if meta {
+				rep.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			}
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			if meta {
+				rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			}
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			if meta {
+				rep.CPUModel = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			}
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue // result lines are name, N, then value/unit pairs
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{
+			Name:       procSuffix.ReplaceAllString(fields[0], ""),
+			Iterations: iters,
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				b.NsPerOp = v
+				continue
+			}
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = v
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	return sc.Err()
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	d2locality [-scale small|medium|full] [-table1] [-fig3] [-table2]
+//	d2locality [-scale small|medium|full] [-workers N] [-table1] [-fig3] [-table2]
 //
 // With no selection flags, everything runs.
 package main
@@ -27,6 +27,7 @@ func main() {
 
 func run() error {
 	scaleName := flag.String("scale", "medium", "experiment scale: small, medium, or full")
+	workers := flag.Int("workers", 0, "parallel analysis workers (0 = one per core)")
 	table1 := flag.Bool("table1", false, "print Table 1 (workload summary)")
 	fig3 := flag.Bool("fig3", false, "print Figure 3 (locality scenarios)")
 	table2 := flag.Bool("table2", false, "print Table 2 (nodes per task)")
@@ -36,6 +37,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	scale.Workers = *workers
 	all := !*table1 && !*fig3 && !*table2
 	if *table1 || all {
 		fmt.Println(experiments.Table1(scale))

@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	d2perf [-scale small|medium|full] [-fig9] [-fig10] [-fig11] [-fig12]
-//	       [-fig13] [-fig14] [-fig15] [-ablation-cachettl]
+//	d2perf [-scale small|medium|full] [-workers N] [-fig9] [-fig10] [-fig11]
+//	       [-fig12] [-fig13] [-fig14] [-fig15] [-ablation-cachettl]
 //
 // With no selection flags, everything runs.
 package main
@@ -28,6 +28,7 @@ func main() {
 
 func run() error {
 	scaleName := flag.String("scale", "medium", "experiment scale: small, medium, or full")
+	workers := flag.Int("workers", 0, "parallel simulation workers (0 = one per core)")
 	fig9 := flag.Bool("fig9", false, "Figure 9: lookup messages per node")
 	fig10 := flag.Bool("fig10", false, "Figure 10: speedup over traditional")
 	fig11 := flag.Bool("fig11", false, "Figure 11: speedup over traditional-file")
@@ -43,6 +44,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	scale.Workers = *workers
 	all := !*fig9 && !*fig10 && !*fig11 && !*fig12 && !*fig13 && !*fig14 && !*fig15 && !*ablTTL && !*ablHyb
 
 	needSweep := all || *fig9 || *fig10 || *fig11 || *fig12 || *fig13 || *fig14 || *fig15

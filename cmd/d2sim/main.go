@@ -7,8 +7,8 @@
 //
 // Usage:
 //
-//	d2sim [-scale small|medium|full] [-fig7] [-fig8] [-fig16] [-fig17]
-//	      [-table3] [-table4] [-ablation-pointers] [-ablation-replicas]
+//	d2sim [-scale small|medium|full] [-workers N] [-fig7] [-fig8] [-fig16]
+//	      [-fig17] [-table3] [-table4] [-ablation-pointers] [-ablation-replicas]
 //
 // With no selection flags, everything runs (minutes at medium scale).
 package main
@@ -30,6 +30,7 @@ func main() {
 
 func run() error {
 	scaleName := flag.String("scale", "medium", "experiment scale: small, medium, or full")
+	workers := flag.Int("workers", 0, "parallel simulation workers (0 = one per core)")
 	fig7 := flag.Bool("fig7", false, "Figure 7: task unavailability vs inter")
 	fig8 := flag.Bool("fig8", false, "Figure 8: per-user unavailability, ranked")
 	fig16 := flag.Bool("fig16", false, "Figure 16: load imbalance over time (Harvard)")
@@ -44,6 +45,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	scale.Workers = *workers
 	all := !*fig7 && !*fig8 && !*fig16 && !*fig17 && !*table3 && !*table4 && !*ablPtr && !*ablRep
 	if *fig7 || all {
 		fmt.Println(experiments.RenderFig7(experiments.Fig7(scale)))

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/defragdht/d2/internal/keys"
+	"github.com/defragdht/d2/internal/parexp"
 	"github.com/defragdht/d2/internal/placement"
 	"github.com/defragdht/d2/internal/sim"
 	"github.com/defragdht/d2/internal/simdht"
@@ -122,10 +123,18 @@ func Fig7(s Scale) *Fig7Result {
 func fig7WithReplicas(s Scale, replicas int) *Fig7Result {
 	inters := []time.Duration{time.Second, 5 * time.Second, 15 * time.Second, time.Minute}
 	res := &Fig7Result{Inters: inters, Unavail: make(map[string][][]float64)}
-	for _, sys := range availabilitySystems() {
+	systems := availabilitySystems()
+	// Every (system, trial) pair is an independent simulation: each builds
+	// its own trace, engine, cluster, and keyer, with all randomness seeded
+	// from the trial index, so the fan-out is exactly the serial run.
+	runs := parexp.Map(s.Workers, len(systems)*s.Trials, func(i int) *availRun {
+		sys := systems[i/s.Trials]
+		return runAvailabilityTrial(s, sys.Strategy, sys.Balance, replicas, i%s.Trials)
+	})
+	for si, sys := range systems {
 		series := make([][]float64, len(inters))
 		for trial := 0; trial < s.Trials; trial++ {
-			run := runAvailabilityTrial(s, sys.Strategy, sys.Balance, replicas, trial)
+			run := runs[si*s.Trials+trial]
 			for ii, inter := range inters {
 				tasks, failed, _ := run.taskStats(inter)
 				frac := 0.0
@@ -179,8 +188,12 @@ type Fig8Row struct {
 // the paper.
 func Fig8(s Scale) []Fig8Row {
 	var rows []Fig8Row
-	for _, sys := range availabilitySystems() {
-		run := runAvailabilityTrial(s, sys.Strategy, sys.Balance, 3, 0)
+	systems := availabilitySystems()
+	runs := parexp.Map(s.Workers, len(systems), func(i int) *availRun {
+		return runAvailabilityTrial(s, systems[i].Strategy, systems[i].Balance, 3, 0)
+	})
+	for si, sys := range systems {
+		run := runs[si]
 		_, _, perUser := run.taskStats(5 * time.Second)
 		var fracs []float64
 		for _, pu := range perUser {
@@ -215,23 +228,33 @@ func AblationReplicas(s Scale) *Table {
 		Title:   "Ablation: replicas r ∈ {3, 4}, task unavailability at inter = 5s (mean over trials)",
 		Headers: []string{"system", "r=3", "r=4"},
 	}
-	collect := func(replicas int) map[string]float64 {
+	systems := availabilitySystems()
+	reps := []int{3, 4}
+	// Flatten (replicas × system × trial) into one task list so all
+	// simulations of both replica settings run concurrently.
+	perRep := len(systems) * s.Trials
+	fracs := parexp.Map(s.Workers, len(reps)*perRep, func(i int) float64 {
+		sys := systems[(i%perRep)/s.Trials]
+		run := runAvailabilityTrial(s, sys.Strategy, sys.Balance, reps[i/perRep], i%s.Trials)
+		tasks, failed, _ := run.taskStats(5 * time.Second)
+		if tasks == 0 {
+			return 0
+		}
+		return float64(failed) / float64(tasks)
+	})
+	collect := func(ri int) map[string]float64 {
 		out := map[string]float64{}
-		for _, sys := range availabilitySystems() {
+		for si, sys := range systems {
 			var sum float64
 			for trial := 0; trial < s.Trials; trial++ {
-				run := runAvailabilityTrial(s, sys.Strategy, sys.Balance, replicas, trial)
-				tasks, failed, _ := run.taskStats(5 * time.Second)
-				if tasks > 0 {
-					sum += float64(failed) / float64(tasks)
-				}
+				sum += fracs[ri*perRep+si*s.Trials+trial]
 			}
 			out[sys.Name] = sum / float64(s.Trials)
 		}
 		return out
 	}
-	r3 := collect(3)
-	r4 := collect(4)
+	r3 := collect(0)
+	r4 := collect(1)
 	for _, sys := range []string{"d2", "traditional", "traditional-file"} {
 		t.Rows = append(t.Rows, []string{sys, sci(r3[sys]), sci(r4[sys])})
 	}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// determinismScale is a deliberately tiny run so the workers=1 vs workers=8
+// comparison (which simulates everything twice, under -race in CI) stays
+// fast while still covering multiple cells per driver.
+func determinismScale() Scale {
+	s := Small
+	s.Name = "determinism"
+	s.HarvardBytes = 8 << 20
+	s.HarvardUsers = 6
+	s.Days = 1
+	s.AvailNodes = 16
+	s.Trials = 2
+	s.PerfNodes = []int{60, 100}
+	s.PerfWindows = 2
+	return s
+}
+
+// TestParallelDeterminism is the regression guard for the worker pool: a
+// run with one worker and a run with eight must produce byte-identical
+// results. Each simulation derives all randomness from its own task index
+// and results are keyed by index, so scheduling order must never leak into
+// the output.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double simulation run in -short mode")
+	}
+	serial := determinismScale()
+	serial.Workers = 1
+	pooled := determinismScale()
+	pooled.Workers = 8
+
+	p1 := RunPerfSweep(serial)
+	p8 := RunPerfSweep(pooled)
+	if !reflect.DeepEqual(p1, p8) {
+		t.Error("RunPerfSweep differs between workers=1 and workers=8")
+	}
+	for _, render := range []func([]PerfPoint) *Table{Fig9, Fig10, Fig11, Fig13} {
+		if a, b := render(p1).String(), render(p8).String(); a != b {
+			t.Errorf("rendered perf table differs:\nworkers=1:\n%s\nworkers=8:\n%s", a, b)
+		}
+	}
+
+	f1 := Fig7(serial)
+	f8 := Fig7(pooled)
+	if !reflect.DeepEqual(f1, f8) {
+		t.Error("Fig7 differs between workers=1 and workers=8")
+	}
+	if a, b := RenderFig7(f1).String(), RenderFig7(f8).String(); a != b {
+		t.Errorf("rendered Fig7 differs:\nworkers=1:\n%s\nworkers=8:\n%s", a, b)
+	}
+}

@@ -63,6 +63,13 @@ type Scale struct {
 
 	// Seed namespaces all randomness for the run.
 	Seed uint64
+
+	// Workers bounds the experiment worker pool fanning independent
+	// (system × config × trial) simulations across goroutines; zero or
+	// negative means one worker per core. Results are identical for every
+	// value: each cell derives its randomness from its own index, never
+	// from scheduling order.
+	Workers int
 }
 
 // Small is sized for unit tests: seconds per experiment.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/defragdht/d2/internal/keys"
+	"github.com/defragdht/d2/internal/parexp"
 	"github.com/defragdht/d2/internal/placement"
 	"github.com/defragdht/d2/internal/sim"
 	"github.com/defragdht/d2/internal/simdht"
@@ -106,24 +107,24 @@ func runLoadBalance(s Scale, tr *trace.Trace, sys lbSystem) *LBSeries {
 // workload for the four systems.
 func Fig16(s Scale) []*LBSeries {
 	tr := s.HarvardTrace()
-	var out []*LBSeries
-	for _, sys := range lbSystems() {
-		out = append(out, runLoadBalance(s, tr, sys))
-	}
-	return out
+	systems := lbSystems()
+	// One simulation per system; the trace is read-only during replay, so
+	// the four clusters can share it.
+	return parexp.Map(s.Workers, len(systems), func(i int) *LBSeries {
+		return runLoadBalance(s, tr, systems[i])
+	})
 }
 
 // Fig17 reproduces Figure 17: load imbalance over time on the Webcache
 // workload.
 func Fig17(s Scale) []*LBSeries {
 	tr := s.WebCacheTrace()
-	var out []*LBSeries
-	for _, sys := range lbSystems() {
-		sys := sys
+	systems := lbSystems()
+	return parexp.Map(s.Workers, len(systems), func(i int) *LBSeries {
+		sys := systems[i]
 		sys.URLKeys = true
-		out = append(out, runLoadBalance(s, tr, sys))
-	}
-	return out
+		return runLoadBalance(s, tr, sys)
+	})
 }
 
 // RenderLBSeries formats imbalance series sampled every few hours.
@@ -227,10 +228,16 @@ func Table4(s Scale) *Table {
 		}
 		t.Rows = append(t.Rows, []string{name, "total", mb(wTot), mb(lTot), total})
 	}
-	d2h := runLoadBalance(s, s.HarvardTrace(), lbSystem{Name: "d2", Strategy: placement.D2, Balance: true})
-	add("harvard", d2h)
-	d2w := runLoadBalance(s, s.WebCacheTrace(), lbSystem{Name: "d2", Strategy: placement.D2, Balance: true, URLKeys: true})
-	add("webcache", d2w)
+	// The two workloads run concurrently; each task synthesizes its own
+	// trace so even trace generation overlaps.
+	runs := parexp.Map(s.Workers, 2, func(i int) *LBSeries {
+		if i == 0 {
+			return runLoadBalance(s, s.HarvardTrace(), lbSystem{Name: "d2", Strategy: placement.D2, Balance: true})
+		}
+		return runLoadBalance(s, s.WebCacheTrace(), lbSystem{Name: "d2", Strategy: placement.D2, Balance: true, URLKeys: true})
+	})
+	add("harvard", runs[0])
+	add("webcache", runs[1])
 	return t
 }
 
@@ -242,7 +249,8 @@ func AblationPointers(s Scale) *Table {
 		Headers: []string{"pointers", "migrated (MB)", "migrated/written"},
 	}
 	tr := s.HarvardTrace()
-	for _, disable := range []bool{false, true} {
+	t.Rows = parexp.Map(s.Workers, 2, func(i int) []string {
+		disable := i == 1
 		eng := &sim.Engine{}
 		c := simdht.New(eng, simdht.Config{
 			Nodes:           s.AvailNodes,
@@ -265,7 +273,7 @@ func AblationPointers(s Scale) *Table {
 		if c.WrittenBytes > 0 {
 			ratio = f2(float64(c.MigratedBytes) / float64(c.WrittenBytes))
 		}
-		t.Rows = append(t.Rows, []string{label, mb(c.MigratedBytes), ratio})
-	}
+		return []string{label, mb(c.MigratedBytes), ratio}
+	})
 	return t
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/defragdht/d2/internal/keys"
+	"github.com/defragdht/d2/internal/parexp"
 	"github.com/defragdht/d2/internal/trace"
 )
 
@@ -160,11 +161,12 @@ type Fig3Row struct {
 // Fig3 reproduces Figure 3: mean nodes accessed per user per hour under
 // the traditional, ordered, and lower-bound scenarios.
 func Fig3(s Scale) []Fig3Row {
-	var rows []Fig3Row
-	for _, tr := range []*trace.Trace{s.HarvardTrace(), s.HPTrace(), s.WebTrace()} {
-		rows = append(rows, fig3One(tr, s.BytesPerNode))
-	}
-	return rows
+	// Each workload's trace is synthesized inside its own task so the
+	// three analyses (and their trace generation) overlap.
+	builders := []func() *trace.Trace{s.HarvardTrace, s.HPTrace, s.WebTrace}
+	return parexp.Map(s.Workers, len(builders), func(i int) Fig3Row {
+		return fig3One(builders[i](), s.BytesPerNode)
+	})
 }
 
 func fig3One(tr *trace.Trace, perNode int64) Fig3Row {

@@ -8,6 +8,7 @@ import (
 
 	"github.com/defragdht/d2/internal/keys"
 	"github.com/defragdht/d2/internal/netmodel"
+	"github.com/defragdht/d2/internal/parexp"
 	"github.com/defragdht/d2/internal/perfsim"
 	"github.com/defragdht/d2/internal/placement"
 	"github.com/defragdht/d2/internal/stats"
@@ -39,25 +40,44 @@ func perfSystems() []perfsim.System {
 // from this result set.
 func RunPerfSweep(s Scale) []PerfPoint {
 	tr := s.HarvardTrace()
-	var points []PerfPoint
+	type cell struct {
+		nodes    int
+		bps      int64
+		parallel bool
+	}
+	var cells []cell
 	for _, nodes := range s.PerfNodes {
-		topo := netmodel.NewTopology(nodes, s.Seed+5)
 		for _, bps := range []int64{1_500_000, 384_000} {
 			for _, parallel := range []bool{false, true} {
-				p := PerfPoint{Nodes: nodes, BPS: bps, Parallel: parallel}
-				cfg := perfsim.Config{
-					Nodes:      nodes,
-					AccessBPS:  bps,
-					Parallel:   parallel,
-					NumWindows: s.PerfWindows,
-					Seed:       s.Seed + 17,
-				}
-				systems := perfSystems()
-				p.D2 = perfsim.Run(cfg, systems[0], tr, topo)
-				p.Trad = perfsim.Run(cfg, systems[1], tr, topo)
-				p.TradFile = perfsim.Run(cfg, systems[2], tr, topo)
-				points = append(points, p)
+				cells = append(cells, cell{nodes, bps, parallel})
 			}
+		}
+	}
+	// One task per (cell, system). Each task builds its own topology
+	// (NewTopology is deterministic in (nodes, seed)) and its own keyer
+	// (the D2 namespace keyer is stateful), so tasks share only the
+	// read-only trace.
+	const numSys = 3
+	results := parexp.Map(s.Workers, len(cells)*numSys, func(i int) *perfsim.Result {
+		cl := cells[i/numSys]
+		sys := perfSystems()[i%numSys]
+		topo := netmodel.NewTopology(cl.nodes, s.Seed+5)
+		cfg := perfsim.Config{
+			Nodes:      cl.nodes,
+			AccessBPS:  cl.bps,
+			Parallel:   cl.parallel,
+			NumWindows: s.PerfWindows,
+			Seed:       s.Seed + 17,
+		}
+		return perfsim.Run(cfg, sys, tr, topo)
+	})
+	points := make([]PerfPoint, len(cells))
+	for ci, cl := range cells {
+		points[ci] = PerfPoint{
+			Nodes: cl.nodes, BPS: cl.bps, Parallel: cl.parallel,
+			D2:       results[ci*numSys+0],
+			Trad:     results[ci*numSys+1],
+			TradFile: results[ci*numSys+2],
 		}
 	}
 	return points
@@ -292,19 +312,19 @@ func AblationCacheTTL(s Scale) *Table {
 	}
 	tr := s.HarvardTrace()
 	nodes := s.PerfNodes[len(s.PerfNodes)-1]
-	topo := netmodel.NewTopology(nodes, s.Seed+5)
-	sys := perfSystems()[0]
-	for _, ttl := range []time.Duration{5 * time.Minute, 20 * time.Minute, 75 * time.Minute, 5 * time.Hour} {
+	ttls := []time.Duration{5 * time.Minute, 20 * time.Minute, 75 * time.Minute, 5 * time.Hour}
+	t.Rows = parexp.Map(s.Workers, len(ttls), func(i int) []string {
+		// Topology and keyer rebuilt per task: both are deterministic, and
+		// the D2 keyer is stateful so it cannot be shared across goroutines.
+		topo := netmodel.NewTopology(nodes, s.Seed+5)
 		res := perfsim.Run(perfsim.Config{
 			Nodes:      nodes,
-			CacheTTL:   ttl,
+			CacheTTL:   ttls[i],
 			NumWindows: s.PerfWindows,
 			Seed:       s.Seed + 17,
-		}, sys, tr, topo)
-		t.Rows = append(t.Rows, []string{
-			ttl.String(), f2(res.MeanUserMissRate()), f2(res.MsgsPerNode()),
-		})
-	}
+		}, perfSystems()[0], tr, topo)
+		return []string{ttls[i].String(), f2(res.MeanUserMissRate()), f2(res.MsgsPerNode())}
+	})
 	return t
 }
 
@@ -318,13 +338,11 @@ func AblationHybrid(s Scale) *Table {
 		Headers: []string{"nodes", "system", "speedup vs trad", "msgs/node", "miss rate"},
 	}
 	tr := s.HarvardTrace()
-	vol := keys.NewVolumeID([]byte("d2-hybrid"), "harvard")
-	systems := []perfsim.System{
-		{Name: "d2", Keyer: placement.ForStrategy(placement.D2, vol), Balanced: true},
-		{Name: "hybrid", Keyer: placement.NewHybrid(vol, 8), Balanced: true},
-	}
-	trad := perfsim.System{Name: "traditional", Keyer: placement.ForStrategy(placement.HashedBlock, vol)}
-	for _, nodes := range s.PerfNodes {
+	// Three runs per node count (traditional baseline, d2, hybrid), each an
+	// independent task with its own topology and keyer.
+	const numSys = 3
+	results := parexp.Map(s.Workers, len(s.PerfNodes)*numSys, func(i int) *perfsim.Result {
+		nodes := s.PerfNodes[i/numSys]
 		topo := netmodel.NewTopology(nodes, s.Seed+5)
 		cfg := perfsim.Config{
 			Nodes:      nodes,
@@ -333,11 +351,24 @@ func AblationHybrid(s Scale) *Table {
 			NumWindows: s.PerfWindows,
 			Seed:       s.Seed + 17,
 		}
-		tradRes := perfsim.Run(cfg, trad, tr, topo)
-		for _, sys := range systems {
-			res := perfsim.Run(cfg, sys, tr, topo)
+		vol := keys.NewVolumeID([]byte("d2-hybrid"), "harvard")
+		var sys perfsim.System
+		switch i % numSys {
+		case 0:
+			sys = perfsim.System{Name: "traditional", Keyer: placement.ForStrategy(placement.HashedBlock, vol)}
+		case 1:
+			sys = perfsim.System{Name: "d2", Keyer: placement.ForStrategy(placement.D2, vol), Balanced: true}
+		default:
+			sys = perfsim.System{Name: "hybrid", Keyer: placement.NewHybrid(vol, 8), Balanced: true}
+		}
+		return perfsim.Run(cfg, sys, tr, topo)
+	})
+	for ni, nodes := range s.PerfNodes {
+		tradRes := results[ni*numSys]
+		for si, name := range []string{"d2", "hybrid"} {
+			res := results[ni*numSys+1+si]
 			t.Rows = append(t.Rows, []string{
-				fmt.Sprintf("%d", nodes), sys.Name,
+				fmt.Sprintf("%d", nodes), name,
 				f2(speedup(tradRes, res)), f2(res.MsgsPerNode()), f2(res.MeanUserMissRate()),
 			})
 		}

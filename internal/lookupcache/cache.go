@@ -26,6 +26,9 @@ type Cache[V any] struct {
 	// the origin is split on insert, so for every entry either lo < hi or
 	// lo == MaxKey (the arc [0, hi]).
 	entries []entry[V]
+	// minExpires is a lower bound on every entry's expiry, letting Sweep
+	// return immediately while nothing can have expired.
+	minExpires time.Duration
 
 	hits   uint64
 	misses uint64
@@ -96,30 +99,44 @@ func (c *Cache[V]) Insert(lo, hi keys.Key, v V, now time.Duration) {
 }
 
 func (c *Cache[V]) insertArc(lo, hi keys.Key, v V, now time.Duration) {
-	// Evict entries overlapping (lo, hi]. Entries and the new arc are
-	// plain intervals in key order (wrapped arcs were split), so overlap
-	// is an interval test on (lo, hi] vs (e.lo, e.hi].
-	out := c.entries[:0]
-	for i := range c.entries {
-		e := c.entries[i]
-		if overlaps(lo, hi, e.lo, e.hi) {
-			continue
-		}
-		out = append(out, e)
+	// Evict entries overlapping (lo, hi]: aLo < bHi && bLo < aHi treated
+	// as linear intervals (callers split wraps). Non-wrapped entries are
+	// pairwise disjoint and sorted by hi — hence also by lo — so the
+	// candidates form a run starting at the first entry with e.hi > lo,
+	// found by binary search, and ending at the first non-wrapped entry
+	// with e.lo ≥ hi. Wrapped entries (lo == MaxKey) never satisfy
+	// e.lo < hi; they are skipped in place and never end the run.
+	i := c.search(lo)
+	if i < len(c.entries) && c.entries[i].hi.Equal(lo) {
+		i++
 	}
-	c.entries = out
+	j := i
+	for j < len(c.entries) {
+		e := &c.entries[j]
+		if e.lo.Less(e.hi) && !e.lo.Less(hi) {
+			break
+		}
+		j++
+	}
+	w := i
+	for r := i; r < j; r++ {
+		if c.entries[r].lo.Less(hi) {
+			continue // overlapping: evict
+		}
+		c.entries[w] = c.entries[r]
+		w++
+	}
+	if w < j {
+		c.entries = append(c.entries[:w], c.entries[j:]...)
+	}
 	e := entry[V]{lo: lo, hi: hi, value: v, expires: now + c.ttl}
-	i := c.search(hi)
+	i = c.search(hi)
 	c.entries = append(c.entries, entry[V]{})
 	copy(c.entries[i+1:], c.entries[i:])
 	c.entries[i] = e
-}
-
-// overlaps reports whether the half-open arcs (aLo, aHi] and (bLo, bHi]
-// intersect, treating them as linear intervals (callers split wraps).
-func overlaps(aLo, aHi, bLo, bHi keys.Key) bool {
-	// (aLo, aHi] ∩ (bLo, bHi] ≠ ∅ ⇔ aLo < bHi && bLo < aHi.
-	return aLo.Less(bHi) && bLo.Less(aHi)
+	if len(c.entries) == 1 || e.expires < c.minExpires {
+		c.minExpires = e.expires
+	}
 }
 
 // Invalidate removes the entry covering k, if any: called after a cached
@@ -132,13 +149,22 @@ func (c *Cache[V]) Invalidate(k keys.Key) {
 }
 
 // Sweep drops every expired entry; call it occasionally to bound memory in
-// long-running clients.
+// long-running clients. While no entry can have expired (all expiries are
+// at least minExpires), it returns without walking the entries at all.
 func (c *Cache[V]) Sweep(now time.Duration) {
+	if now < c.minExpires || len(c.entries) == 0 {
+		return
+	}
 	out := c.entries[:0]
+	min := time.Duration(0)
 	for _, e := range c.entries {
 		if e.expires > now {
+			if min == 0 || e.expires < min {
+				min = e.expires
+			}
 			out = append(out, e)
 		}
 	}
 	c.entries = out
+	c.minExpires = min
 }

@@ -1,0 +1,72 @@
+// Package parexp fans independent experiment tasks out across a bounded
+// worker pool. Every paper experiment decomposes into (system × config ×
+// trial) cells that share no mutable state — each builds its own engine,
+// cluster, and keyer, and derives its randomness from the cell index — so
+// the pool preserves determinism by construction: results are stored by
+// task index, never by completion order, and a run with one worker is
+// byte-identical to a run with many.
+package parexp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values above zero are taken
+// as-is; zero and negative values mean "use every core" (GOMAXPROCS).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(i) for every i in [0, n) on at most workers goroutines
+// (Workers semantics: ≤ 0 means all cores) and returns the results in
+// index order. fn must not share mutable state across indices; it may be
+// called from multiple goroutines concurrently. With one worker, or n ≤ 1,
+// everything runs on the calling goroutine.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	out := make([]T, n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Do runs the given tasks on at most workers goroutines and waits for all
+// of them. It is Map for heterogeneous task lists that write their own
+// results.
+func Do(workers int, tasks ...func()) {
+	Map(workers, len(tasks), func(i int) struct{} {
+		tasks[i]()
+		return struct{}{}
+	})
+}

@@ -1,0 +1,80 @@
+package parexp
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Errorf("Workers(4) = %d, want 4", got)
+	}
+	if got := Workers(1); got != 1 {
+		t.Errorf("Workers(1) = %d, want 1", got)
+	}
+	cores := runtime.GOMAXPROCS(0)
+	if got := Workers(0); got != cores {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, cores)
+	}
+	if got := Workers(-3); got != cores {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, cores)
+	}
+}
+
+func TestMapOrdering(t *testing.T) {
+	// Results land at their task index regardless of worker count or
+	// scheduling order.
+	for _, workers := range []int{1, 2, 7, 64} {
+		out := Map(workers, 100, func(i int) int { return i * i })
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: len = %d, want 100", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEachIndexOnce(t *testing.T) {
+	calls := make([]atomic.Int32, 50)
+	Map(8, len(calls), func(i int) struct{} {
+		calls[i].Add(1)
+		return struct{}{}
+	})
+	for i := range calls {
+		if n := calls[i].Load(); n != 1 {
+			t.Errorf("index %d called %d times, want 1", i, n)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if out := Map(4, 0, func(i int) int { return i }); out != nil {
+		t.Errorf("Map with n=0 = %v, want nil", out)
+	}
+	if out := Map(4, -5, func(i int) int { return i }); out != nil {
+		t.Errorf("Map with n<0 = %v, want nil", out)
+	}
+}
+
+func TestMapSingle(t *testing.T) {
+	out := Map(16, 1, func(i int) string { return "only" })
+	if len(out) != 1 || out[0] != "only" {
+		t.Errorf("Map n=1 = %v", out)
+	}
+}
+
+func TestDo(t *testing.T) {
+	var a, b, c atomic.Int32
+	Do(3,
+		func() { a.Store(1) },
+		func() { b.Store(2) },
+		func() { c.Store(3) },
+	)
+	if a.Load() != 1 || b.Load() != 2 || c.Load() != 3 {
+		t.Errorf("Do left tasks unrun: %d %d %d", a.Load(), b.Load(), c.Load())
+	}
+}

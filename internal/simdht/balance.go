@@ -81,8 +81,8 @@ func (c *Cluster) moveNode(b, a *Node) {
 // byte-balanced halves: the new predecessor takes (pred, median] and a
 // keeps (median, a].
 func (c *Cluster) medianSplit(a *Node) (keys.Key, bool) {
-	rank, ok := c.rankOf(a.ID)
-	if !ok {
+	rank := c.memberRank(a)
+	if rank < 0 {
 		return keys.Key{}, false
 	}
 	lo, hi := c.rangeOf(rank)

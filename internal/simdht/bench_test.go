@@ -1,0 +1,104 @@
+package simdht
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/defragdht/d2/internal/keys"
+	"github.com/defragdht/d2/internal/sim"
+)
+
+// benchCluster builds a populated cluster for the hot-path benchmarks: the
+// membership/metadata scans below dominate resyncArc during churn, so they
+// are measured against a ring with a realistic block count.
+func benchCluster(nodes, blocks int) (*Cluster, []keys.Key) {
+	eng := &sim.Engine{}
+	c := New(eng, Config{Nodes: nodes, Replicas: 3, Seed: 11})
+	rng := rand.New(rand.NewPCG(11, 17))
+	ks := make([]keys.Key, blocks)
+	for i := range ks {
+		ks[i] = keys.Random(rng)
+		c.PutInstant(ks[i], 4096)
+	}
+	return c, ks
+}
+
+// BenchmarkHolds measures the per-block holder membership test, the
+// innermost predicate of every resync pass.
+func BenchmarkHolds(b *testing.B) {
+	b.ReportAllocs()
+	c, ks := benchCluster(128, 4096)
+	handles := make([]int32, len(ks))
+	holders := make([]int, len(ks))
+	for i, k := range ks {
+		handles[i] = c.byKey[k]
+		holders[i] = int(c.blocks[handles[i]].holders[0])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(ks)
+		if !c.holds(holders[j], handles[j]) {
+			b.Fatal("holder lost")
+		}
+	}
+}
+
+// BenchmarkNodeInGroup measures the replica-group membership test used when
+// deciding whether a retried fetch is still wanted.
+func BenchmarkNodeInGroup(b *testing.B) {
+	b.ReportAllocs()
+	c, ks := benchCluster(128, 4096)
+	owners := make([]int, len(ks))
+	for i, k := range ks {
+		owners[i] = c.ownerNode(k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(ks)
+		if !c.nodeInGroup(owners[j], ks[j]) {
+			b.Fatal("owner left group")
+		}
+	}
+}
+
+// BenchmarkReplicaNodes measures successor-group resolution (scratch-backed,
+// so steady state should not allocate).
+func BenchmarkReplicaNodes(b *testing.B) {
+	b.ReportAllocs()
+	c, ks := benchCluster(128, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(c.replicaNodes(ks[i%len(ks)])) == 0 {
+			b.Fatal("empty group")
+		}
+	}
+}
+
+// BenchmarkResyncBlockStable measures a full no-op resync pass over a block
+// whose replica set is already correct — the common case during churn, and
+// pure metadata scanning.
+func BenchmarkResyncBlockStable(b *testing.B) {
+	b.ReportAllocs()
+	c, ks := benchCluster(128, 4096)
+	handles := make([]int32, len(ks))
+	for i, k := range ks {
+		handles[i] = c.byKey[k]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.resyncBlock(handles[i%len(handles)], false)
+	}
+}
+
+// BenchmarkMemberRank measures ring-position lookup, used by every
+// responsibility recomputation and median split.
+func BenchmarkMemberRank(b *testing.B) {
+	b.ReportAllocs()
+	c, _ := benchCluster(128, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.memberRank(c.nodes[i%len(c.nodes)]) < 0 {
+			b.Fatal("node not a member")
+		}
+	}
+}

@@ -98,7 +98,12 @@ type Node struct {
 	RespBytes int64
 
 	held map[int32]struct{}
-	link *sim.Link
+	// ptrs and fetch index the node's block pointers and in-flight fetches
+	// by block handle, mirroring the per-block pointer/fetching lists so
+	// membership tests are O(1) on the resync hot path.
+	ptrs  map[int32]struct{}
+	fetch map[int32]struct{}
+	link  *sim.Link
 }
 
 // member pairs a ring position with the node occupying it.
@@ -131,11 +136,23 @@ type Cluster struct {
 
 	nodes   []*Node
 	members []member // sorted by id; only up nodes
+	// rankByNode maps node index → current rank in members (-1 when the
+	// node is not a member), maintained on every membership change so a
+	// member's own rank never needs a binary search.
+	rankByNode []int
 
 	global btree.Tree[int32]
 	blocks []blockMeta
 	free   []int32
 	byKey  map[keys.Key]int32
+
+	// Scratch buffers reused across events to keep the per-event resync
+	// path allocation-free. Values returned by replicaNodes alias
+	// repScratch and are only valid until the next replicaNodes call.
+	repScratch   []int
+	pendScratch  []int32
+	extraScratch []int32
+	dropScratch  []int32
 
 	userLinks map[int32]*sim.Link
 
@@ -158,12 +175,18 @@ func New(eng *sim.Engine, cfg Config) *Cluster {
 		byKey:     make(map[keys.Key]int32),
 		userLinks: make(map[int32]*sim.Link),
 	}
+	c.rankByNode = make([]int, cfg.Nodes)
+	for i := range c.rankByNode {
+		c.rankByNode[i] = -1
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		n := &Node{
-			Idx:  i,
-			Up:   true,
-			held: make(map[int32]struct{}),
-			link: sim.NewLink(eng, cfg.MigrationBPS),
+			Idx:   i,
+			Up:    true,
+			held:  make(map[int32]struct{}),
+			ptrs:  make(map[int32]struct{}),
+			fetch: make(map[int32]struct{}),
+			link:  sim.NewLink(eng, cfg.MigrationBPS),
 		}
 		for {
 			n.ID = keys.Random(c.rng)
@@ -192,7 +215,8 @@ func (c *Cluster) Nodes() []*Node { return c.nodes }
 func (c *Cluster) NumBlocks() int { return c.global.Len() }
 
 // rankOf returns the sorted position of id among members and whether a
-// member with exactly that id exists.
+// member with exactly that id exists. For a node's own current position
+// use memberRank, which is O(1).
 func (c *Cluster) rankOf(id keys.Key) (int, bool) {
 	i := sort.Search(len(c.members), func(i int) bool {
 		return !c.members[i].id.Less(id)
@@ -202,6 +226,10 @@ func (c *Cluster) rankOf(id keys.Key) (int, bool) {
 	}
 	return i, false
 }
+
+// memberRank returns the node's current rank in the member list, or -1
+// when the node is not a member.
+func (c *Cluster) memberRank(n *Node) int { return c.rankByNode[n.Idx] }
 
 // succRank returns the rank of the member owning key k.
 func (c *Cluster) succRank(k keys.Key) int {
@@ -213,6 +241,8 @@ func (c *Cluster) succRank(k keys.Key) int {
 }
 
 // replicaNodes returns the node indices of the r members succeeding key k.
+// The returned slice aliases a scratch buffer valid only until the next
+// replicaNodes call; callers that nest resync operations must copy it.
 func (c *Cluster) replicaNodes(k keys.Key) []int {
 	l := len(c.members)
 	if l == 0 {
@@ -222,11 +252,12 @@ func (c *Cluster) replicaNodes(k keys.Key) []int {
 	if r > l {
 		r = l
 	}
-	out := make([]int, 0, r)
+	out := c.repScratch[:0]
 	start := c.succRank(k)
 	for i := 0; i < r; i++ {
 		out = append(out, c.members[(start+i)%l].node)
 	}
+	c.repScratch = out
 	return out
 }
 
@@ -254,15 +285,22 @@ func (c *Cluster) insertMember(n *Node) {
 	c.members = append(c.members, member{})
 	copy(c.members[i+1:], c.members[i:])
 	c.members[i] = member{id: n.ID, node: n.Idx}
+	for j := i; j < len(c.members); j++ {
+		c.rankByNode[c.members[j].node] = j
+	}
 }
 
 // deleteMember removes the node from the member list (no resync).
 func (c *Cluster) deleteMember(n *Node) {
-	i, exists := c.rankOf(n.ID)
-	if !exists || c.members[i].node != n.Idx {
+	i := c.memberRank(n)
+	if i < 0 || c.members[i].node != n.Idx || !c.members[i].id.Equal(n.ID) {
 		panic(fmt.Sprintf("simdht: removing absent member %s", n.ID.Short()))
 	}
 	c.members = append(c.members[:i], c.members[i+1:]...)
+	c.rankByNode[n.Idx] = -1
+	for j := i; j < len(c.members); j++ {
+		c.rankByNode[c.members[j].node] = j
+	}
 }
 
 // affectedArc returns the key arc whose replica groups changed after a
@@ -292,8 +330,8 @@ func (c *Cluster) recomputeResp(n *Node) {
 	if !n.Up {
 		return
 	}
-	rank, exists := c.rankOf(n.ID)
-	if !exists {
+	rank := c.memberRank(n)
+	if rank < 0 {
 		return
 	}
 	if len(c.members) == 1 {
@@ -348,7 +386,7 @@ func (c *Cluster) NodeRecover(idx int) {
 	lo, hi := c.affectedArc(n.ID)
 	c.resyncArc(lo, hi, false)
 	c.recomputeResp(n)
-	if rank, ok := c.rankOf(n.ID); ok {
+	if rank := c.memberRank(n); rank >= 0 {
 		l := len(c.members)
 		c.recomputeResp(c.nodes[c.members[(rank+1)%l].node])
 	}
@@ -361,7 +399,7 @@ func (c *Cluster) NodeRecover(idx int) {
 // sweepStale drops the node's held replicas that are no longer in their
 // block's replica group, provided the group is fully stocked.
 func (c *Cluster) sweepStale(n *Node) {
-	var drop []int32
+	drop := c.dropScratch[:0]
 	for h := range n.held {
 		b := &c.blocks[h]
 		if !b.live {
@@ -371,18 +409,30 @@ func (c *Cluster) sweepStale(n *Node) {
 		if c.nodeInGroup(n.Idx, b.key) {
 			continue
 		}
-		if c.groupFullyStocked(b) {
+		if c.groupFullyStocked(b, h) {
 			drop = append(drop, h)
 		}
 	}
+	c.dropScratch = drop
 	for _, h := range drop {
 		c.dropReplica(n, h)
 	}
 }
 
+// nodeInGroup reports whether idx is one of the r successors of key k,
+// walking the member ring directly so no replica slice is built.
 func (c *Cluster) nodeInGroup(idx int, k keys.Key) bool {
-	for _, d := range c.replicaNodes(k) {
-		if d == idx {
+	l := len(c.members)
+	if l == 0 {
+		return false
+	}
+	r := c.cfg.Replicas
+	if r > l {
+		r = l
+	}
+	start := c.succRank(k)
+	for i := 0; i < r; i++ {
+		if c.members[(start+i)%l].node == idx {
 			return true
 		}
 	}
@@ -391,39 +441,31 @@ func (c *Cluster) nodeInGroup(idx int, k keys.Key) bool {
 
 // groupFullyStocked reports whether every desired replica of the block is
 // an actual stored copy.
-func (c *Cluster) groupFullyStocked(b *blockMeta) bool {
+func (c *Cluster) groupFullyStocked(b *blockMeta, h int32) bool {
 	desired := c.replicaNodes(b.key)
 	for _, d := range desired {
-		if !c.holds(d, b) {
+		if !c.holds(d, h) {
 			return false
 		}
 	}
 	return len(desired) > 0
 }
 
-func (c *Cluster) holds(idx int, b *blockMeta) bool {
-	for _, h := range b.holders {
-		if int(h) == idx {
-			return true
-		}
-	}
-	return false
+// holds reports whether node idx stores block h (O(1) via the node's held
+// index, which addReplica/dropReplica keep in sync with b.holders).
+func (c *Cluster) holds(idx int, h int32) bool {
+	_, ok := c.nodes[idx].held[h]
+	return ok
 }
 
-func (c *Cluster) hasPointer(idx int, b *blockMeta) bool {
-	for _, p := range b.pointers {
-		if p.node == idx {
-			return true
-		}
-	}
-	return false
+// hasPointer reports whether node idx holds a pointer for block h.
+func (c *Cluster) hasPointer(idx int, h int32) bool {
+	_, ok := c.nodes[idx].ptrs[h]
+	return ok
 }
 
-func (c *Cluster) isFetching(idx int, b *blockMeta) bool {
-	for _, f := range b.fetching {
-		if int(f) == idx {
-			return true
-		}
-	}
-	return false
+// isFetching reports whether node idx has an in-flight fetch of block h.
+func (c *Cluster) isFetching(idx int, h int32) bool {
+	_, ok := c.nodes[idx].fetch[h]
+	return ok
 }

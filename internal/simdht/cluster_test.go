@@ -26,6 +26,8 @@ func newTestCluster(t *testing.T, nodes int, cfg Config) (*sim.Engine, *Cluster)
 func checkInvariants(t *testing.T, c *Cluster) {
 	t.Helper()
 	heldBytes := make(map[int]int64)
+	ptrCount := make(map[int]int)
+	fetchCount := make(map[int]int)
 	for h := range c.blocks {
 		b := &c.blocks[h]
 		if !b.live {
@@ -43,13 +45,33 @@ func checkInvariants(t *testing.T, c *Cluster) {
 			}
 			heldBytes[int(holder)] += int64(b.size)
 		}
+		for _, p := range b.pointers {
+			if !c.hasPointer(p.node, int32(h)) {
+				t.Fatalf("block %s lists pointer at %d but node index lacks it", b.key.Short(), p.node)
+			}
+			ptrCount[p.node]++
+		}
+		for _, f := range b.fetching {
+			if !c.isFetching(int(f), int32(h)) {
+				t.Fatalf("block %s lists fetch at %d but node index lacks it", b.key.Short(), f)
+			}
+			fetchCount[int(f)]++
+		}
+	}
+	for _, n := range c.nodes {
+		if len(n.ptrs) != ptrCount[n.Idx] {
+			t.Fatalf("node %d pointer index has %d entries, blocks list %d", n.Idx, len(n.ptrs), ptrCount[n.Idx])
+		}
+		if len(n.fetch) != fetchCount[n.Idx] {
+			t.Fatalf("node %d fetch index has %d entries, blocks list %d", n.Idx, len(n.fetch), fetchCount[n.Idx])
+		}
 	}
 	for _, n := range c.nodes {
 		for h := range n.held {
 			if !c.blocks[h].live {
 				t.Fatalf("node %d holds dead block %d", n.Idx, h)
 			}
-			if !c.holds(n.Idx, &c.blocks[h]) {
+			if !c.holds(n.Idx, h) {
 				t.Fatalf("node %d holds block %d not listing it", n.Idx, h)
 			}
 		}
@@ -445,7 +467,7 @@ func TestManyRandomOpsKeepInvariants(t *testing.T) {
 		if !b.live {
 			continue
 		}
-		if !c.groupFullyStocked(b) {
+		if !c.groupFullyStocked(b, int32(h)) {
 			t.Fatalf("block %s not fully stocked at steady state (holders=%v fetching=%v pointers=%v)",
 				b.key.Short(), b.holders, b.fetching, b.pointers)
 		}

@@ -98,6 +98,12 @@ func (c *Cluster) removeNow(h int32) {
 		delete(n.held, h)
 		n.HeldBytes -= int64(b.size)
 	}
+	for _, p := range b.pointers {
+		delete(c.nodes[p.node].ptrs, h)
+	}
+	for _, f := range b.fetching {
+		delete(c.nodes[f].fetch, h)
+	}
 	b.holders = nil
 	b.pointers = nil
 	b.fetching = nil
@@ -140,11 +146,12 @@ func (c *Cluster) dropReplica(n *Node, h int32) {
 // with block pointers (§6); involuntary changes (failures) regenerate by
 // fetching over the migration link.
 func (c *Cluster) resyncArc(lo, hi keys.Key, viaPointers bool) {
-	var pending []int32
+	pending := c.pendScratch[:0]
 	c.global.AscendArc(lo, hi, func(_ keys.Key, h int32) bool {
 		pending = append(pending, h)
 		return true
 	})
+	c.pendScratch = pending
 	for _, h := range pending {
 		c.resyncBlock(h, viaPointers)
 	}
@@ -156,13 +163,15 @@ func (c *Cluster) resyncBlock(h int32, viaPointers bool) {
 	if !b.live {
 		return
 	}
+	// desired aliases the replica scratch: everything below that runs
+	// before maybeDropExtras must not call replicaNodes again.
 	desired := c.replicaNodes(b.key)
 	for _, d := range desired {
-		if c.holds(d, b) || c.hasPointer(d, b) || c.isFetching(d, b) {
+		if c.holds(d, h) || c.hasPointer(d, h) || c.isFetching(d, h) {
 			continue
 		}
 		if viaPointers && !c.cfg.DisablePointers {
-			if target := c.pickSource(b); target >= 0 {
+			if target := c.pickSource(b, h); target >= 0 {
 				c.createPointer(d, h, target)
 				continue
 			}
@@ -177,6 +186,8 @@ func (c *Cluster) resyncBlock(h int32, viaPointers bool) {
 		for _, p := range b.pointers {
 			if c.inIntSlice(desired, p.node) {
 				out = append(out, p)
+			} else {
+				delete(c.nodes[p.node].ptrs, h)
 			}
 		}
 		b.pointers = out
@@ -197,16 +208,25 @@ func (c *Cluster) inIntSlice(xs []int, v int) bool {
 // stores an actual copy, never risking the last copy.
 func (c *Cluster) maybeDropExtras(h int32) {
 	b := &c.blocks[h]
-	if !b.live || !c.groupFullyStocked(b) {
+	if !b.live {
 		return
 	}
 	desired := c.replicaNodes(b.key)
-	var extras []int32
+	if len(desired) == 0 {
+		return
+	}
+	for _, d := range desired {
+		if !c.holds(d, h) {
+			return
+		}
+	}
+	extras := c.extraScratch[:0]
 	for _, holder := range b.holders {
 		if !c.inIntSlice(desired, int(holder)) {
 			extras = append(extras, holder)
 		}
 	}
+	c.extraScratch = extras
 	for _, e := range extras {
 		c.dropReplica(c.nodes[e], h)
 	}
@@ -214,14 +234,14 @@ func (c *Cluster) maybeDropExtras(h int32) {
 
 // pickSource returns a node to fetch the block from: a live holder if one
 // exists, otherwise a live pointer target holding the block, otherwise -1.
-func (c *Cluster) pickSource(b *blockMeta) int {
+func (c *Cluster) pickSource(b *blockMeta, h int32) int {
 	for _, holder := range b.holders {
 		if c.nodes[holder].Up {
 			return int(holder)
 		}
 	}
 	for _, p := range b.pointers {
-		if c.nodes[p.target].Up && c.holds(p.target, b) {
+		if c.nodes[p.target].Up && c.holds(p.target, h) {
 			return p.target
 		}
 	}
@@ -234,6 +254,7 @@ func (c *Cluster) pickSource(b *blockMeta) int {
 func (c *Cluster) createPointer(d int, h int32, target int) {
 	b := &c.blocks[h]
 	b.pointers = append(b.pointers, ptrRef{node: d, target: target})
+	c.nodes[d].ptrs[h] = struct{}{}
 	c.Eng.After(c.cfg.PointerStabilization, func() {
 		c.stabilizePointer(d, h)
 	})
@@ -242,10 +263,10 @@ func (c *Cluster) createPointer(d int, h int32, target int) {
 // stabilizePointer converts a pointer into a fetch if it still stands.
 func (c *Cluster) stabilizePointer(d int, h int32) {
 	b := &c.blocks[h]
-	if !b.live || !c.hasPointer(d, b) {
+	if !b.live || !c.hasPointer(d, h) {
 		return
 	}
-	if c.holds(d, b) || c.isFetching(d, b) {
+	if c.holds(d, h) || c.isFetching(d, h) {
 		return
 	}
 	c.scheduleFetch(d, h)
@@ -255,14 +276,14 @@ func (c *Cluster) stabilizePointer(d int, h int32) {
 // link. If no live source exists, it retries after FetchRetry.
 func (c *Cluster) scheduleFetch(d int, h int32) {
 	b := &c.blocks[h]
-	if c.holds(d, b) || c.isFetching(d, b) {
+	if c.holds(d, h) || c.isFetching(d, h) {
 		return
 	}
 	node := c.nodes[d]
 	if !node.Up {
 		return
 	}
-	if c.pickSource(b) < 0 {
+	if c.pickSource(b, h) < 0 {
 		// All copies offline: retry once a source may be back.
 		c.Eng.After(c.cfg.FetchRetry, func() {
 			bb := &c.blocks[h]
@@ -273,6 +294,7 @@ func (c *Cluster) scheduleFetch(d int, h int32) {
 		return
 	}
 	b.fetching = append(b.fetching, int32(d))
+	node.fetch[h] = struct{}{}
 	size := int64(b.size)
 	node.link.Enqueue(size, func() {
 		c.finishFetch(d, h, size)
@@ -288,6 +310,7 @@ func (c *Cluster) finishFetch(d int, h int32, size int64) {
 			break
 		}
 	}
+	delete(c.nodes[d].fetch, h)
 	if !b.live {
 		return
 	}
@@ -301,6 +324,7 @@ func (c *Cluster) finishFetch(d int, h int32, size int64) {
 	for i, p := range b.pointers {
 		if p.node == d {
 			b.pointers = append(b.pointers[:i], b.pointers[i+1:]...)
+			delete(node.ptrs, h)
 			break
 		}
 	}
@@ -322,7 +346,7 @@ func (c *Cluster) BlockStatus(k keys.Key) (exists, available bool) {
 		}
 	}
 	for _, p := range b.pointers {
-		if c.nodes[p.node].Up && c.nodes[p.target].Up && c.holds(p.target, b) {
+		if c.nodes[p.node].Up && c.nodes[p.target].Up && c.holds(p.target, h) {
 			return true, true
 		}
 	}

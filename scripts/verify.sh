@@ -1,0 +1,19 @@
+#!/bin/sh
+# verify.sh — repo verification tiers.
+#
+#   scripts/verify.sh        tier 1: build + full test suite
+#   scripts/verify.sh race   tier 2: tier 1 plus go vet and the race
+#                            detector (catches data races in the parallel
+#                            experiment pool; several times slower)
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: go build ./... && go test ./..."
+go build ./...
+go test ./...
+
+if [ "${1:-}" = "race" ]; then
+	echo "== tier 2: go vet ./... && go test -race ./..."
+	go vet ./...
+	go test -race ./...
+fi
