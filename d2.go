@@ -264,6 +264,27 @@ func (c *Client) Get(ctx context.Context, k Key) ([]byte, error) {
 	return c.inner.Get(ctx, k)
 }
 
+// GetMany fetches a batch of blocks, grouping keys by owner so one RPC
+// covers a whole run of contiguous keys (a D2 file) per owner. Found
+// blocks map key → data; absent keys are omitted.
+func (c *Client) GetMany(ctx context.Context, ks []Key) (map[Key][]byte, error) {
+	return c.inner.GetMany(ctx, ks)
+}
+
+// RangeEntry is one block returned by ReadRange, in key order.
+type RangeEntry = node.RangeEntry
+
+// ReadRange reads every block in the circular arc (lo, hi] — for
+// locality-preserving keys, a whole file or directory subtree — issuing
+// about one RPC per owning node.
+func (c *Client) ReadRange(ctx context.Context, lo, hi Key) ([]RangeEntry, error) {
+	return c.inner.ReadRange(ctx, lo, hi)
+}
+
+// RPCs returns the total RPCs this client has issued (reads, writes, and
+// lookups), for measuring the batched read path.
+func (c *Client) RPCs() uint64 { return c.inner.RPCs() }
+
 // Remove deletes the block under key k (after the node-side delay).
 func (c *Client) Remove(ctx context.Context, k Key) error {
 	return c.inner.Remove(ctx, k)
@@ -287,3 +308,4 @@ func (c *Client) OpenVolume(ctx context.Context, name string, pub ed25519.Public
 }
 
 var _ fs.BlockService = (*Client)(nil)
+var _ fs.BatchBlockService = (*Client)(nil)

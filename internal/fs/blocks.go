@@ -117,10 +117,49 @@ func versionHash(data []byte) uint32 {
 }
 
 // signablePayload serializes the root block without its signature.
+//
+// The payload is a hand-rolled canonical encoding, NOT gob: gob assigns
+// wire type IDs from a process-global counter in first-use order, so the
+// same struct encodes to different bytes depending on what else the
+// process gob-encoded earlier (e.g. transport RPCs). A signature over a
+// gob encoding therefore only verifies in a process whose encode history
+// matches the signer's — which is why it must never be signed directly.
 func (r *RootBlock) signablePayload() ([]byte, error) {
-	clone := *r
-	clone.Signature = nil
-	return encode(&clone)
+	var buf bytes.Buffer
+	writeBytes := func(b []byte) {
+		var n [4]byte
+		binary.BigEndian.PutUint32(n[:], uint32(len(b)))
+		buf.Write(n[:])
+		buf.Write(b)
+	}
+	writeU32 := func(v uint32) {
+		var n [4]byte
+		binary.BigEndian.PutUint32(n[:], v)
+		buf.Write(n[:])
+	}
+	writeBytes([]byte(r.Name))
+	writeBytes(r.PublicKey)
+	writeU32(r.Version)
+	ino := &r.Root
+	if ino.IsDir {
+		buf.WriteByte(1)
+	} else {
+		buf.WriteByte(0)
+	}
+	var sz [8]byte
+	binary.BigEndian.PutUint64(sz[:], uint64(ino.Size))
+	buf.Write(sz[:])
+	writeBytes(ino.Inline)
+	writeU32(uint32(len(ino.BlockVers)))
+	for _, v := range ino.BlockVers {
+		writeU32(v)
+	}
+	writeU32(uint32(len(ino.BlockHashes)))
+	for i := range ino.BlockHashes {
+		buf.Write(ino.BlockHashes[i][:])
+	}
+	writeU32(uint32(ino.NextSlot))
+	return buf.Bytes(), nil
 }
 
 // pathCursor tracks the slot chain while resolving a path, producing the

@@ -22,6 +22,15 @@ type BlockService interface {
 	Remove(ctx context.Context, k keys.Key) error
 }
 
+// BatchBlockService is implemented by block services with a batched read
+// path (the live client's GetMany). Multi-block file reads use it to
+// fetch a file's whole key run in ~one RPC per owner instead of one per
+// block; plain BlockServices keep the sequential path.
+type BatchBlockService interface {
+	BlockService
+	GetMany(ctx context.Context, ks []keys.Key) (map[keys.Key][]byte, error)
+}
+
 // Options tunes a volume.
 type Options struct {
 	// WriteBackDelay is the write-back/read cache window (default 30 s,
@@ -224,27 +233,38 @@ func (v *Volume) currentRoot(ctx context.Context) (*RootBlock, error) {
 // readBlock fetches a block: pending writes win, then the 30 s read
 // cache, then the DHT.
 func (v *Volume) readBlock(ctx context.Context, k keys.Key) ([]byte, error) {
-	v.cmu.Lock()
-	if data, ok := v.pending[k]; ok {
-		v.cmu.Unlock()
+	if data, ok := v.cachedRead(k); ok {
 		return data, nil
 	}
-	if c, ok := v.rcache[k]; ok && time.Since(c.at) < v.opts.WriteBackDelay {
-		v.cmu.Unlock()
-		return c.data, nil
-	}
-	v.cmu.Unlock()
 	data, err := v.svc.Get(ctx, k)
 	if err != nil {
 		return nil, err
 	}
+	v.cacheRead(k, data)
+	return data, nil
+}
+
+// cachedRead checks pending writes and the read cache for a block.
+func (v *Volume) cachedRead(k keys.Key) ([]byte, bool) {
 	v.cmu.Lock()
+	defer v.cmu.Unlock()
+	if data, ok := v.pending[k]; ok {
+		return data, true
+	}
+	if c, ok := v.rcache[k]; ok && time.Since(c.at) < v.opts.WriteBackDelay {
+		return c.data, true
+	}
+	return nil, false
+}
+
+// cacheRead records a fetched block in the read cache.
+func (v *Volume) cacheRead(k keys.Key, data []byte) {
+	v.cmu.Lock()
+	defer v.cmu.Unlock()
 	v.rcache[k] = cachedBlock{data: data, at: time.Now()}
 	if len(v.rcache) > 4096 {
 		v.pruneCacheLocked()
 	}
-	v.cmu.Unlock()
-	return data, nil
 }
 
 // pruneCacheLocked evicts expired read-cache entries.
@@ -399,18 +419,68 @@ func (v *Volume) readContent(ctx context.Context, cur pathCursor, ino *Inode) ([
 	if len(ino.Inline) > 0 || len(ino.BlockVers) == 0 {
 		return ino.Inline, nil
 	}
-	out := make([]byte, 0, ino.Size)
-	for i, ver := range ino.BlockVers {
-		data, err := v.readBlock(ctx, cur.blockKey(uint64(i+1), ver))
-		if err != nil {
+	blks := make([][]byte, len(ino.BlockVers))
+	if batch, ok := v.svc.(BatchBlockService); ok && len(ino.BlockVers) > 1 {
+		if err := v.fetchBlocksBatched(ctx, batch, cur, ino, blks); err != nil {
 			return nil, err
 		}
+	} else {
+		for i, ver := range ino.BlockVers {
+			data, err := v.readBlock(ctx, cur.blockKey(uint64(i+1), ver))
+			if err != nil {
+				return nil, err
+			}
+			blks[i] = data
+		}
+	}
+	out := make([]byte, 0, ino.Size)
+	for i, data := range blks {
 		if contentHash(data) != ino.BlockHashes[i] {
 			return nil, fmt.Errorf("%w: block %d", ErrIntegrity, i+1)
 		}
 		out = append(out, data...)
 	}
 	return out, nil
+}
+
+// fetchBlocksBatched fills blks with the file's data blocks, fetching
+// cache misses through the service's batched read path. A file's blocks
+// form one contiguous key run (§4), so the batch usually costs one RPC
+// per owner; blocks the batch could not resolve retry on the sequential
+// path (which walks replicas) before failing.
+func (v *Volume) fetchBlocksBatched(ctx context.Context, batch BatchBlockService, cur pathCursor, ino *Inode, blks [][]byte) error {
+	var missing []keys.Key
+	at := make(map[keys.Key]int, len(ino.BlockVers))
+	for i, ver := range ino.BlockVers {
+		k := cur.blockKey(uint64(i+1), ver)
+		if data, ok := v.cachedRead(k); ok {
+			blks[i] = data
+			continue
+		}
+		at[k] = i
+		missing = append(missing, k)
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	got, err := batch.GetMany(ctx, missing)
+	if err != nil {
+		return err
+	}
+	for k, i := range at {
+		data, ok := got[k]
+		if !ok {
+			data, err = v.readBlock(ctx, k)
+			if err != nil {
+				return err
+			}
+			blks[i] = data
+			continue
+		}
+		v.cacheRead(k, data)
+		blks[i] = data
+	}
+	return nil
 }
 
 // loadEntries decodes a directory's entry list.

@@ -1,0 +1,148 @@
+package keys
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// checkRingLaws asserts the algebraic laws of circular key arithmetic for
+// one pair of keys. It is shared by the property test (random pairs), the
+// explicit zero-crossing cases, and the fuzz target.
+func checkRingLaws(t *testing.T, a, b Key) {
+	t.Helper()
+
+	// Add/Sub are inverse: (a+b)-b == a and (a-b)+b == a, even across the
+	// 2^512 wraparound.
+	if got := a.Add(b).Sub(b); !got.Equal(a) {
+		t.Fatalf("(a+b)-b != a: a=%s b=%s got=%s", a.Short(), b.Short(), got.Short())
+	}
+	if got := a.Sub(b).Add(b); !got.Equal(a) {
+		t.Fatalf("(a-b)+b != a: a=%s b=%s got=%s", a.Short(), b.Short(), got.Short())
+	}
+
+	// Walking the clockwise distance from a lands exactly on b.
+	d := a.Distance(b)
+	if got := a.Add(d); !got.Equal(b) {
+		t.Fatalf("a + dist(a,b) != b: a=%s b=%s", a.Short(), b.Short())
+	}
+	// Distances in the two directions sum to 0 (mod 2^512).
+	if got := d.Add(b.Distance(a)); !got.IsZero() && !a.Equal(b) {
+		t.Fatalf("dist(a,b)+dist(b,a) != 0: a=%s b=%s", a.Short(), b.Short())
+	}
+
+	// Next/Prev are single-step Add/Sub.
+	if got := a.Next(); !got.Equal(a.Add(one())) {
+		t.Fatalf("Next != Add(1): a=%s", a.Short())
+	}
+	if got := a.Prev(); !got.Equal(a.Sub(one())) {
+		t.Fatalf("Prev != Sub(1): a=%s", a.Short())
+	}
+
+	// Interval laws. For a != b the arcs (a,b] and (b,a] partition the
+	// ring: every key is in exactly one of them.
+	if !b.Between(a, b) {
+		t.Fatalf("b not in (a,b]: a=%s b=%s", a.Short(), b.Short())
+	}
+	if a.Between(a, b) && !a.Equal(b) {
+		t.Fatalf("a in (a,b]: a=%s b=%s", a.Short(), b.Short())
+	}
+	if !a.Equal(b) {
+		for _, k := range []Key{a, b, a.Next(), b.Next(), Midpoint(a, b), Zero, MaxKey} {
+			in1, in2 := k.Between(a, b), k.Between(b, a)
+			if in1 == in2 {
+				t.Fatalf("k=%s in both/neither of (a,b] and (b,a]: a=%s b=%s",
+					k.Short(), a.Short(), b.Short())
+			}
+			// Open interval is the half-open one minus the endpoint.
+			if open := k.InOpenInterval(a, b); open != (in1 && !k.Equal(b)) {
+				t.Fatalf("open/half-open mismatch at k=%s: a=%s b=%s",
+					k.Short(), a.Short(), b.Short())
+			}
+		}
+	}
+
+	// The midpoint lies on the clockwise arc from a to b, no further from
+	// a than b is, with the two halves rejoining to the full distance.
+	m := Midpoint(a, b)
+	dm, mb := a.Distance(m), m.Distance(b)
+	if dm.Compare(d) > 0 {
+		t.Fatalf("midpoint overshoots: a=%s b=%s m=%s", a.Short(), b.Short(), m.Short())
+	}
+	if got := dm.Add(mb); !got.Equal(d) {
+		t.Fatalf("midpoint halves don't sum: a=%s b=%s m=%s", a.Short(), b.Short(), m.Short())
+	}
+	if !a.Equal(b) && !m.Equal(a) && !m.Between(a, b) {
+		t.Fatalf("midpoint outside arc: a=%s b=%s m=%s", a.Short(), b.Short(), m.Short())
+	}
+}
+
+func one() Key {
+	var k Key
+	k[Size-1] = 1
+	return k
+}
+
+func TestRingArithmeticProperties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for i := 0; i < 2000; i++ {
+		a, b := Random(rng), Random(rng)
+		checkRingLaws(t, a, b)
+		checkRingLaws(t, a, a)
+	}
+}
+
+// TestRingArithmeticZeroCrossing pins down the wraparound cases random
+// sampling essentially never hits: arcs spanning the origin, and keys at
+// the very edges of the space.
+func TestRingArithmeticZeroCrossing(t *testing.T) {
+	nearMax := MaxKey.Sub(one().Add(one())) // 2^512 - 3
+	cases := []struct{ a, b Key }{
+		{MaxKey, Zero},                        // arc of length 1 across the origin
+		{Zero, MaxKey},                        // arc of everything but the origin
+		{MaxKey, one()},                       // short arc spanning the origin
+		{nearMax, one()},                      // slightly longer wrap
+		{MaxKey.Sub(one()), MaxKey},           // arc ending at the top
+		{Zero, Zero},                          // degenerate: whole ring
+		{MaxKey, MaxKey},                      // degenerate at the top
+		{one(), MaxKey},                       // nearly-whole ring, no wrap
+		{MaxKey.Half(), MaxKey.Half().Next()}, // mid-ring unit arc
+	}
+	for _, c := range cases {
+		checkRingLaws(t, c.a, c.b)
+	}
+
+	// Pinpoint checks of wraparound membership.
+	if !Zero.Between(MaxKey, Zero) {
+		t.Fatal("origin not in (max, 0]")
+	}
+	if MaxKey.Between(MaxKey, Zero) {
+		t.Fatal("max in (max, 0]")
+	}
+	if !MaxKey.Next().IsZero() {
+		t.Fatal("max+1 != 0")
+	}
+	if !Zero.Prev().Equal(MaxKey) {
+		t.Fatal("0-1 != max")
+	}
+	if got := Midpoint(MaxKey, one()); !got.IsZero() {
+		t.Fatalf("midpoint of (max, 1) = %s, want 0", got.Short())
+	}
+}
+
+// FuzzRingArithmetic lets the fuzzer hunt for key pairs violating the ring
+// laws, seeding it with the adversarial wraparound corpus.
+func FuzzRingArithmetic(f *testing.F) {
+	unit, half := one(), MaxKey.Half()
+	halfNext := half.Next()
+	f.Add(Zero[:], MaxKey[:])
+	f.Add(MaxKey[:], Zero[:])
+	f.Add(MaxKey[:], unit[:])
+	f.Add(half[:], halfNext[:])
+	f.Add(unit[:], unit[:])
+	f.Fuzz(func(t *testing.T, ab, bb []byte) {
+		var a, b Key
+		copy(a[:], ab)
+		copy(b[:], bb)
+		checkRingLaws(t, a, b)
+	})
+}

@@ -52,49 +52,77 @@ func (n *Node) moveTo(ctx context.Context, a transport.PeerInfo) {
 	}
 
 	// Leave: install pointers at our successor (the new owner of our old
-	// primary range) for the blocks we hold there.
+	// primary range) for the blocks we hold there. Entries we ourselves
+	// hold only as pointers are forwarded with their real target — a
+	// recent mover's arc is all pointers, and dropping them would leave
+	// the successor unable to serve the inherited arc.
 	if !oldPred.IsZero() {
 		for _, it := range n.st.Arc(oldPred.ID, oldSelf.ID) {
+			target := oldSelf.Addr
 			if it.Block.IsPointer() {
-				continue
+				target = it.Block.Pointer
+			}
+			if target == succ.Addr {
+				continue // the successor already stores this block
 			}
 			_, _ = transport.Expect[transport.PutPtrResp](n.call(ctx, succ.Addr, transport.PutPtrReq{
-				Key: it.Key, Target: oldSelf.Addr, Size: it.Block.Size,
+				Key: it.Key, Target: target, Size: it.Block.Size,
 			}))
 		}
 	}
 
-	// Rejoin at the median: a becomes our successor.
+	// Learn our prospective neighbors and take pointers to a for the new
+	// primary range BEFORE adopting the new identity: the moment lookups
+	// route to us for (pred, median] we must already answer with data or a
+	// redirect, never a spurious not-found.
 	aNeighbors, err := transport.Expect[transport.NeighborsResp](
 		n.call(ctx, a.Addr, transport.NeighborsReq{}))
 	if err != nil {
 		return
 	}
+	newPred := aNeighbors.Pred
+	// The split point must still be inside a's primary range; if another
+	// prober already rejoined at (or past) the median, adopting it now
+	// would duplicate a live node ID.
+	if !newPred.IsZero() && !split.Median.InOpenInterval(newPred.ID, a.ID) {
+		return
+	}
+	if !newPred.IsZero() {
+		// WithPointers: a may itself be a recent mover whose arc is still
+		// all pointers. We must learn those keys too — taking over the arc
+		// without them would make us a not-found hole — and we point at
+		// the node actually storing each block so chains never grow.
+		resp, err := transport.Expect[transport.RangeResp](n.call(ctx, a.Addr, transport.RangeReq{
+			Lo: newPred.ID, Hi: split.Median, WithPointers: true,
+		}))
+		if err != nil {
+			return
+		}
+		now := time.Now()
+		for _, it := range resp.Items {
+			if b, ok := n.st.Get(it.Key); ok && !b.IsPointer() {
+				continue
+			}
+			target := a.Addr
+			if it.Pointer != "" {
+				target = it.Pointer
+			}
+			if target == n.tr.Addr() {
+				continue // never install a self-pointer
+			}
+			n.st.PutPointer(it.Key, target, it.Size, now)
+		}
+	}
+
+	// Rejoin at the median: a becomes our successor.
 	n.mu.Lock()
 	n.self = transport.PeerInfo{ID: split.Median, Addr: n.tr.Addr()}
-	n.pred = aNeighbors.Pred
+	n.pred = newPred
 	n.succs = append([]transport.PeerInfo{a}, aNeighbors.Succs...)
 	n.trimSuccsLocked()
 	newSelf := n.self
-	newPred := n.pred
 	n.mu.Unlock()
 
 	_, _ = transport.Expect[transport.NotifyResp](
 		n.call(ctx, a.Addr, transport.NotifyReq{Cand: newSelf}))
-
-	// Take pointers to a for our new primary range.
-	if !newPred.IsZero() {
-		resp, err := transport.Expect[transport.RangeResp](n.call(ctx, a.Addr, transport.RangeReq{
-			Lo: newPred.ID, Hi: newSelf.ID,
-		}))
-		if err == nil {
-			now := time.Now()
-			for _, it := range resp.Items {
-				if b, ok := n.st.Get(it.Key); ok && !b.IsPointer() {
-					continue
-				}
-				n.st.PutPointer(it.Key, a.Addr, it.Size, now)
-			}
-		}
-	}
 }

@@ -1,0 +1,225 @@
+package node
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/defragdht/d2/internal/keys"
+	"github.com/defragdht/d2/internal/transport"
+)
+
+// batchFanout bounds the concurrent per-owner RPCs a single GetMany or
+// ReadRange issues.
+const batchFanout = 8
+
+// maxRangeParts bounds the owners one ReadRange may visit (a full ring
+// walk on a pathological cache would otherwise loop).
+const maxRangeParts = 1024
+
+// RangeEntry is one block returned by ReadRange, in key order.
+type RangeEntry struct {
+	Key  keys.Key
+	Data []byte
+}
+
+// ownerGroup is a run of sorted keys resolving to one owner.
+type ownerGroup struct {
+	owner transport.PeerInfo
+	keys  []keys.Key
+}
+
+// GetMany fetches a batch of blocks with as few RPCs as the placement
+// allows: keys are sorted, partitioned into runs by cached owner range
+// (§5 — for D2's contiguous file keys one partition covers a whole file),
+// and each owner is sent one MultiGet, with bounded fan-out across
+// owners. Keys the batch path cannot resolve (stale cache, pointer
+// chains, missing primaries) fall back to the per-key Get path with its
+// replica walk. The result maps each found key to its data; absent keys
+// are simply omitted. Duplicate keys are fetched once.
+func (c *Client) GetMany(ctx context.Context, ks []keys.Key) (map[keys.Key][]byte, error) {
+	out := make(map[keys.Key][]byte, len(ks))
+	if len(ks) == 0 {
+		return out, nil
+	}
+	sorted := append([]keys.Key(nil), ks...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+	dedup := sorted[:1]
+	for _, k := range sorted[1:] {
+		if !k.Equal(dedup[len(dedup)-1]) {
+			dedup = append(dedup, k)
+		}
+	}
+	groups, err := c.groupByOwner(ctx, dedup)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		mu       sync.Mutex
+		fallback []keys.Key
+		wg       sync.WaitGroup
+	)
+	sem := make(chan struct{}, batchFanout)
+	for _, g := range groups {
+		wg.Add(1)
+		go func(g ownerGroup) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			found, missed := c.multiGet(ctx, g)
+			mu.Lock()
+			for k, data := range found {
+				out[k] = data
+			}
+			fallback = append(fallback, missed...)
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+
+	for _, k := range fallback {
+		data, err := c.Get(ctx, k)
+		if errors.Is(err, ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return out, err
+		}
+		out[k] = data
+	}
+	return out, nil
+}
+
+// groupByOwner partitions sorted keys into per-owner runs. Consecutive
+// keys usually hit the same cached range, so this costs one lookup per
+// distinct owner, not per key.
+func (c *Client) groupByOwner(ctx context.Context, sorted []keys.Key) ([]ownerGroup, error) {
+	var groups []ownerGroup
+	for _, k := range sorted {
+		owner, err := c.Lookup(ctx, k)
+		if err != nil {
+			return nil, err
+		}
+		if n := len(groups); n > 0 && groups[n-1].owner.Addr == owner.Addr {
+			groups[n-1].keys = append(groups[n-1].keys, k)
+			continue
+		}
+		groups = append(groups, ownerGroup{owner: owner, keys: []keys.Key{k}})
+	}
+	return groups, nil
+}
+
+// multiGet issues one MultiGet to a group's owner, chasing pointer
+// redirects. It returns the resolved blocks and the keys that need the
+// per-key fallback.
+func (c *Client) multiGet(ctx context.Context, g ownerGroup) (found map[keys.Key][]byte, missed []keys.Key) {
+	found = make(map[keys.Key][]byte, len(g.keys))
+	resp, err := transport.Expect[transport.MultiGetResp](
+		c.call(ctx, g.owner.Addr, transport.MultiGetReq{Keys: g.keys}))
+	if err != nil || len(resp.Items) != len(g.keys) {
+		// Dead or stale owner: drop its cached range and let the
+		// fallback path re-resolve every key.
+		for _, k := range g.keys {
+			c.invalidate(k)
+		}
+		return found, g.keys
+	}
+	for i, it := range resp.Items {
+		k := g.keys[i]
+		switch {
+		case !it.Found:
+			missed = append(missed, k)
+		case it.Redirect != "":
+			if data, gerr := c.getFrom(ctx, it.Redirect, k); gerr == nil {
+				found[k] = data
+			} else {
+				missed = append(missed, k)
+			}
+		default:
+			found[k] = it.Data
+		}
+	}
+	return found, missed
+}
+
+// ReadRange reads every block stored in the circular arc (lo, hi]: the
+// arc is partitioned by owner range — each partition is the intersection
+// of the arc with one node's (pred, self] — and each owner is sent
+// FetchRange RPCs for its partition. With D2's locality-preserving keys a
+// whole file (or directory subtree) is one arc, so this reads it in ~one
+// RPC per owner instead of one per block. Blocks are returned in key
+// order. Requires lo != hi (a full-ring scan has no defined start).
+func (c *Client) ReadRange(ctx context.Context, lo, hi keys.Key) ([]RangeEntry, error) {
+	if lo.Equal(hi) {
+		return nil, errors.New("node: ReadRange needs a proper arc (lo != hi)")
+	}
+	var out []RangeEntry
+	cur := lo
+	for part := 0; part < maxRangeParts; part++ {
+		owner, err := c.Lookup(ctx, cur.Next())
+		if err != nil {
+			return nil, err
+		}
+		entries, segHi, last, err := c.fetchSegment(ctx, owner, cur, hi)
+		if err != nil {
+			// Stale cache: re-resolve the owner once and retry.
+			c.invalidate(cur.Next())
+			owner, err = c.freshLookup(ctx, cur.Next())
+			if err != nil {
+				return nil, err
+			}
+			entries, segHi, last, err = c.fetchSegment(ctx, owner, cur, hi)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, entries...)
+		if last {
+			return out, nil
+		}
+		cur = segHi
+	}
+	return nil, errors.New("node: range spans too many owners")
+}
+
+// fetchSegment reads the part of (cur, hi] owned by owner: the arc
+// (cur, min(owner.ID, hi)], paginating through FetchRange responses and
+// chasing pointer redirects. last reports that the segment reached hi.
+func (c *Client) fetchSegment(ctx context.Context, owner transport.PeerInfo, cur, hi keys.Key) (entries []RangeEntry, segHi keys.Key, last bool, err error) {
+	segHi = owner.ID
+	if hi.Between(cur, owner.ID) {
+		segHi, last = hi, true
+	}
+	lo := cur
+	for {
+		resp, rerr := transport.Expect[transport.FetchRangeResp](
+			c.call(ctx, owner.Addr, transport.FetchRangeReq{Lo: lo, Hi: segHi}))
+		if rerr != nil {
+			return nil, segHi, last, rerr
+		}
+		for _, it := range resp.Items {
+			if !it.Key.Between(cur, segHi) {
+				continue // defensive: never return keys outside the asked arc
+			}
+			if it.Redirect != "" {
+				data, gerr := c.getFrom(ctx, it.Redirect, it.Key)
+				if gerr != nil {
+					continue // pointer target gone; skip like a missing block
+				}
+				entries = append(entries, RangeEntry{Key: it.Key, Data: data})
+				continue
+			}
+			entries = append(entries, RangeEntry{Key: it.Key, Data: it.Data})
+		}
+		if !resp.More {
+			return entries, segHi, last, nil
+		}
+		if len(resp.Items) == 0 {
+			return nil, segHi, last, fmt.Errorf("node: FetchRange from %s made no progress", owner.Addr)
+		}
+		lo = resp.Items[len(resp.Items)-1].Key
+	}
+}

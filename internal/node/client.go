@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/defragdht/d2/internal/keys"
@@ -30,6 +31,9 @@ type Client struct {
 	start time.Time
 	// stats
 	hits, misses uint64
+	// rpcs counts every outbound RPC (atomically; benchmarks compare the
+	// batched and per-block read paths by RPCs issued).
+	rpcs atomic.Uint64
 }
 
 // ClientConfig parameterizes a client.
@@ -78,6 +82,15 @@ func (c *Client) Stats() (hits, misses uint64) {
 	return c.hits, c.misses
 }
 
+// RPCs returns the total RPCs this client has issued.
+func (c *Client) RPCs() uint64 { return c.rpcs.Load() }
+
+// call issues one counted RPC.
+func (c *Client) call(ctx context.Context, to transport.Addr, req transport.Message) (transport.Message, error) {
+	c.rpcs.Add(1)
+	return c.tr.Call(ctx, to, req)
+}
+
 // Lookup resolves the owner of key k, from cache when possible.
 func (c *Client) Lookup(ctx context.Context, k keys.Key) (transport.PeerInfo, error) {
 	c.mu.Lock()
@@ -97,11 +110,17 @@ func (c *Client) Lookup(ctx context.Context, k keys.Key) (transport.PeerInfo, er
 // freshLookup performs a full DHT lookup and caches the owner's range.
 // Lookups retry briefly: right after a crash, routing state needs a few
 // stabilization rounds to drop the dead node (§8.1: routing failures are
-// transient and resolved by retrying after the link repair time).
+// transient and resolved by retrying after the link repair time). Each
+// attempt visits the seeds in a rotated order so one dead seed is not
+// hammered first by every client, and attempts are spaced by jittered
+// exponential backoff so a burst of failing clients does not retry in
+// lockstep.
 func (c *Client) freshLookup(ctx context.Context, k keys.Key) (transport.PeerInfo, error) {
+	const attempts = 4
 	var lastErr error
-	for attempt := 0; attempt < 4; attempt++ {
-		for _, seed := range c.seeds {
+	backoff := 40 * time.Millisecond
+	for attempt := 0; attempt < attempts; attempt++ {
+		for _, seed := range c.seedOrder(attempt) {
 			owner, pred, err := c.iterLookup(ctx, seed, k)
 			if err != nil {
 				lastErr = err
@@ -114,13 +133,38 @@ func (c *Client) freshLookup(ctx context.Context, k keys.Key) (transport.PeerInf
 			}
 			return owner, nil
 		}
+		if attempt == attempts-1 {
+			break
+		}
+		c.mu.Lock()
+		jitter := time.Duration(c.rng.Int64N(int64(backoff)))
+		c.mu.Unlock()
 		select {
 		case <-ctx.Done():
 			return transport.PeerInfo{}, ctx.Err()
-		case <-time.After(time.Duration(50*(attempt+1)) * time.Millisecond):
+		case <-time.After(backoff/2 + jitter):
 		}
+		backoff *= 2
 	}
 	return transport.PeerInfo{}, fmt.Errorf("node: lookup failed: %w", lastErr)
+}
+
+// seedOrder returns the seed list for one lookup attempt. The first
+// attempt uses the configured order; retries rotate by a random offset so
+// a seed that just failed (or answered from a stale view) is not the
+// first one asked again.
+func (c *Client) seedOrder(attempt int) []transport.Addr {
+	if attempt == 0 || len(c.seeds) == 1 {
+		return c.seeds
+	}
+	c.mu.Lock()
+	off := 1 + c.rng.IntN(len(c.seeds)-1)
+	c.mu.Unlock()
+	out := make([]transport.Addr, len(c.seeds))
+	for i := range c.seeds {
+		out[i] = c.seeds[(off+i)%len(c.seeds)]
+	}
+	return out
 }
 
 // iterLookup drives the iterative protocol from a seed.
@@ -128,7 +172,7 @@ func (c *Client) iterLookup(ctx context.Context, start transport.Addr, k keys.Ke
 	cur := start
 	for hops := 0; hops < 128; hops++ {
 		resp, err := transport.Expect[transport.FindSuccResp](
-			c.tr.Call(ctx, cur, transport.FindSuccReq{Key: k}))
+			c.call(ctx, cur, transport.FindSuccReq{Key: k}))
 		if err != nil {
 			return transport.PeerInfo{}, transport.PeerInfo{}, err
 		}
@@ -156,7 +200,7 @@ func (c *Client) Put(ctx context.Context, k keys.Key, data []byte) error {
 	if err != nil {
 		return err
 	}
-	_, err = transport.Expect[transport.PutResp](c.tr.Call(ctx, owner.Addr, transport.PutReq{
+	_, err = transport.Expect[transport.PutResp](c.call(ctx, owner.Addr, transport.PutReq{
 		Key: k, Data: data, Replicate: true,
 	}))
 	if err != nil {
@@ -166,7 +210,7 @@ func (c *Client) Put(ctx context.Context, k keys.Key, data []byte) error {
 		if err != nil {
 			return err
 		}
-		_, err = transport.Expect[transport.PutResp](c.tr.Call(ctx, owner.Addr, transport.PutReq{
+		_, err = transport.Expect[transport.PutResp](c.call(ctx, owner.Addr, transport.PutReq{
 			Key: k, Data: data, Replicate: true,
 		}))
 	}
@@ -175,8 +219,28 @@ func (c *Client) Put(ctx context.Context, k keys.Key, data []byte) error {
 
 // Get fetches a block, following pointer redirects and trying secondary
 // replicas before falling back to a fresh lookup (§5: stale entries cost
-// latency, never correctness).
+// latency, never correctness). A not-found answer is retried briefly:
+// while balance moves resettle ownership, a key can be transiently
+// unreadable at its (brand-new) owner even though the block still exists
+// in the ring (§8.1 treats such failures as transient and retries them).
 func (c *Client) Get(ctx context.Context, k keys.Key) ([]byte, error) {
+	data, err := c.getOnce(ctx, k)
+	backoff := 100 * time.Millisecond
+	for attempt := 0; attempt < 2 && errors.Is(err, ErrNotFound); attempt++ {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		data, err = c.getOnce(ctx, k)
+	}
+	return data, err
+}
+
+// getOnce runs one full read sequence: cached owner, fresh lookup, then
+// the owner's replica group.
+func (c *Client) getOnce(ctx context.Context, k keys.Key) ([]byte, error) {
 	owner, err := c.Lookup(ctx, k)
 	if err != nil {
 		return nil, err
@@ -210,7 +274,7 @@ func (c *Client) Get(ctx context.Context, k keys.Key) ([]byte, error) {
 func (c *Client) getFrom(ctx context.Context, addr transport.Addr, k keys.Key) ([]byte, error) {
 	for i := 0; i < 2; i++ {
 		resp, err := transport.Expect[transport.GetResp](
-			c.tr.Call(ctx, addr, transport.GetReq{Key: k}))
+			c.call(ctx, addr, transport.GetReq{Key: k}))
 		if err != nil {
 			return nil, err
 		}
@@ -228,7 +292,7 @@ func (c *Client) getFrom(ctx context.Context, addr transport.Addr, k keys.Key) (
 // successorsOf fetches the replica group following the owner.
 func (c *Client) successorsOf(ctx context.Context, owner transport.PeerInfo) ([]transport.PeerInfo, error) {
 	resp, err := transport.Expect[transport.NeighborsResp](
-		c.tr.Call(ctx, owner.Addr, transport.NeighborsReq{}))
+		c.call(ctx, owner.Addr, transport.NeighborsReq{}))
 	if err != nil {
 		return nil, err
 	}
@@ -245,7 +309,7 @@ func (c *Client) Remove(ctx context.Context, k keys.Key) error {
 	if err != nil {
 		return err
 	}
-	_, err = transport.Expect[transport.RemoveResp](c.tr.Call(ctx, owner.Addr, transport.RemoveReq{
+	_, err = transport.Expect[transport.RemoveResp](c.call(ctx, owner.Addr, transport.RemoveReq{
 		Key: k, Replicate: true,
 	}))
 	if err != nil {
@@ -254,7 +318,7 @@ func (c *Client) Remove(ctx context.Context, k keys.Key) error {
 		if err != nil {
 			return err
 		}
-		_, err = transport.Expect[transport.RemoveResp](c.tr.Call(ctx, owner.Addr, transport.RemoveReq{
+		_, err = transport.Expect[transport.RemoveResp](c.call(ctx, owner.Addr, transport.RemoveReq{
 			Key: k, Replicate: true,
 		}))
 	}

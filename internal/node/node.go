@@ -9,6 +9,8 @@ package node
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"math/rand/v2"
 	"sync"
@@ -94,6 +96,11 @@ type Node struct {
 	succs []transport.PeerInfo
 	links []transport.PeerInfo
 	rng   *rand.Rand
+	// lastSplit records the median most recently handed to a balance
+	// prober, so concurrent probers cannot all be told the same split
+	// point and rejoin with identical IDs.
+	lastSplit   keys.Key
+	lastSplitAt time.Time
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -105,7 +112,17 @@ type Node struct {
 // initially forms a one-node ring; call Join to enter an existing one.
 func Start(tr transport.Transport, cfg Config) *Node {
 	cfg.applyDefaults()
-	rng := rand.New(rand.NewPCG(cfg.Seed, 0x4e4f4445)) // "NODE"
+	seed := cfg.Seed
+	if seed == 0 {
+		// Seed 0 means "random per node". Deriving it from the PCG
+		// default would give every node the same "random" ID — separate
+		// d2node processes would all join the ring at one position.
+		var b [8]byte
+		if _, err := crand.Read(b[:]); err == nil {
+			seed = binary.LittleEndian.Uint64(b[:])
+		}
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x4e4f4445)) // "NODE"
 	id := cfg.ID
 	if id.IsZero() {
 		id = keys.Random(rng)
@@ -241,7 +258,7 @@ func (n *Node) Close() error {
 func (n *Node) Leave(ctx context.Context) error {
 	items := n.st.Arc(n.Self().ID, n.Self().ID) // whole store
 	for _, it := range items {
-		if it.Block.IsPointer() {
+		if it.Block.IsPointer() || n.doomed(it.Key) {
 			continue
 		}
 		owner, _, err := n.Lookup(ctx, it.Key)

@@ -26,7 +26,7 @@ func testConfig(seed uint64) Config {
 
 // startRing boots n nodes on a shared memory network and waits for the
 // ring to converge.
-func startRing(t *testing.T, net *transport.MemNetwork, n int, mutate func(i int, c *Config)) []*Node {
+func startRing(t testing.TB, net *transport.MemNetwork, n int, mutate func(i int, c *Config)) []*Node {
 	t.Helper()
 	nodes := make([]*Node, n)
 	for i := 0; i < n; i++ {
@@ -49,7 +49,7 @@ func startRing(t *testing.T, net *transport.MemNetwork, n int, mutate func(i int
 }
 
 // waitConverged polls until successor pointers form the correct cycle.
-func waitConverged(t *testing.T, nodes []*Node, timeout time.Duration) {
+func waitConverged(t testing.TB, nodes []*Node, timeout time.Duration) {
 	t.Helper()
 	deadline := time.Now().Add(timeout)
 	for {
@@ -94,7 +94,7 @@ func ringConsistent(nodes []*Node) bool {
 	return true
 }
 
-func closeAll(t *testing.T, nodes []*Node) {
+func closeAll(t testing.TB, nodes []*Node) {
 	t.Helper()
 	for _, n := range nodes {
 		if err := n.Close(); err != nil {
@@ -103,7 +103,7 @@ func closeAll(t *testing.T, nodes []*Node) {
 	}
 }
 
-func newClient(t *testing.T, net *transport.MemNetwork, nodes []*Node) *Client {
+func newClient(t testing.TB, net *transport.MemNetwork, nodes []*Node) *Client {
 	t.Helper()
 	c, err := NewClient(net.NewEndpoint(), ClientConfig{
 		Seeds:    []transport.Addr{nodes[0].Self().Addr, nodes[len(nodes)-1].Self().Addr},

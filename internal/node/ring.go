@@ -25,6 +25,10 @@ func (n *Node) handle(from transport.Addr, req transport.Message) (transport.Mes
 		return n.handlePut(r), nil
 	case transport.GetReq:
 		return n.handleGet(r), nil
+	case transport.MultiGetReq:
+		return n.handleMultiGet(r), nil
+	case transport.FetchRangeReq:
+		return n.handleFetchRange(r), nil
 	case transport.RemoveReq:
 		return n.handleRemove(r), nil
 	case transport.PutPtrReq:
@@ -46,12 +50,16 @@ func (n *Node) handle(from transport.Addr, req transport.Message) (transport.Mes
 }
 
 // owns reports whether this node owns key k: k ∈ (pred, self]. A node
-// without a predecessor owns everything (bootstrap).
+// without a predecessor claims the whole ring only when it is genuinely
+// alone (bootstrap): a node that merely lost its predecessor during churn
+// must not over-claim keys it cannot serve — its predecessor-side
+// neighbor asserts this node's range instead (the Done-succ branch of
+// FindSucc).
 func (n *Node) owns(k keys.Key) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.pred.IsZero() || n.pred.Addr == n.self.Addr {
-		return true
+		return n.succs[0].Addr == n.self.Addr && len(n.links) == 0
 	}
 	return k.Between(n.pred.ID, n.self.ID)
 }
@@ -167,6 +175,7 @@ func (n *Node) stabilize() {
 		// (two-node bootstrap), they are both our predecessor and our
 		// successor.
 		if pred.IsZero() || pred.Addr == self.Addr {
+			n.rejoinViaLink(ctx)
 			return
 		}
 		n.mu.Lock()
@@ -211,6 +220,40 @@ func (n *Node) stabilize() {
 		n.call(ctx, head.Addr, transport.NotifyReq{Cand: self}))
 	n.learnLink(head)
 	n.probeOneLink(ctx)
+}
+
+// rejoinViaLink re-enters the ring through a long link after the
+// successor list collapsed. Heavy balance churn can invalidate every
+// successor entry (each move changes a node's ID) faster than
+// replacements are learned, leaving a node isolated — claiming nothing
+// and reachable by stale links — even though its link table still names
+// live peers. Look up our own ID from a link and adopt the answer as
+// successor, exactly as an initial Join does.
+func (n *Node) rejoinViaLink(ctx context.Context) {
+	n.mu.Lock()
+	var start transport.Addr
+	if len(n.links) > 0 {
+		start = n.links[n.rng.IntN(len(n.links))].Addr
+	}
+	id := n.self.ID
+	n.mu.Unlock()
+	if start == "" {
+		return // genuinely alone: nothing to rejoin
+	}
+	owner, pred, err := n.iterLookup(ctx, start, id)
+	if err != nil || owner.Addr == n.tr.Addr() {
+		return
+	}
+	n.mu.Lock()
+	if n.pred.IsZero() && !pred.IsZero() && pred.Addr != n.tr.Addr() {
+		n.pred = pred
+	}
+	n.succs = append([]transport.PeerInfo{owner}, n.succs...)
+	n.trimSuccsLocked()
+	self := n.self
+	n.mu.Unlock()
+	_, _ = transport.Expect[transport.NotifyResp](
+		n.call(ctx, owner.Addr, transport.NotifyReq{Cand: self}))
 }
 
 // probeOneLink pings a random long link, dropping it (and refreshing its

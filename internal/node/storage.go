@@ -35,6 +35,53 @@ func (n *Node) handleGet(r transport.GetReq) transport.Message {
 	return transport.GetResp{Found: true, Data: b.Data}
 }
 
+// handleMultiGet serves a batch of blocks in one RPC, one item per
+// requested key in request order. Pointer entries report a redirect
+// instead of data, exactly as handleGet does.
+func (n *Node) handleMultiGet(r transport.MultiGetReq) transport.Message {
+	blocks := n.st.GetBatch(r.Keys)
+	items := make([]transport.BatchItem, len(r.Keys))
+	for i, b := range blocks {
+		items[i].Key = r.Keys[i]
+		if b == nil {
+			continue
+		}
+		items[i].Found = true
+		if b.IsPointer() {
+			items[i].Redirect = b.Pointer
+		} else {
+			items[i].Data = b.Data
+		}
+	}
+	return transport.MultiGetResp{Items: items}
+}
+
+// fetchRangeMaxItems caps one FetchRange response; larger scans paginate
+// via the More flag.
+const fetchRangeMaxItems = 4096
+
+// handleFetchRange ships every block held in the arc (Lo, Hi] with its
+// data — the read-path counterpart of handleRange. Pointer entries become
+// redirects so the caller can chase the data.
+func (n *Node) handleFetchRange(r transport.FetchRangeReq) transport.Message {
+	limit := r.Limit
+	if limit <= 0 || limit > fetchRangeMaxItems {
+		limit = fetchRangeMaxItems
+	}
+	items, more := n.st.ArcLimit(r.Lo, r.Hi, limit)
+	out := make([]transport.BatchItem, 0, len(items))
+	for _, it := range items {
+		bi := transport.BatchItem{Key: it.Key, Found: true}
+		if it.Block.IsPointer() {
+			bi.Redirect = it.Block.Pointer
+		} else {
+			bi.Data = it.Block.Data
+		}
+		out = append(out, bi)
+	}
+	return transport.FetchRangeResp{Items: out, More: more}
+}
+
 // handleRemove deletes a block after the removal delay (§3), forwarding to
 // the replica group when asked.
 func (n *Node) handleRemove(r transport.RemoveReq) transport.Message {
@@ -64,6 +111,17 @@ func (n *Node) scheduleRemoval(k keys.Key, delay time.Duration) {
 	})
 }
 
+// doomed reports whether k has a delayed removal pending. Repair and
+// handoff must not push doomed blocks: the copy would land without a
+// removal schedule and resurrect the block after every holder that knew
+// about the remove has deleted it (§3).
+func (n *Node) doomed(k keys.Key) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.removeTimers[k]
+	return ok
+}
+
 // forwardToReplicas sends the request to the r-1 successors, best effort.
 func (n *Node) forwardToReplicas(req transport.Message) {
 	n.mu.Lock()
@@ -86,18 +144,29 @@ func (n *Node) forwardToReplicas(req transport.Message) {
 }
 
 // handleSplit returns the byte-median of this node's primary range, so a
-// light prober can take the lower half (§6).
+// light prober can take the lower half (§6). A node hands out one split
+// point at a time: until the previous prober has rejoined as predecessor
+// (or visibly given up), concurrent probers are refused — otherwise two
+// movers would both adopt the same median as their ID and corrupt the
+// ring with duplicate node IDs.
 func (n *Node) handleSplit() transport.Message {
 	n.mu.Lock()
 	pred, self := n.pred, n.self
+	settling := !n.lastSplit.IsZero() &&
+		time.Since(n.lastSplitAt) < 10*n.cfg.StabilizeInterval &&
+		!pred.ID.Equal(n.lastSplit)
 	n.mu.Unlock()
-	if pred.IsZero() {
+	if pred.IsZero() || settling {
 		return transport.SplitResp{}
 	}
 	m, ok := n.st.MedianKey(pred.ID, self.ID)
 	if !ok || m.Equal(self.ID) {
 		return transport.SplitResp{}
 	}
+	n.mu.Lock()
+	n.lastSplit = m
+	n.lastSplitAt = time.Now()
+	n.mu.Unlock()
 	return transport.SplitResp{Ok: true, Median: m}
 }
 
@@ -106,11 +175,13 @@ func (n *Node) handleRange(r transport.RangeReq) transport.Message {
 	items := n.st.Arc(r.Lo, r.Hi)
 	resp := transport.RangeResp{}
 	for _, it := range items {
-		if it.Block.IsPointer() {
+		if it.Block.IsPointer() && !r.WithPointers {
 			continue
 		}
 		out := transport.RangeItem{Key: it.Key, Size: it.Block.Size}
-		if r.WithData {
+		if it.Block.IsPointer() {
+			out.Pointer = it.Block.Pointer
+		} else if r.WithData {
 			out.Data = it.Block.Data
 		}
 		resp.Items = append(resp.Items, out)
@@ -174,7 +245,7 @@ func (n *Node) pushMissing(ctx context.Context, target transport.PeerInfo, lo, h
 		have[it.Key] = true
 	}
 	for _, it := range items {
-		if it.Block.IsPointer() || have[it.Key] {
+		if it.Block.IsPointer() || have[it.Key] || n.doomed(it.Key) {
 			continue
 		}
 		_, _ = transport.Expect[transport.PutResp](n.call(ctx, target.Addr, transport.PutReq{
@@ -209,7 +280,7 @@ func (n *Node) replicaRangeStart(ctx context.Context) (keys.Key, bool) {
 func (n *Node) handOffOutside(ctx context.Context, lo, hi keys.Key) {
 	all := n.st.Arc(hi, hi) // whole store in key order
 	for _, it := range all {
-		if it.Key.Between(lo, hi) || it.Block.IsPointer() {
+		if it.Key.Between(lo, hi) || it.Block.IsPointer() || n.doomed(it.Key) {
 			continue
 		}
 		owner, _, err := n.Lookup(ctx, it.Key)

@@ -91,6 +91,21 @@ func (s *Store) Get(k keys.Key) (*Block, bool) {
 	return s.tree.Get(k)
 }
 
+// GetBatch returns the entries for a batch of keys (nil for absent ones)
+// under a single lock acquisition, serving MultiGet without paying the
+// read-lock once per block.
+func (s *Store) GetBatch(ks []keys.Key) []*Block {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Block, len(ks))
+	for i, k := range ks {
+		if b, ok := s.tree.Get(k); ok {
+			out[i] = b
+		}
+	}
+	return out
+}
+
 // Delete removes the entry under k immediately.
 func (s *Store) Delete(k keys.Key) bool {
 	s.mu.Lock()
@@ -153,6 +168,23 @@ func (s *Store) Arc(lo, hi keys.Key) []Item {
 		return true
 	})
 	return out
+}
+
+// ArcLimit returns up to limit entries of the circular arc (lo, hi] in
+// key order, reporting whether the scan was truncated (the caller resumes
+// from the last returned key). limit ≤ 0 means no cap.
+func (s *Store) ArcLimit(lo, hi keys.Key, limit int) (items []Item, more bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.tree.AscendArc(lo, hi, func(k keys.Key, b *Block) bool {
+		if limit > 0 && len(items) == limit {
+			more = true
+			return false
+		}
+		items = append(items, Item{Key: k, Block: b})
+		return true
+	})
+	return items, more
 }
 
 // ArcBytes returns the byte volume (data plus pointer sizes) in the arc

@@ -138,3 +138,81 @@ func TestKeysSnapshot(t *testing.T) {
 		t.Fatalf("Keys = %v", ks)
 	}
 }
+
+func TestGetBatch(t *testing.T) {
+	s := New()
+	s.Put(k(1), []byte("a"), 0, t0)
+	s.Put(k(3), []byte("c"), 0, t0)
+	s.PutPointer(k(5), "addr-p", 64, t0)
+
+	got := s.GetBatch([]keys.Key{k(1), k(2), k(3), k(5), k(1)})
+	if len(got) != 5 {
+		t.Fatalf("GetBatch returned %d entries, want 5", len(got))
+	}
+	if got[0] == nil || string(got[0].Data) != "a" {
+		t.Errorf("entry 0 = %+v", got[0])
+	}
+	if got[1] != nil {
+		t.Errorf("absent key returned %+v", got[1])
+	}
+	if got[2] == nil || string(got[2].Data) != "c" {
+		t.Errorf("entry 2 = %+v", got[2])
+	}
+	if got[3] == nil || !got[3].IsPointer() {
+		t.Errorf("pointer entry = %+v", got[3])
+	}
+	if got[4] != got[0] {
+		t.Error("duplicate key resolved to a different entry")
+	}
+	if out := s.GetBatch(nil); len(out) != 0 {
+		t.Errorf("empty batch returned %d entries", len(out))
+	}
+}
+
+func TestArcLimit(t *testing.T) {
+	s := New()
+	for i := uint64(1); i <= 10; i++ {
+		s.Put(k(i*10), []byte{byte(i)}, 0, t0)
+	}
+
+	// Truncated scan, resumed from the last returned key, walks the whole
+	// arc in order without duplicates.
+	var all []Item
+	lo := k(5)
+	for {
+		items, more := s.ArcLimit(lo, k(95), 3)
+		all = append(all, items...)
+		if !more {
+			break
+		}
+		if len(items) != 3 {
+			t.Fatalf("truncated page had %d items", len(items))
+		}
+		lo = items[len(items)-1].Key
+	}
+	if len(all) != 9 { // 10..90
+		t.Fatalf("paged walk saw %d items, want 9", len(all))
+	}
+	for i, it := range all {
+		if !it.Key.Equal(k(uint64(i+1) * 10)) {
+			t.Fatalf("page order broken at %d: %s", i, it.Key.Short())
+		}
+	}
+
+	// limit <= 0 means no cap; a wrapping arc pages the same way.
+	if items, more := s.ArcLimit(k(5), k(95), 0); more || len(items) != 9 {
+		t.Errorf("uncapped scan = (%d items, more=%v)", len(items), more)
+	}
+	items, more := s.ArcLimit(k(85), k(25), 3)
+	if !more || len(items) != 3 || !items[0].Key.Equal(k(90)) {
+		t.Fatalf("wrap page 1 = (%d items, more=%v)", len(items), more)
+	}
+	items2, more2 := s.ArcLimit(items[len(items)-1].Key, k(25), 3)
+	if more2 || len(items2) != 1 || !items2[0].Key.Equal(k(20)) {
+		t.Fatalf("wrap page 2 = (%d items, more=%v)", len(items2), more2)
+	}
+	// Exact fit: limit equal to the remaining entries reports no more.
+	if _, more := s.ArcLimit(k(5), k(95), 9); more {
+		t.Error("exact-fit scan reported more")
+	}
+}

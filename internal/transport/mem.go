@@ -72,8 +72,14 @@ func (t *MemTransport) Serve(h Handler) {
 }
 
 // Call invokes the destination's handler synchronously (plus the
-// configured latency on each direction).
+// configured latency on each direction). Context cancellation is honored
+// at every step the transport controls: before dispatch, during injected
+// latency, and after the handler returns — so a batched fan-out that
+// cancels its context stops promptly instead of draining every call.
 func (t *MemTransport) Call(ctx context.Context, to Addr, req Message) (Message, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t.mu.RLock()
 	closed := t.closed
 	t.mu.RUnlock()
@@ -108,6 +114,9 @@ func (t *MemTransport) Call(ctx context.Context, to Addr, req Message) (Message,
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return resp, nil
 }

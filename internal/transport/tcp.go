@@ -1,37 +1,39 @@
 package transport
 
 import (
-	"bytes"
+	"bufio"
 	"context"
-	"encoding/binary"
 	"encoding/gob"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"time"
 )
 
-// maxFrame bounds a single RPC frame (a range transfer of many blocks can
-// be large; 64 MB is far beyond anything the node protocol produces).
-const maxFrame = 64 << 20
-
-// envelope is the on-wire frame payload.
+// envelope is the on-wire unit: a tagged request or response. Tags let
+// many requests share one connection — responses may arrive out of order
+// and are matched back to their callers by tag.
 type envelope struct {
+	Tag  uint64
 	From Addr
 	Msg  Message
 }
 
-// TCPTransport is a Transport over TCP with length-prefixed gob frames.
-// Each call uses a pooled connection to the destination (one in-flight
-// request per connection, as in the paper's TCP-based D2-Store, §7).
+// TCPTransport is a Transport over TCP with pipelined gob streams. All
+// requests to one destination multiplex over a single connection: each
+// call writes a tagged envelope and waits for the response carrying its
+// tag, so batch fan-out never serializes behind earlier in-flight calls
+// (the paper's D2-Store prototype used one request per connection, §7;
+// this is the production version of that path). Encoder and decoder
+// state persist for the life of a connection, which also amortizes gob's
+// type dictionary across calls instead of resending it per frame.
 type TCPTransport struct {
 	addr Addr
 	ln   net.Listener
 
 	mu      sync.Mutex
 	handler Handler
-	pools   map[Addr][]net.Conn
+	conns   map[Addr]*clientConn
 	serving map[net.Conn]struct{}
 	closed  bool
 	wg      sync.WaitGroup
@@ -53,7 +55,7 @@ func ListenTCP(bind string) (*TCPTransport, error) {
 	t := &TCPTransport{
 		addr:        Addr(ln.Addr().String()),
 		ln:          ln,
-		pools:       make(map[Addr][]net.Conn),
+		conns:       make(map[Addr]*clientConn),
 		serving:     make(map[net.Conn]struct{}),
 		DialTimeout: 5 * time.Second,
 	}
@@ -99,90 +101,246 @@ func (t *TCPTransport) acceptLoop() {
 }
 
 // serveConn answers requests on one inbound connection until it closes.
+// Each request is handled in its own goroutine so a slow handler does not
+// stall the requests pipelined behind it; response writes are serialized.
 func (t *TCPTransport) serveConn(conn net.Conn) {
 	defer conn.Close()
+	dec := gob.NewDecoder(bufio.NewReader(conn))
+	bw := bufio.NewWriter(conn)
+	enc := gob.NewEncoder(bw)
+	var wmu sync.Mutex
+	var hwg sync.WaitGroup
+	defer hwg.Wait()
 	for {
-		env, err := readFrame(conn)
-		if err != nil {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
 			return
 		}
 		t.mu.Lock()
 		h := t.handler
 		t.mu.Unlock()
-		var resp Message
-		if h == nil {
-			resp = ToErrResp(fmt.Errorf("node not serving"))
-		} else {
-			r, herr := h(env.From, env.Msg)
-			if herr != nil {
-				resp = ToErrResp(herr)
+		hwg.Add(1)
+		go func(env envelope) {
+			defer hwg.Done()
+			var resp Message
+			if h == nil {
+				resp = ToErrResp(fmt.Errorf("node not serving"))
 			} else {
-				resp = r
+				r, herr := h(env.From, env.Msg)
+				switch {
+				case herr != nil:
+					resp = ToErrResp(herr)
+				case r == nil:
+					resp = ToErrResp(fmt.Errorf("nil response"))
+				default:
+					resp = r
+				}
 			}
-		}
-		if err := writeFrame(conn, envelope{From: t.addr, Msg: resp}); err != nil {
+			wmu.Lock()
+			if enc.Encode(&envelope{Tag: env.Tag, From: t.addr, Msg: resp}) == nil {
+				_ = bw.Flush()
+			}
+			wmu.Unlock()
+		}(env)
+	}
+}
+
+// clientConn is one multiplexed outbound connection: a write-serialized
+// gob stream out, a reader goroutine matching tagged responses to waiting
+// callers.
+type clientConn struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serializes envelope writes
+	bw  *bufio.Writer
+	enc *gob.Encoder
+	dec *gob.Decoder
+
+	mu      sync.Mutex
+	pending map[uint64]chan envelope
+	nextTag uint64
+	err     error
+	done    chan struct{}
+}
+
+func newClientConn(conn net.Conn) *clientConn {
+	bw := bufio.NewWriter(conn)
+	return &clientConn{
+		conn:    conn,
+		bw:      bw,
+		enc:     gob.NewEncoder(bw),
+		dec:     gob.NewDecoder(bufio.NewReader(conn)),
+		pending: make(map[uint64]chan envelope),
+		done:    make(chan struct{}),
+	}
+}
+
+// fail records the terminal error, wakes every waiter, and closes the
+// socket. Idempotent.
+func (cc *clientConn) fail(err error) {
+	cc.mu.Lock()
+	if cc.err == nil {
+		cc.err = err
+		close(cc.done)
+	}
+	cc.mu.Unlock()
+	cc.conn.Close()
+}
+
+func (cc *clientConn) lastErr() error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.err
+}
+
+// forget drops a pending tag after a caller stops waiting (cancellation);
+// a late response with that tag is discarded by the read loop.
+func (cc *clientConn) forget(tag uint64) {
+	cc.mu.Lock()
+	delete(cc.pending, tag)
+	cc.mu.Unlock()
+}
+
+// readLoop dispatches responses to waiting callers until the stream dies.
+func (cc *clientConn) readLoop() {
+	for {
+		var env envelope
+		if err := cc.dec.Decode(&env); err != nil {
+			cc.fail(err)
 			return
 		}
+		cc.mu.Lock()
+		ch := cc.pending[env.Tag]
+		delete(cc.pending, env.Tag)
+		cc.mu.Unlock()
+		if ch != nil {
+			ch <- env // buffered: never blocks the loop
+		}
 	}
 }
 
-// Call sends the request over a pooled connection and reads the reply.
-func (t *TCPTransport) Call(ctx context.Context, to Addr, req Message) (Message, error) {
-	conn, err := t.getConn(ctx, to)
-	if err != nil {
+// call sends one tagged request and waits for its response or ctx.
+func (cc *clientConn) call(ctx context.Context, from Addr, req Message) (Message, error) {
+	ch := make(chan envelope, 1)
+	cc.mu.Lock()
+	if cc.err != nil {
+		err := cc.err
+		cc.mu.Unlock()
 		return nil, err
 	}
+	cc.nextTag++
+	tag := cc.nextTag
+	cc.pending[tag] = ch
+	cc.mu.Unlock()
+
+	cc.wmu.Lock()
 	if dl, ok := ctx.Deadline(); ok {
-		_ = conn.SetDeadline(dl)
+		_ = cc.conn.SetWriteDeadline(dl)
 	} else {
-		_ = conn.SetDeadline(time.Time{})
+		_ = cc.conn.SetWriteDeadline(time.Time{})
 	}
-	if err := writeFrame(conn, envelope{From: t.addr, Msg: req}); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
+	err := cc.enc.Encode(&envelope{Tag: tag, From: from, Msg: req})
+	if err == nil {
+		err = cc.bw.Flush()
 	}
-	env, err := readFrame(conn)
+	cc.wmu.Unlock()
 	if err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
+		// A half-written envelope corrupts the stream for everyone:
+		// kill the connection.
+		cc.fail(err)
+		cc.forget(tag)
+		return nil, err
 	}
-	t.putConn(to, conn)
-	return AsError(env.Msg)
+
+	select {
+	case env := <-ch:
+		return env.Msg, nil
+	case <-ctx.Done():
+		cc.forget(tag)
+		return nil, ctx.Err()
+	case <-cc.done:
+		return nil, cc.lastErr()
+	}
 }
 
-func (t *TCPTransport) getConn(ctx context.Context, to Addr) (net.Conn, error) {
+// Call sends the request over the destination's multiplexed connection
+// and waits for the tagged reply. A dead cached connection is replaced
+// and the call retried once (all node RPCs are idempotent).
+func (t *TCPTransport) Call(ctx context.Context, to Addr, req Message) (Message, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		cc, err := t.clientConn(ctx, to)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := cc.call(ctx, t.addr, req)
+		if err == nil {
+			return AsError(resp)
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		t.dropConn(to, cc)
+		lastErr = err
+	}
+	return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, to, lastErr)
+}
+
+// clientConn returns the live multiplexed connection to the destination,
+// dialing one if needed.
+func (t *TCPTransport) clientConn(ctx context.Context, to Addr) (*clientConn, error) {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		return nil, ErrClosed
 	}
-	pool := t.pools[to]
-	if n := len(pool); n > 0 {
-		conn := pool[n-1]
-		t.pools[to] = pool[:n-1]
+	if cc := t.conns[to]; cc != nil {
 		t.mu.Unlock()
-		return conn, nil
+		return cc, nil
 	}
 	t.mu.Unlock()
+
 	d := net.Dialer{Timeout: t.DialTimeout}
 	conn, err := d.DialContext(ctx, "tcp", string(to))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
 	}
-	return conn, nil
-}
+	cc := newClientConn(conn)
 
-func (t *TCPTransport) putConn(to Addr, conn net.Conn) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed || len(t.pools[to]) >= 4 {
+	if t.closed {
+		t.mu.Unlock()
 		conn.Close()
-		return
+		return nil, ErrClosed
 	}
-	t.pools[to] = append(t.pools[to], conn)
+	if exist := t.conns[to]; exist != nil {
+		// Lost a dial race; use the established connection.
+		t.mu.Unlock()
+		conn.Close()
+		return exist, nil
+	}
+	t.conns[to] = cc
+	t.wg.Add(1)
+	t.mu.Unlock()
+	go func() {
+		defer t.wg.Done()
+		cc.readLoop()
+		t.dropConn(to, cc)
+	}()
+	return cc, nil
 }
 
-// Close shuts the listener and all pooled connections.
+// dropConn discards a dead connection so the next call redials.
+func (t *TCPTransport) dropConn(to Addr, cc *clientConn) {
+	t.mu.Lock()
+	if t.conns[to] == cc {
+		delete(t.conns, to)
+	}
+	t.mu.Unlock()
+	cc.fail(ErrClosed)
+}
+
+// Close shuts the listener and every connection.
 func (t *TCPTransport) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -190,55 +348,18 @@ func (t *TCPTransport) Close() error {
 		return nil
 	}
 	t.closed = true
-	for _, pool := range t.pools {
-		for _, c := range pool {
-			c.Close()
-		}
-	}
-	t.pools = make(map[Addr][]net.Conn)
+	conns := t.conns
+	t.conns = make(map[Addr]*clientConn)
 	// Unblock in-flight serveConn reads so Close does not wait forever
 	// on idle inbound connections.
 	for c := range t.serving {
 		c.Close()
 	}
 	t.mu.Unlock()
+	for _, cc := range conns {
+		cc.fail(ErrClosed)
+	}
 	err := t.ln.Close()
 	t.wg.Wait()
 	return err
-}
-
-// writeFrame encodes the envelope as a 4-byte length prefix plus gob body.
-func writeFrame(w io.Writer, env envelope) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
-		return fmt.Errorf("transport: encode: %w", err)
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(buf.Bytes())
-	return err
-}
-
-// readFrame decodes one length-prefixed gob frame.
-func readFrame(r io.Reader) (envelope, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return envelope{}, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrame {
-		return envelope{}, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
-	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return envelope{}, err
-	}
-	var env envelope
-	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&env); err != nil {
-		return envelope{}, fmt.Errorf("transport: decode: %w", err)
-	}
-	return env, nil
 }

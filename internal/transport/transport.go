@@ -1,8 +1,9 @@
 // Package transport provides the RPC layer for live D2 nodes: a request/
 // response interface with two implementations — an in-memory network for
 // running hundreds or thousands of nodes in one process (the deployment-
-// scale tests), and a TCP implementation (length-prefixed gob frames) for
-// multi-process clusters. D2-Store used TCP in the paper's prototype (§7).
+// scale tests), and a TCP implementation (pipelined, tag-multiplexed gob
+// streams) for multi-process clusters. D2-Store used TCP in the paper's
+// prototype (§7).
 package transport
 
 import (
@@ -147,6 +148,10 @@ type RangeReq struct {
 	Lo, Hi keys.Key
 	// WithData includes block payloads; otherwise only keys are listed.
 	WithData bool
+	// WithPointers also lists pointer entries (never their data): a
+	// balance mover taking over an arc must learn where pointed-to blocks
+	// actually live, or it would take ownership of keys it cannot serve.
+	WithPointers bool
 	// Limit caps the number of returned blocks (0 = no cap).
 	Limit int
 }
@@ -157,10 +162,49 @@ type RangeItem struct {
 	// Size is the block's data size (always set, even without data).
 	Size int64
 	Data []byte
+	// Pointer, when set, names the node actually storing the block (the
+	// listed entry is a §6 block pointer, included under WithPointers).
+	Pointer Addr
 }
 
 // RangeResp returns an arc's blocks.
 type RangeResp struct{ Items []RangeItem }
+
+// BatchItem is one block result in a batched read response. Exactly one of
+// Data and Redirect is meaningful when Found; a pointer entry reports the
+// node actually storing the data (§6).
+type BatchItem struct {
+	Key      keys.Key
+	Found    bool
+	Data     []byte
+	Redirect Addr
+}
+
+// MultiGetReq fetches several blocks from one node in a single RPC. The
+// client groups a key run by owner so D2's contiguous file keys cost ~one
+// RPC per replica group instead of one per block.
+type MultiGetReq struct{ Keys []keys.Key }
+
+// MultiGetResp returns one item per requested key, in request order.
+type MultiGetResp struct{ Items []BatchItem }
+
+// FetchRangeReq reads every data block a node holds in the arc (Lo, Hi],
+// the read-path counterpart of RangeReq: it always ships data and reports
+// pointer redirects instead of skipping pointer entries.
+type FetchRangeReq struct {
+	Lo, Hi keys.Key
+	// Limit caps the items per response (0 = server default). When the
+	// scan is truncated the response sets More and the caller resumes
+	// from the last returned key.
+	Limit int
+}
+
+// FetchRangeResp returns the arc's blocks in key order.
+type FetchRangeResp struct {
+	Items []BatchItem
+	// More is set when Limit truncated the scan.
+	More bool
+}
 
 // PutPtrReq installs a block pointer: the receiver becomes responsible
 // for Key but the data stays at Target until pointer stabilization (§6).
@@ -183,32 +227,36 @@ type SampleResp struct{ Peer PeerInfo }
 // ErrResp carries an application-level error back to the caller.
 type ErrResp struct{ Err string }
 
-func (PingReq) isMessage()       {}
-func (PingResp) isMessage()      {}
-func (FindSuccReq) isMessage()   {}
-func (FindSuccResp) isMessage()  {}
-func (NeighborsReq) isMessage()  {}
-func (NeighborsResp) isMessage() {}
-func (NotifyReq) isMessage()     {}
-func (NotifyResp) isMessage()    {}
-func (PutReq) isMessage()        {}
-func (PutResp) isMessage()       {}
-func (GetReq) isMessage()        {}
-func (GetResp) isMessage()       {}
-func (RemoveReq) isMessage()     {}
-func (RemoveResp) isMessage()    {}
-func (LoadReq) isMessage()       {}
-func (LoadResp) isMessage()      {}
-func (SplitReq) isMessage()      {}
-func (SplitResp) isMessage()     {}
-func (RangeReq) isMessage()      {}
-func (RangeItem) isMessage()     {}
-func (RangeResp) isMessage()     {}
-func (PutPtrReq) isMessage()     {}
-func (PutPtrResp) isMessage()    {}
-func (SampleReq) isMessage()     {}
-func (SampleResp) isMessage()    {}
-func (ErrResp) isMessage()       {}
+func (PingReq) isMessage()        {}
+func (PingResp) isMessage()       {}
+func (FindSuccReq) isMessage()    {}
+func (FindSuccResp) isMessage()   {}
+func (NeighborsReq) isMessage()   {}
+func (NeighborsResp) isMessage()  {}
+func (NotifyReq) isMessage()      {}
+func (NotifyResp) isMessage()     {}
+func (PutReq) isMessage()         {}
+func (PutResp) isMessage()        {}
+func (GetReq) isMessage()         {}
+func (GetResp) isMessage()        {}
+func (RemoveReq) isMessage()      {}
+func (RemoveResp) isMessage()     {}
+func (LoadReq) isMessage()        {}
+func (LoadResp) isMessage()       {}
+func (SplitReq) isMessage()       {}
+func (SplitResp) isMessage()      {}
+func (RangeReq) isMessage()       {}
+func (RangeItem) isMessage()      {}
+func (RangeResp) isMessage()      {}
+func (MultiGetReq) isMessage()    {}
+func (MultiGetResp) isMessage()   {}
+func (FetchRangeReq) isMessage()  {}
+func (FetchRangeResp) isMessage() {}
+func (PutPtrReq) isMessage()      {}
+func (PutPtrResp) isMessage()     {}
+func (SampleReq) isMessage()      {}
+func (SampleResp) isMessage()     {}
+func (ErrResp) isMessage()        {}
 
 // RegisterMessages registers every protocol message with gob. The TCP
 // transport calls it; tests may too. It is idempotent per process because
@@ -220,6 +268,7 @@ func registerMessages() {
 		PutReq{}, PutResp{}, GetReq{}, GetResp{},
 		RemoveReq{}, RemoveResp{}, LoadReq{}, LoadResp{},
 		SplitReq{}, SplitResp{}, RangeReq{}, RangeResp{},
+		MultiGetReq{}, MultiGetResp{}, FetchRangeReq{}, FetchRangeResp{},
 		PutPtrReq{}, PutPtrResp{},
 		SampleReq{}, SampleResp{}, ErrResp{},
 	} {

@@ -5,6 +5,10 @@
 #   scripts/verify.sh race   tier 2: tier 1 plus go vet and the race
 #                            detector (catches data races in the parallel
 #                            experiment pool; several times slower)
+#   scripts/verify.sh bench  tier 3: tier 1 plus a one-iteration smoke run
+#                            of the batched-read benchmark (checks the
+#                            benchmark harness and the d2bench converter
+#                            still work; not a performance measurement)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -16,4 +20,10 @@ if [ "${1:-}" = "race" ]; then
 	echo "== tier 2: go vet ./... && go test -race ./..."
 	go vet ./...
 	go test -race ./...
+fi
+
+if [ "${1:-}" = "bench" ]; then
+	echo "== tier 3: BenchmarkBatchedRead smoke (1 iteration, mem only)"
+	go test -run '^$' -bench 'BenchmarkBatchedRead/transport=mem' \
+		-benchtime 1x ./internal/node | go run ./cmd/d2bench
 fi
