@@ -7,6 +7,11 @@
 //
 //	go test -bench . ./... | d2bench -o BENCH_1.json
 //	d2bench -before /tmp/bench_before.txt -o BENCH_1.json /tmp/bench_after.txt
+//	d2bench -metrics /tmp/bench_metrics.json -o BENCH_3.json /tmp/bench.txt
+//
+// The -metrics flag embeds a metrics snapshot (the obs.Snapshot JSON a
+// benchmark writes when D2_BENCH_METRICS is set) so a perf record carries
+// its RPC and byte counts, not just wall-clock numbers.
 package main
 
 import (
@@ -43,6 +48,9 @@ type Report struct {
 	// Speedup maps benchmark name to baseline ns/op divided by current
 	// ns/op (> 1 means the current run is faster).
 	Speedup map[string]float64 `json:"speedup,omitempty"`
+	// MetricsSnapshot is an embedded obs.Snapshot captured during the run
+	// (see -metrics).
+	MetricsSnapshot json.RawMessage `json:"metrics_snapshot,omitempty"`
 }
 
 func main() {
@@ -54,6 +62,7 @@ func main() {
 
 func run() error {
 	before := flag.String("before", "", "baseline `go test -bench` output to diff against")
+	metrics := flag.String("metrics", "", "metrics snapshot JSON to embed in the report")
 	out := flag.String("o", "", "output JSON path (default stdout)")
 	flag.Parse()
 
@@ -101,6 +110,17 @@ func run() error {
 				rep.Speedup[b.Name] = prev.NsPerOp / b.NsPerOp
 			}
 		}
+	}
+
+	if *metrics != "" {
+		raw, err := os.ReadFile(*metrics)
+		if err != nil {
+			return err
+		}
+		if !json.Valid(raw) {
+			return fmt.Errorf("%s: not valid JSON", *metrics)
+		}
+		rep.MetricsSnapshot = json.RawMessage(raw)
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")

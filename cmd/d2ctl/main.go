@@ -9,6 +9,15 @@
 //	d2ctl -seeds 127.0.0.1:7001 -vol home ls /docs
 //	d2ctl -seeds 127.0.0.1:7001 -vol home mv /docs/a.txt /docs/b.txt
 //	d2ctl -seeds 127.0.0.1:7001 -vol home rm /docs/b.txt
+//
+// Cluster observability (scrapes every ring member over the DHT
+// transport and merges their metric snapshots; with -vol the volume is
+// read through the normal client path first, so the report includes a
+// live lookup-cache hit rate):
+//
+//	d2ctl -seeds 127.0.0.1:7001 stats
+//	d2ctl -seeds 127.0.0.1:7001 -vol home stats
+//	d2ctl -seeds 127.0.0.1:7001 top
 package main
 
 import (
@@ -37,7 +46,7 @@ func run() error {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("usage: d2ctl [flags] mkvol|mkdir|write|cat|ls|stat|mv|rm ...")
+		return fmt.Errorf("usage: d2ctl [flags] mkvol|mkdir|write|cat|ls|stat|mv|rm|stats|top ...")
 	}
 
 	client, err := d2.ConnectTCP(strings.Split(*seeds, ","), 3)
@@ -48,6 +57,24 @@ func run() error {
 	ctx := context.Background()
 
 	cmd := args[0]
+	switch cmd {
+	case "stats", "top":
+		// With -vol, read the whole volume through the normal client path
+		// first so the report includes a live lookup-cache hit rate.
+		if *volName != "" {
+			vol, err := loadVolume(ctx, client, *volName, *keyFile)
+			if err != nil {
+				return err
+			}
+			if err := warmRead(ctx, vol, "/"); err != nil {
+				return err
+			}
+		}
+		if cmd == "stats" {
+			return runStats(ctx, client)
+		}
+		return runTop(ctx, client)
+	}
 	if cmd == "mkvol" {
 		if len(args) != 2 {
 			return fmt.Errorf("usage: mkvol <name>")
@@ -73,17 +100,7 @@ func run() error {
 	if *volName == "" {
 		return fmt.Errorf("-vol is required for %s", cmd)
 	}
-	raw, err := os.ReadFile(*keyFile)
-	if err != nil {
-		return fmt.Errorf("read key file (run mkvol first): %w", err)
-	}
-	privBytes, err := hex.DecodeString(strings.TrimSpace(string(raw)))
-	if err != nil {
-		return fmt.Errorf("parse key file: %w", err)
-	}
-	priv := ed25519.PrivateKey(privBytes)
-	pub := priv.Public().(ed25519.PublicKey)
-	vol, err := client.OpenVolume(ctx, *volName, pub, priv, d2.VolumeOptions{})
+	vol, err := loadVolume(ctx, client, *volName, *keyFile)
 	if err != nil {
 		return err
 	}
@@ -154,4 +171,41 @@ func run() error {
 		return fmt.Errorf("unknown command %q", cmd)
 	}
 	return vol.Sync(ctx)
+}
+
+// loadVolume opens a volume with the keypair saved by mkvol.
+func loadVolume(ctx context.Context, client *d2.Client, name, keyFile string) (*d2.Volume, error) {
+	raw, err := os.ReadFile(keyFile)
+	if err != nil {
+		return nil, fmt.Errorf("read key file (run mkvol first): %w", err)
+	}
+	privBytes, err := hex.DecodeString(strings.TrimSpace(string(raw)))
+	if err != nil {
+		return nil, fmt.Errorf("parse key file: %w", err)
+	}
+	priv := ed25519.PrivateKey(privBytes)
+	pub := priv.Public().(ed25519.PublicKey)
+	return client.OpenVolume(ctx, name, pub, priv, d2.VolumeOptions{})
+}
+
+// warmRead reads every file under dir so the client's lookup cache sees a
+// real workload before a stats report.
+func warmRead(ctx context.Context, vol *d2.Volume, dir string) error {
+	infos, err := vol.ReadDir(ctx, dir)
+	if err != nil {
+		return err
+	}
+	for _, fi := range infos {
+		path := strings.TrimSuffix(dir, "/") + "/" + fi.Name
+		if fi.IsDir {
+			if err := warmRead(ctx, vol, path); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := vol.ReadFile(ctx, path); err != nil {
+			return err
+		}
+	}
+	return nil
 }

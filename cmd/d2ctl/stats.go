@@ -1,0 +1,158 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	d2 "github.com/defragdht/d2"
+	"github.com/defragdht/d2/internal/obs"
+	"github.com/defragdht/d2/internal/stats"
+)
+
+// runStats scrapes every ring member (StatsReq over the DHT transport),
+// merges the snapshots with the local client's own, and prints a
+// cluster-wide summary: totals, the §10 load-imbalance metric, the lookup
+// cache hit rate, and per-RPC latency percentiles.
+func runStats(ctx context.Context, client *d2.Client) error {
+	nodes, err := client.ClusterStats(ctx)
+	if err != nil {
+		return err
+	}
+	if len(nodes) == 0 {
+		return fmt.Errorf("no reachable nodes")
+	}
+
+	snaps := make([]obs.Snapshot, 0, len(nodes)+1)
+	var stored, blocks int64
+	loads := make([]float64, 0, len(nodes))
+	for _, n := range nodes {
+		snaps = append(snaps, n.Snapshot)
+		stored += n.StoredBytes
+		blocks += n.Blocks
+		loads = append(loads, float64(n.RespBytes))
+	}
+	// The client's own registry carries the lookup-cache counters (§5
+	// caching happens client-side) and its per-RPC latency view.
+	snaps = append(snaps, client.MetricsSnapshot())
+	merged := obs.MergeAll(snaps...)
+
+	fmt.Printf("cluster: %d nodes, %d blocks, %s stored\n",
+		len(nodes), blocks, fmtBytes(stored))
+	fmt.Printf("load imbalance (stddev/mean of primary load, §10): %.3f\n",
+		stats.NormStdDev(loads))
+
+	hits := merged.Counters["d2_client_cache_hits_total"]
+	misses := merged.Counters["d2_client_cache_misses_total"]
+	if hits+misses > 0 {
+		fmt.Printf("lookup cache: %d hits, %d misses (%.1f%% hit rate)\n",
+			hits, misses, 100*float64(hits)/float64(hits+misses))
+	}
+
+	printCounterGroup(merged, "d2_rpc_server_total", "rpcs served")
+	printCounterGroup(merged, "d2_node_", "node activity")
+	printLatencies(merged)
+	return nil
+}
+
+// runTop prints a per-node hotspot table sorted by primary load.
+func runTop(ctx context.Context, client *d2.Client) error {
+	nodes, err := client.ClusterStats(ctx)
+	if err != nil {
+		return err
+	}
+	if len(nodes) == 0 {
+		return fmt.Errorf("no reachable nodes")
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].RespBytes > nodes[j].RespBytes })
+
+	fmt.Printf("%-22s %-10s %8s %10s %10s %10s %10s\n",
+		"ADDR", "ID", "BLOCKS", "STORED", "PRIMARY", "SERVED", "REDIRECTS")
+	for _, n := range nodes {
+		var served uint64
+		for name, v := range n.Snapshot.Counters {
+			if strings.HasPrefix(name, "d2_rpc_server_total{") {
+				served += v
+			}
+		}
+		fmt.Printf("%-22s %-10s %8d %10s %10s %10d %10d\n",
+			n.Self.Addr, n.Self.ID.Short(), n.Blocks,
+			fmtBytes(n.StoredBytes), fmtBytes(n.RespBytes),
+			served, n.Snapshot.Counters["d2_node_ptr_redirects_total"])
+	}
+	return nil
+}
+
+// printCounterGroup prints the non-zero counters sharing a name prefix.
+func printCounterGroup(s obs.Snapshot, prefix, title string) {
+	type kv struct {
+		name string
+		v    uint64
+	}
+	var rows []kv
+	for name, v := range s.Counters {
+		if v > 0 && strings.HasPrefix(name, prefix) {
+			rows = append(rows, kv{name, v})
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	fmt.Printf("%s:\n", title)
+	for _, r := range rows {
+		fmt.Printf("  %-48s %12d\n", r.name, r.v)
+	}
+}
+
+// printLatencies prints p50/p95/p99 for every per-RPC latency histogram
+// with observations.
+func printLatencies(s obs.Snapshot) {
+	var names []string
+	for name := range s.Histograms {
+		if strings.HasPrefix(name, "d2_rpc_client_latency_ns") && s.Histograms[name].Count() > 0 {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return
+	}
+	sort.Strings(names)
+	fmt.Println("rpc latency (client-observed):")
+	for _, name := range names {
+		h := s.Histograms[name]
+		rpc := strings.TrimSuffix(strings.TrimPrefix(name, `d2_rpc_client_latency_ns{rpc="`), `"}`)
+		fmt.Printf("  %-12s n=%-8d p50=%-10s p95=%-10s p99=%s\n",
+			rpc, h.Count(),
+			fmtNanos(h.Quantile(0.50)), fmtNanos(h.Quantile(0.95)), fmtNanos(h.Quantile(0.99)))
+	}
+}
+
+// fmtBytes renders a byte count with a binary unit.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// fmtNanos renders a nanosecond quantile with a readable unit.
+func fmtNanos(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}

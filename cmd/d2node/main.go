@@ -1,17 +1,22 @@
 // Command d2node runs one live D2 DHT node over TCP. Start a first node,
 // then join more to it:
 //
-//	d2node -bind 127.0.0.1:7001
+//	d2node -bind 127.0.0.1:7001 -admin 127.0.0.1:8001
 //	d2node -bind 127.0.0.1:7002 -seed 127.0.0.1:7001
 //	d2node -bind 127.0.0.1:7003 -seed 127.0.0.1:7001 -balance 10m
 //
-// Use cmd/d2ctl to read and write blocks and volumes.
+// The -admin address serves the observability plane: /metrics (Prometheus
+// text), /statsz (JSON), /eventz, /healthz, /ringz, and /debug/pprof/.
+// Use cmd/d2ctl to read and write blocks and volumes ("d2ctl stats" and
+// "d2ctl top" build cluster-wide views from every node's metrics).
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,6 +40,7 @@ func run() error {
 	pointerStab := flag.Duration("pointer-stab", time.Hour, "pointer stabilization time")
 	removeDelay := flag.Duration("remove-delay", 30*time.Second, "block removal delay")
 	statsEvery := flag.Duration("stats", 30*time.Second, "stats print interval (0 = quiet)")
+	admin := flag.String("admin", "", "admin/debug HTTP address (empty = off); serves /metrics, /statsz, /eventz, /healthz, /ringz, /debug/pprof/")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -48,6 +54,17 @@ func run() error {
 		return err
 	}
 	fmt.Printf("d2node listening on %s (id %s)\n", nd.Addr(), nd.ID().Short())
+
+	if *admin != "" {
+		ln, err := net.Listen("tcp", *admin)
+		if err != nil {
+			_ = nd.Close()
+			return fmt.Errorf("admin listen %s: %w", *admin, err)
+		}
+		defer ln.Close()
+		go func() { _ = http.Serve(ln, nd.AdminHandler()) }()
+		fmt.Printf("admin plane on http://%s/\n", ln.Addr())
+	}
 
 	stopStats := make(chan struct{})
 	if *statsEvery > 0 {

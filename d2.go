@@ -23,12 +23,15 @@ import (
 	"context"
 	"crypto/ed25519"
 	"crypto/rand"
+	"encoding/json"
 	"fmt"
+	"net/http"
 	"time"
 
 	"github.com/defragdht/d2/internal/fs"
 	"github.com/defragdht/d2/internal/keys"
 	"github.com/defragdht/d2/internal/node"
+	"github.com/defragdht/d2/internal/obs"
 	"github.com/defragdht/d2/internal/transport"
 )
 
@@ -101,6 +104,7 @@ type Cluster struct {
 	net   *transport.MemNetwork
 	nodes []*node.Node
 	opts  NodeOptions
+	reg   *obs.Registry
 }
 
 // NewCluster starts an in-process cluster of n nodes and waits for the
@@ -109,7 +113,10 @@ func NewCluster(ctx context.Context, n int, opts NodeOptions) (*Cluster, error) 
 	if n < 1 {
 		return nil, fmt.Errorf("d2: cluster needs at least one node, got %d", n)
 	}
-	c := &Cluster{net: transport.NewMemNetwork(0), opts: opts}
+	c := &Cluster{net: transport.NewMemNetwork(0), opts: opts, reg: obs.New()}
+	// One RPCMetrics covers the whole in-process network (the cluster is
+	// observed as a unit); each node still has its own registry.
+	c.net.UseMetrics(transport.NewRPCMetrics(c.reg))
 	for i := 0; i < n; i++ {
 		if err := c.AddNode(ctx); err != nil {
 			c.Close()
@@ -181,6 +188,10 @@ func (c *Cluster) Client() (*Client, error) {
 	return &Client{inner: inner}, nil
 }
 
+// MetricsSnapshot freezes the cluster's shared transport metrics (RPC
+// counts, payload bytes, latency histograms across all in-process nodes).
+func (c *Cluster) MetricsSnapshot() obs.Snapshot { return c.reg.Snapshot() }
+
 // Close shuts down every node.
 func (c *Cluster) Close() error {
 	var firstErr error
@@ -195,8 +206,10 @@ func (c *Cluster) Close() error {
 // Node is a standalone DHT node on a TCP transport, for multi-process
 // deployments (cmd/d2node wraps it).
 type Node struct {
-	inner *node.Node
-	tr    *transport.TCPTransport
+	inner  *node.Node
+	tr     *transport.TCPTransport
+	reg    *obs.Registry
+	events *obs.EventLog
 }
 
 // StartNode boots a TCP node bound to bind ("127.0.0.1:0" for an
@@ -206,14 +219,22 @@ func StartNode(ctx context.Context, bind, seed string, opts NodeOptions) (*Node,
 	if err != nil {
 		return nil, fmt.Errorf("d2: start node: %w", err)
 	}
-	nd := node.Start(tr, opts.toConfig(0))
+	// One registry covers the node and its transport, so a single scrape
+	// (StatsReq or the admin HTTP page) sees both layers.
+	reg := obs.New()
+	events := obs.NewEventLog(1024)
+	tr.UseMetrics(transport.NewRPCMetrics(reg))
+	cfg := opts.toConfig(0)
+	cfg.Metrics = reg
+	cfg.Events = events
+	nd := node.Start(tr, cfg)
 	if seed != "" {
 		if err := nd.Join(ctx, transport.Addr(seed)); err != nil {
 			_ = nd.Close()
 			return nil, fmt.Errorf("d2: join %s: %w", seed, err)
 		}
 	}
-	return &Node{inner: nd, tr: tr}, nil
+	return &Node{inner: nd, tr: tr, reg: reg, events: events}, nil
 }
 
 // Addr returns the node's listen address.
@@ -228,6 +249,45 @@ func (n *Node) StoredBytes() int64 { return n.inner.StoredBytes() }
 // Close stops the node (crash-style; replicas regenerate elsewhere).
 func (n *Node) Close() error { return n.inner.Close() }
 
+// AdminHandler returns the node's admin/debug plane: Prometheus /metrics,
+// /statsz (JSON snapshot), /eventz (structured event log), /healthz,
+// /ringz (the node's ring view), and net/http/pprof under /debug/pprof/.
+// Serve it on a loopback or otherwise-protected port; it is unauthenticated.
+func (n *Node) AdminHandler() http.Handler {
+	mux := obs.NewMux(n.reg, n.events)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "ok %s %s\n", n.inner.Self().ID.Short(), n.Addr())
+	})
+	mux.HandleFunc("/ringz", func(w http.ResponseWriter, r *http.Request) {
+		pred, succs := n.inner.Neighbors()
+		view := ringView{
+			Self: peerView{ID: n.inner.Self().ID.Short(), Addr: string(n.inner.Self().Addr)},
+			Pred: peerView{ID: pred.ID.Short(), Addr: string(pred.Addr)},
+		}
+		for _, s := range succs {
+			view.Succs = append(view.Succs, peerView{ID: s.ID.Short(), Addr: string(s.Addr)})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(view)
+	})
+	return mux
+}
+
+// peerView and ringView shape /ringz output.
+type peerView struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+type ringView struct {
+	Self  peerView   `json:"self"`
+	Pred  peerView   `json:"pred"`
+	Succs []peerView `json:"succs"`
+}
+
 // Leave departs gracefully, handing blocks to their new owners first.
 func (n *Node) Leave(ctx context.Context) error { return n.inner.Leave(ctx) }
 
@@ -241,7 +301,11 @@ func ConnectTCP(seeds []string, replicas int) (*Client, error) {
 	for i, s := range seeds {
 		addrs[i] = transport.Addr(s)
 	}
-	inner, err := node.NewClient(tr, node.ClientConfig{Seeds: addrs, Replicas: replicas})
+	// The client's registry instruments its transport too, so one
+	// snapshot covers cache behavior and per-RPC latency together.
+	reg := obs.New()
+	tr.UseMetrics(transport.NewRPCMetrics(reg))
+	inner, err := node.NewClient(tr, node.ClientConfig{Seeds: addrs, Replicas: replicas, Metrics: reg})
 	if err != nil {
 		return nil, err
 	}
@@ -293,17 +357,47 @@ func (c *Client) Remove(ctx context.Context, k Key) error {
 // CacheStats returns the lookup cache's hit and miss counts.
 func (c *Client) CacheStats() (hits, misses uint64) { return c.inner.Stats() }
 
+// MetricsSnapshot freezes the client's own metrics (lookup cache, RPCs,
+// per-RPC latency when on TCP).
+func (c *Client) MetricsSnapshot() obs.Snapshot { return c.inner.Metrics().Snapshot() }
+
+// NodeStats is one cluster node's scraped load and metrics state.
+type NodeStats = node.NodeStats
+
+// RingMember is one node discovered by a ring walk.
+type RingMember = node.RingMember
+
+// WalkRing enumerates the ring in successor order from the first
+// reachable seed.
+func (c *Client) WalkRing(ctx context.Context) ([]RingMember, error) {
+	return c.inner.WalkRing(ctx)
+}
+
+// ClusterStats scrapes every ring member's metrics snapshot and load
+// accounting (the d2ctl stats/top data source).
+func (c *Client) ClusterStats(ctx context.Context) ([]NodeStats, error) {
+	return c.inner.ClusterStats(ctx)
+}
+
 // Close releases the client.
 func (c *Client) Close() error { return c.inner.Close() }
 
-// CreateVolume publishes a new file-system volume signed by priv.
+// CreateVolume publishes a new file-system volume signed by priv. The
+// volume reports block IO into the client's registry unless opts.Metrics
+// overrides it.
 func (c *Client) CreateVolume(ctx context.Context, name string, priv ed25519.PrivateKey, opts VolumeOptions) (*Volume, error) {
+	if opts.Metrics == nil {
+		opts.Metrics = c.inner.Metrics()
+	}
 	return fs.Create(ctx, c, name, priv, opts)
 }
 
 // OpenVolume attaches to an existing volume; pass priv to write, nil to
 // read.
 func (c *Client) OpenVolume(ctx context.Context, name string, pub ed25519.PublicKey, priv ed25519.PrivateKey, opts VolumeOptions) (*Volume, error) {
+	if opts.Metrics == nil {
+		opts.Metrics = c.inner.Metrics()
+	}
 	return fs.Open(ctx, c, name, pub, priv, opts)
 }
 

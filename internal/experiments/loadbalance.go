@@ -81,7 +81,7 @@ func runLoadBalance(s Scale, tr *trace.Trace, sys lbSystem) *LBSeries {
 	}
 	out.DailyWritten = make([]int64, days)
 	out.DailyMigrated = make([]int64, days)
-	prevW, prevM := c.WrittenBytes, c.MigratedBytes
+	prevW, prevM := c.WrittenBytes(), c.MigratedBytes()
 	eng.Every(time.Hour, func() bool {
 		now := eng.Now() - offset
 		if now > tr.Duration {
@@ -94,9 +94,9 @@ func runLoadBalance(s Scale, tr *trace.Trace, sys lbSystem) *LBSeries {
 		if day >= days {
 			day = days - 1
 		}
-		out.DailyWritten[day] += c.WrittenBytes - prevW
-		out.DailyMigrated[day] += c.MigratedBytes - prevM
-		prevW, prevM = c.WrittenBytes, c.MigratedBytes
+		out.DailyWritten[day] += c.WrittenBytes() - prevW
+		out.DailyMigrated[day] += c.MigratedBytes() - prevM
+		prevW, prevM = c.WrittenBytes(), c.MigratedBytes()
 		return true
 	})
 	eng.Run(offset + tr.Duration + time.Hour)
@@ -270,10 +270,10 @@ func AblationPointers(s Scale) *Table {
 			label = "off"
 		}
 		ratio := "-"
-		if c.WrittenBytes > 0 {
-			ratio = f2(float64(c.MigratedBytes) / float64(c.WrittenBytes))
+		if c.WrittenBytes() > 0 {
+			ratio = f2(float64(c.MigratedBytes()) / float64(c.WrittenBytes()))
 		}
-		return []string{label, mb(c.MigratedBytes), ratio}
+		return []string{label, mb(c.MigratedBytes()), ratio}
 	})
 	return t
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/defragdht/d2/internal/keys"
+	"github.com/defragdht/d2/internal/obs"
 	"github.com/defragdht/d2/internal/placement"
 )
 
@@ -40,11 +41,18 @@ type Options struct {
 	// AutoFlush starts a background flusher; Close stops it. Without it,
 	// call Sync explicitly.
 	AutoFlush bool
+	// Metrics receives the volume's block-IO counters; nil creates a
+	// fresh registry (the live client passes its own so one scrape covers
+	// fs and DHT activity together).
+	Metrics *obs.Registry
 }
 
 func (o *Options) applyDefaults() {
 	if o.WriteBackDelay == 0 {
 		o.WriteBackDelay = 30 * time.Second
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.New()
 	}
 }
 
@@ -71,6 +79,32 @@ type Volume struct {
 
 	stop chan struct{}
 	wg   sync.WaitGroup
+
+	metrics volumeMetrics
+}
+
+// volumeMetrics counts the volume's block IO against the DHT and its
+// write-back caches.
+type volumeMetrics struct {
+	blocksRead    *obs.Counter // blocks fetched from the DHT
+	blocksWritten *obs.Counter // blocks buffered for write-back
+	bytesRead     *obs.Counter
+	bytesWritten  *obs.Counter
+	cacheHits     *obs.Counter // reads served by pending writes or read cache
+	removes       *obs.Counter // delayed removals queued (§3)
+	syncs         *obs.Counter // Sync rounds run
+}
+
+func newVolumeMetrics(reg *obs.Registry) volumeMetrics {
+	return volumeMetrics{
+		blocksRead:    reg.Counter("d2_fs_blocks_read_total"),
+		blocksWritten: reg.Counter("d2_fs_blocks_written_total"),
+		bytesRead:     reg.Counter(`d2_fs_bytes_total{dir="read"}`),
+		bytesWritten:  reg.Counter(`d2_fs_bytes_total{dir="written"}`),
+		cacheHits:     reg.Counter("d2_fs_cache_hits_total"),
+		removes:       reg.Counter("d2_fs_removes_total"),
+		syncs:         reg.Counter("d2_fs_syncs_total"),
+	}
 }
 
 type cachedBlock struct {
@@ -107,6 +141,7 @@ func Create(ctx context.Context, svc BlockService, name string, priv ed25519.Pri
 		pending: make(map[keys.Key][]byte),
 		rcache:  make(map[keys.Key]cachedBlock),
 		stop:    make(chan struct{}),
+		metrics: newVolumeMetrics(opts.Metrics),
 	}
 	v.root = &RootBlock{
 		Name:      name,
@@ -142,6 +177,7 @@ func Open(ctx context.Context, svc BlockService, name string, pub ed25519.Public
 		pending: make(map[keys.Key][]byte),
 		rcache:  make(map[keys.Key]cachedBlock),
 		stop:    make(chan struct{}),
+		metrics: newVolumeMetrics(opts.Metrics),
 	}
 	root, err := v.fetchRoot(ctx)
 	if err != nil {
@@ -234,12 +270,15 @@ func (v *Volume) currentRoot(ctx context.Context) (*RootBlock, error) {
 // cache, then the DHT.
 func (v *Volume) readBlock(ctx context.Context, k keys.Key) ([]byte, error) {
 	if data, ok := v.cachedRead(k); ok {
+		v.metrics.cacheHits.Inc()
 		return data, nil
 	}
 	data, err := v.svc.Get(ctx, k)
 	if err != nil {
 		return nil, err
 	}
+	v.metrics.blocksRead.Inc()
+	v.metrics.bytesRead.Add(uint64(len(data)))
 	v.cacheRead(k, data)
 	return data, nil
 }
@@ -279,6 +318,8 @@ func (v *Volume) pruneCacheLocked() {
 
 // writeBlock buffers a block write.
 func (v *Volume) writeBlock(k keys.Key, data []byte) {
+	v.metrics.blocksWritten.Inc()
+	v.metrics.bytesWritten.Add(uint64(len(data)))
 	v.cmu.Lock()
 	defer v.cmu.Unlock()
 	v.pending[k] = data
@@ -288,6 +329,7 @@ func (v *Volume) writeBlock(k keys.Key, data []byte) {
 // removeBlock queues a delayed removal (issued at the Sync after the
 // write-back window, so stale readers finish first, §3).
 func (v *Volume) removeBlock(k keys.Key) {
+	v.metrics.removes.Inc()
 	v.cmu.Lock()
 	defer v.cmu.Unlock()
 	v.removes = append(v.removes, k)
@@ -296,6 +338,7 @@ func (v *Volume) removeBlock(k keys.Key) {
 // Sync flushes buffered writes (in key order, which keeps contiguous
 // ranges contiguous on the wire) and issues queued removals.
 func (v *Volume) Sync(ctx context.Context) error {
+	v.metrics.syncs.Inc()
 	v.cmu.Lock()
 	batch := make([]keys.Key, 0, len(v.pending))
 	for k := range v.pending {

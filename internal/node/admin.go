@@ -1,0 +1,127 @@
+package node
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"github.com/defragdht/d2/internal/obs"
+	"github.com/defragdht/d2/internal/transport"
+)
+
+// maxRingWalk bounds a ring walk (a broken successor chain could
+// otherwise loop forever through stale entries).
+const maxRingWalk = 4096
+
+// RingMember is one node discovered by a ring walk.
+type RingMember struct {
+	Self  transport.PeerInfo
+	Pred  transport.PeerInfo
+	Succs []transport.PeerInfo
+}
+
+// WalkRing enumerates the ring by following successor pointers from the
+// first reachable seed until the walk returns to its start. Nodes are
+// returned in ring order starting at the entry node.
+func (c *Client) WalkRing(ctx context.Context) ([]RingMember, error) {
+	var start transport.PeerInfo
+	var lastErr error
+	for _, seed := range c.seeds {
+		resp, err := transport.Expect[transport.NeighborsResp](
+			c.call(ctx, seed, transport.NeighborsReq{}))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		start = resp.Self
+		break
+	}
+	if start.IsZero() {
+		return nil, fmt.Errorf("node: no reachable seed: %w", lastErr)
+	}
+
+	var members []RingMember
+	seen := make(map[transport.Addr]bool)
+	cur := start
+	for len(members) < maxRingWalk {
+		if seen[cur.Addr] {
+			break // closed the ring (or hit a successor loop)
+		}
+		resp, err := transport.Expect[transport.NeighborsResp](
+			c.call(ctx, cur.Addr, transport.NeighborsReq{}))
+		if err != nil {
+			// Skip a dead member by stepping through the previous node's
+			// successor list.
+			next, ok := nextAfter(members, cur, seen)
+			if !ok {
+				break
+			}
+			cur = next
+			continue
+		}
+		seen[cur.Addr] = true
+		members = append(members, RingMember{
+			Self: resp.Self, Pred: resp.Pred, Succs: resp.Succs,
+		})
+		if len(resp.Succs) == 0 {
+			break
+		}
+		cur = resp.Succs[0]
+	}
+	return members, nil
+}
+
+// nextAfter finds an unvisited fallback successor when the walk's current
+// node is unreachable.
+func nextAfter(members []RingMember, dead transport.PeerInfo, seen map[transport.Addr]bool) (transport.PeerInfo, bool) {
+	if len(members) == 0 {
+		return transport.PeerInfo{}, false
+	}
+	for _, p := range members[len(members)-1].Succs {
+		if !seen[p.Addr] && p.Addr != dead.Addr {
+			return p, true
+		}
+	}
+	return transport.PeerInfo{}, false
+}
+
+// NodeStats is one node's scraped observability state.
+type NodeStats struct {
+	Self        transport.PeerInfo
+	Pred        transport.PeerInfo
+	RespBytes   int64
+	StoredBytes int64
+	Blocks      int64
+	Snapshot    obs.Snapshot
+}
+
+// ClusterStats scrapes every ring member's metrics via the StatsReq RPC,
+// returning per-node stats in ring order. Unreachable members are skipped.
+func (c *Client) ClusterStats(ctx context.Context) ([]NodeStats, error) {
+	members, err := c.WalkRing(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var out []NodeStats
+	for _, m := range members {
+		resp, err := transport.Expect[transport.StatsResp](
+			c.call(ctx, m.Self.Addr, transport.StatsReq{}))
+		if err != nil {
+			continue
+		}
+		ns := NodeStats{
+			Self:        resp.Self,
+			Pred:        resp.Pred,
+			RespBytes:   resp.RespBytes,
+			StoredBytes: resp.StoredBytes,
+			Blocks:      resp.Blocks,
+		}
+		if len(resp.SnapshotJSON) > 0 {
+			_ = json.Unmarshal(resp.SnapshotJSON, &ns.Snapshot)
+		}
+		out = append(out, ns)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Self.ID.Less(out[j].Self.ID) })
+	return out, nil
+}

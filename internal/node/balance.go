@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"github.com/defragdht/d2/internal/obs"
 	"github.com/defragdht/d2/internal/transport"
 )
 
@@ -15,6 +16,7 @@ func (n *Node) balanceProbe() {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 
+	n.metrics.balanceProbes.Inc()
 	sample, err := transport.Expect[transport.SampleResp](
 		n.call(ctx, n.tr.Addr(), transport.SampleReq{Hops: 6}))
 	if err != nil || sample.Peer.IsZero() || sample.Peer.Addr == n.tr.Addr() {
@@ -123,6 +125,10 @@ func (n *Node) moveTo(ctx context.Context, a transport.PeerInfo) {
 	newSelf := n.self
 	n.mu.Unlock()
 
+	n.metrics.balanceMoves.Inc()
+	n.events.Log(obs.LevelInfo, "balance.move",
+		"old_id", oldSelf.ID.Short(), "new_id", newSelf.ID.Short(),
+		"succ", string(a.Addr))
 	_, _ = transport.Expect[transport.NotifyResp](
 		n.call(ctx, a.Addr, transport.NotifyReq{Cand: newSelf}))
 }

@@ -56,6 +56,7 @@ func (c *Client) GetMany(ctx context.Context, ks []keys.Key) (map[keys.Key][]byt
 	if err != nil {
 		return nil, err
 	}
+	c.fanout.Observe(int64(len(groups)))
 
 	var (
 		mu       sync.Mutex

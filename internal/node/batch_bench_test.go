@@ -2,11 +2,14 @@ package node
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"os"
 	"testing"
 	"time"
 
 	"github.com/defragdht/d2/internal/keys"
+	"github.com/defragdht/d2/internal/obs"
 	"github.com/defragdht/d2/internal/transport"
 )
 
@@ -25,6 +28,7 @@ import (
 // per whole-file read.
 func BenchmarkBatchedRead(b *testing.B) {
 	const blocks = 64
+	var snaps []obs.Snapshot
 	b.Run("transport=mem", func(b *testing.B) {
 		// 100µs simulated one-way delay: without it every mem call is a
 		// function call and the latency numbers say nothing about RPC
@@ -35,6 +39,7 @@ func BenchmarkBatchedRead(b *testing.B) {
 		c := newClient(b, net, nodes)
 		defer c.Close()
 		benchPlacements(b, c, blocks)
+		snaps = append(snaps, c.Metrics().Snapshot())
 	})
 	b.Run("transport=tcp", func(b *testing.B) {
 		nodes, cleanup := startTCPRing(b, 16)
@@ -42,7 +47,20 @@ func BenchmarkBatchedRead(b *testing.B) {
 		c := newTCPClient(b, nodes)
 		defer c.Close()
 		benchPlacements(b, c, blocks)
+		snaps = append(snaps, c.Metrics().Snapshot())
 	})
+	// D2_BENCH_METRICS names a file to receive the merged client-side
+	// metric snapshot; d2bench -metrics embeds it in BENCH_<n>.json so a
+	// perf result carries its RPC and byte counts.
+	if path := os.Getenv("D2_BENCH_METRICS"); path != "" && len(snaps) > 0 {
+		data, err := json.MarshalIndent(obs.MergeAll(snaps...), "", "  ")
+		if err == nil {
+			err = os.WriteFile(path, data, 0o644)
+		}
+		if err != nil {
+			b.Errorf("write metrics snapshot: %v", err)
+		}
+	}
 }
 
 func benchPlacements(b *testing.B, c *Client, blocks int) {
@@ -107,11 +125,12 @@ func benchPlacements(b *testing.B, c *Client, blocks int) {
 }
 
 // benchRead runs one whole-file read per iteration and reports the RPC
-// cost alongside the timing.
+// and byte cost alongside the timing, taken from the client's registry.
 func benchRead(b *testing.B, c *Client, read func() error) {
 	if err := read(); err != nil { // warm the lookup cache once
 		b.Fatal(err)
 	}
+	before := c.Metrics().Snapshot()
 	start := c.RPCs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -120,7 +139,17 @@ func benchRead(b *testing.B, c *Client, read func() error) {
 		}
 	}
 	b.StopTimer()
+	after := c.Metrics().Snapshot()
+	perOp := func(name string) float64 {
+		return float64(after.Counters[name]-before.Counters[name]) / float64(b.N)
+	}
 	b.ReportMetric(float64(c.RPCs()-start)/float64(b.N), "rpcs/op")
+	b.ReportMetric(perOp("d2_client_cache_hits_total"), "cachehits/op")
+	// Payload bytes exist when the client's transport shares its registry
+	// (the TCP bench client; the mem network's metrics are network-wide).
+	if recv := perOp(`d2_rpc_payload_bytes_total{dir="recv"}`); recv > 0 {
+		b.ReportMetric(recv, "recvB/op")
+	}
 }
 
 // startTCPRing boots n nodes on real sockets and waits for convergence.
@@ -163,9 +192,14 @@ func newTCPClient(b *testing.B, nodes []*Node) *Client {
 	if err != nil {
 		b.Fatal(err)
 	}
+	// Share one registry between the client and its transport so the
+	// benchmark can report per-op payload bytes.
+	reg := obs.New()
+	tr.UseMetrics(transport.NewRPCMetrics(reg))
 	c, err := NewClient(tr, ClientConfig{
 		Seeds:    []transport.Addr{nodes[0].Self().Addr, nodes[len(nodes)-1].Self().Addr},
 		Replicas: 3,
+		Metrics:  reg,
 	})
 	if err != nil {
 		b.Fatal(err)

@@ -6,11 +6,11 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/defragdht/d2/internal/keys"
 	"github.com/defragdht/d2/internal/lookupcache"
+	"github.com/defragdht/d2/internal/obs"
 	"github.com/defragdht/d2/internal/transport"
 )
 
@@ -29,11 +29,16 @@ type Client struct {
 	cache *lookupcache.Cache[transport.PeerInfo]
 	rng   *rand.Rand
 	start time.Time
-	// stats
-	hits, misses uint64
-	// rpcs counts every outbound RPC (atomically; benchmarks compare the
-	// batched and per-block read paths by RPCs issued).
-	rpcs atomic.Uint64
+
+	// Metrics live in the registry so Stats() is race-safe and d2ctl can
+	// merge a client's view into the cluster-wide one.
+	reg        *obs.Registry
+	hits       *obs.Counter   // lookup-cache hits (§5)
+	misses     *obs.Counter   // lookup-cache misses
+	rpcs       *obs.Counter   // every outbound RPC (benchmarks compare read paths by this)
+	fanout     *obs.Histogram // owner groups per GetMany
+	nfRetries  *obs.Counter   // not-found retries in Get (§8.1 transients)
+	lookupHops *obs.Histogram // hops per fresh lookup
 }
 
 // ClientConfig parameterizes a client.
@@ -47,6 +52,8 @@ type ClientConfig struct {
 	CacheTTL time.Duration
 	// Seed drives replica selection.
 	Seed uint64
+	// Metrics is the client's registry; nil creates a fresh one.
+	Metrics *obs.Registry
 }
 
 // NewClient creates a client using the given transport endpoint.
@@ -57,13 +64,24 @@ func NewClient(tr transport.Transport, cfg ClientConfig) (*Client, error) {
 	if cfg.Replicas == 0 {
 		cfg.Replicas = 3
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.New()
+	}
 	c := &Client{
-		tr:       tr,
-		seeds:    cfg.Seeds,
-		replicas: cfg.Replicas,
-		cache:    lookupcache.New[transport.PeerInfo](cfg.CacheTTL),
-		rng:      rand.New(rand.NewPCG(cfg.Seed, 0x434c4e54)), // "CLNT"
-		start:    time.Now(),
+		tr:         tr,
+		seeds:      cfg.Seeds,
+		replicas:   cfg.Replicas,
+		cache:      lookupcache.New[transport.PeerInfo](cfg.CacheTTL),
+		rng:        rand.New(rand.NewPCG(cfg.Seed, 0x434c4e54)), // "CLNT"
+		start:      time.Now(),
+		reg:        reg,
+		hits:       reg.Counter("d2_client_cache_hits_total"),
+		misses:     reg.Counter("d2_client_cache_misses_total"),
+		rpcs:       reg.Counter("d2_client_rpcs_total"),
+		fanout:     reg.Histogram("d2_client_getmany_fanout", obs.CountBuckets),
+		nfRetries:  reg.Counter("d2_client_notfound_retries_total"),
+		lookupHops: reg.Histogram("d2_client_lookup_hops", obs.CountBuckets),
 	}
 	// A client is a pure caller; answer anything inbound with an error.
 	tr.Serve(func(transport.Addr, transport.Message) (transport.Message, error) {
@@ -75,19 +93,22 @@ func NewClient(tr transport.Transport, cfg ClientConfig) (*Client, error) {
 // now returns the cache clock.
 func (c *Client) now() time.Duration { return time.Since(c.start) }
 
-// Stats returns the lookup-cache hit and miss counts.
+// Stats returns the lookup-cache hit and miss counts. The counts are
+// atomic registry counters, so Stats is safe to call from any goroutine
+// while reads are in flight.
 func (c *Client) Stats() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits.Value(), c.misses.Value()
 }
 
 // RPCs returns the total RPCs this client has issued.
-func (c *Client) RPCs() uint64 { return c.rpcs.Load() }
+func (c *Client) RPCs() uint64 { return c.rpcs.Value() }
+
+// Metrics returns the client's registry.
+func (c *Client) Metrics() *obs.Registry { return c.reg }
 
 // call issues one counted RPC.
 func (c *Client) call(ctx context.Context, to transport.Addr, req transport.Message) (transport.Message, error) {
-	c.rpcs.Add(1)
+	c.rpcs.Inc()
 	return c.tr.Call(ctx, to, req)
 }
 
@@ -95,15 +116,12 @@ func (c *Client) call(ctx context.Context, to transport.Addr, req transport.Mess
 func (c *Client) Lookup(ctx context.Context, k keys.Key) (transport.PeerInfo, error) {
 	c.mu.Lock()
 	owner, ok := c.cache.Lookup(k, c.now())
-	if ok {
-		c.hits++
-	} else {
-		c.misses++
-	}
 	c.mu.Unlock()
 	if ok {
+		c.hits.Inc()
 		return owner, nil
 	}
+	c.misses.Inc()
 	return c.freshLookup(ctx, k)
 }
 
@@ -177,6 +195,7 @@ func (c *Client) iterLookup(ctx context.Context, start transport.Addr, k keys.Ke
 			return transport.PeerInfo{}, transport.PeerInfo{}, err
 		}
 		if resp.Done {
+			c.lookupHops.Observe(int64(hops + 1))
 			return resp.Node, resp.Pred, nil
 		}
 		if resp.Node.Addr == cur {
@@ -233,6 +252,7 @@ func (c *Client) Get(ctx context.Context, k keys.Key) ([]byte, error) {
 		case <-time.After(backoff):
 		}
 		backoff *= 2
+		c.nfRetries.Inc()
 		data, err = c.getOnce(ctx, k)
 	}
 	return data, err

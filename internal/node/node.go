@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"github.com/defragdht/d2/internal/keys"
+	"github.com/defragdht/d2/internal/obs"
 	"github.com/defragdht/d2/internal/store"
 	"github.com/defragdht/d2/internal/transport"
 )
@@ -52,6 +53,13 @@ type Config struct {
 	MaxLinks int
 	// Seed drives ID choice and sampling.
 	Seed uint64
+	// Metrics is the node's registry; nil creates a fresh one per node
+	// (d2node shares its registry with the transport so one admin page
+	// covers both layers).
+	Metrics *obs.Registry
+	// Events receives the node's structured event log; nil disables
+	// event logging (obs.EventLog is nil-safe).
+	Events *obs.EventLog
 }
 
 func (c *Config) applyDefaults() {
@@ -106,6 +114,10 @@ type Node struct {
 	wg   sync.WaitGroup
 	// removeTimers tracks pending delayed removals so Close cancels them.
 	removeTimers map[keys.Key]*time.Timer
+
+	reg     *obs.Registry
+	metrics *nodeMetrics
+	events  *obs.EventLog
 }
 
 // Start creates a node on the transport and begins serving. The node
@@ -127,6 +139,10 @@ func Start(tr transport.Transport, cfg Config) *Node {
 	if id.IsZero() {
 		id = keys.Random(rng)
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.New()
+	}
 	n := &Node{
 		cfg:          cfg,
 		tr:           tr,
@@ -135,7 +151,10 @@ func Start(tr transport.Transport, cfg Config) *Node {
 		rng:          rng,
 		stop:         make(chan struct{}),
 		removeTimers: make(map[keys.Key]*time.Timer),
+		reg:          reg,
+		events:       cfg.Events,
 	}
+	n.metrics = newNodeMetrics(reg, n)
 	n.succs = []transport.PeerInfo{n.self}
 	tr.Serve(n.handle)
 	n.startLoops()
@@ -146,7 +165,11 @@ func (n *Node) startLoops() {
 	n.loop(n.cfg.StabilizeInterval, n.stabilize)
 	n.loop(n.cfg.RepairInterval, n.repair)
 	n.loop(n.cfg.RepairInterval, n.stabilizePointers)
-	n.loop(time.Minute, func() { n.st.SweepExpired(time.Now()) })
+	n.loop(time.Minute, func() {
+		if dropped := n.st.SweepExpired(time.Now()); dropped > 0 {
+			n.metrics.expired.Add(uint64(dropped))
+		}
+	})
 	if n.cfg.BalanceInterval > 0 {
 		n.loop(n.cfg.BalanceInterval, n.balanceProbe)
 	}
@@ -193,6 +216,22 @@ func (n *Node) Successor() transport.PeerInfo {
 
 // Store exposes the local block store (read-mostly, for tests and tools).
 func (n *Node) Store() *store.Store { return n.st }
+
+// Neighbors returns the node's ring view: predecessor and a copy of the
+// successor list (for the admin plane's /ringz).
+func (n *Node) Neighbors() (pred transport.PeerInfo, succs []transport.PeerInfo) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	succs = make([]transport.PeerInfo, len(n.succs))
+	copy(succs, n.succs)
+	return n.pred, succs
+}
+
+// Metrics returns the node's registry (for the admin plane and tests).
+func (n *Node) Metrics() *obs.Registry { return n.reg }
+
+// Events returns the node's event log (nil when disabled).
+func (n *Node) Events() *obs.EventLog { return n.events }
 
 // StoredBytes returns the node's stored data volume.
 func (n *Node) StoredBytes() int64 { return n.st.Bytes() }

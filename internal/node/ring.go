@@ -2,10 +2,12 @@ package node
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"time"
 
 	"github.com/defragdht/d2/internal/keys"
+	"github.com/defragdht/d2/internal/obs"
 	"github.com/defragdht/d2/internal/transport"
 )
 
@@ -33,6 +35,7 @@ func (n *Node) handle(from transport.Addr, req transport.Message) (transport.Mes
 		return n.handleRemove(r), nil
 	case transport.PutPtrReq:
 		n.st.PutPointer(r.Key, r.Target, r.Size, time.Now())
+		n.metrics.ptrInstalls.Inc()
 		return transport.PutPtrResp{}, nil
 	case transport.LoadReq:
 		return transport.LoadResp{
@@ -44,8 +47,27 @@ func (n *Node) handle(from transport.Addr, req transport.Message) (transport.Mes
 		return n.handleRange(r), nil
 	case transport.SampleReq:
 		return n.handleSample(r), nil
+	case transport.StatsReq:
+		return n.handleStats(), nil
 	default:
 		return nil, fmt.Errorf("node: unknown request %T", req)
+	}
+}
+
+// handleStats answers the admin plane's scrape: load summary plus the
+// node's full metrics snapshot, JSON-encoded for obs.Merge at the scraper.
+func (n *Node) handleStats() transport.Message {
+	snap, err := json.Marshal(n.reg.Snapshot())
+	if err != nil {
+		snap = nil
+	}
+	return transport.StatsResp{
+		Self:         n.Self(),
+		Pred:         n.Predecessor(),
+		RespBytes:    n.RespBytes(),
+		StoredBytes:  n.StoredBytes(),
+		Blocks:       int64(n.st.Len()),
+		SnapshotJSON: snap,
 	}
 }
 
@@ -252,6 +274,9 @@ func (n *Node) rejoinViaLink(ctx context.Context) {
 	n.trimSuccsLocked()
 	self := n.self
 	n.mu.Unlock()
+	n.metrics.rejoins.Inc()
+	n.events.Log(obs.LevelWarn, "ring.rejoin",
+		"via", string(start), "succ", string(owner.Addr))
 	_, _ = transport.Expect[transport.NotifyResp](
 		n.call(ctx, owner.Addr, transport.NotifyReq{Cand: self}))
 }
@@ -329,6 +354,8 @@ func (n *Node) trimSuccsLocked() {
 
 // dropSuccessor removes a dead successor and promotes the next.
 func (n *Node) dropSuccessor(dead transport.PeerInfo) {
+	n.metrics.succDrops.Inc()
+	n.events.Log(obs.LevelInfo, "ring.drop_succ", "addr", string(dead.Addr))
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	out := n.succs[:0]
@@ -386,6 +413,7 @@ func (n *Node) iterLookup(ctx context.Context, start transport.Addr, k keys.Key)
 		}
 		n.learnLink(resp.Node)
 		if resp.Done {
+			n.metrics.lookupHops.Observe(int64(hops + 1))
 			return resp.Node, resp.Pred, nil
 		}
 		if resp.Node.Addr == cur {

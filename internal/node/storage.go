@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/defragdht/d2/internal/keys"
+	"github.com/defragdht/d2/internal/obs"
 	"github.com/defragdht/d2/internal/store"
 	"github.com/defragdht/d2/internal/transport"
 )
@@ -30,6 +31,7 @@ func (n *Node) handleGet(r transport.GetReq) transport.Message {
 		return transport.GetResp{Found: false}
 	}
 	if b.IsPointer() {
+		n.metrics.ptrRedirects.Inc()
 		return transport.GetResp{Found: true, Redirect: b.Pointer}
 	}
 	return transport.GetResp{Found: true, Data: b.Data}
@@ -48,6 +50,7 @@ func (n *Node) handleMultiGet(r transport.MultiGetReq) transport.Message {
 		}
 		items[i].Found = true
 		if b.IsPointer() {
+			n.metrics.ptrRedirects.Inc()
 			items[i].Redirect = b.Pointer
 		} else {
 			items[i].Data = b.Data
@@ -98,6 +101,7 @@ func (n *Node) handleRemove(r transport.RemoveReq) transport.Message {
 
 // scheduleRemoval arms (or re-arms) the delayed delete for a key.
 func (n *Node) scheduleRemoval(k keys.Key, delay time.Duration) {
+	n.metrics.removals.Inc()
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if t, ok := n.removeTimers[k]; ok {
@@ -167,6 +171,8 @@ func (n *Node) handleSplit() transport.Message {
 	n.lastSplit = m
 	n.lastSplitAt = time.Now()
 	n.mu.Unlock()
+	n.metrics.splitHandouts.Inc()
+	n.events.Log(obs.LevelInfo, "balance.split_handout", "median", m.Short())
 	return transport.SplitResp{Ok: true, Median: m}
 }
 
@@ -248,9 +254,11 @@ func (n *Node) pushMissing(ctx context.Context, target transport.PeerInfo, lo, h
 		if it.Block.IsPointer() || have[it.Key] || n.doomed(it.Key) {
 			continue
 		}
-		_, _ = transport.Expect[transport.PutResp](n.call(ctx, target.Addr, transport.PutReq{
+		if _, err := transport.Expect[transport.PutResp](n.call(ctx, target.Addr, transport.PutReq{
 			Key: it.Key, Data: it.Block.Data,
-		}))
+		})); err == nil {
+			n.metrics.repairPushes.Inc()
+		}
 	}
 }
 
@@ -291,6 +299,7 @@ func (n *Node) handOffOutside(ctx context.Context, lo, hi keys.Key) {
 			Key: it.Key, Data: it.Block.Data, Replicate: true,
 		})); err == nil {
 			n.st.Delete(it.Key)
+			n.metrics.handoffs.Inc()
 		}
 	}
 }
@@ -320,5 +329,6 @@ func (n *Node) stabilizePointers() {
 			}
 		}
 		n.st.Put(it.Key, resp.Data, n.cfg.DefaultTTL, time.Now())
+		n.metrics.ptrResolved.Inc()
 	}
 }

@@ -1,0 +1,43 @@
+package obs
+
+import "testing"
+
+// The metrics hot path must not allocate: these run with ReportAllocs and
+// the acceptance bar is 0 allocs/op for counter and histogram events.
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := New().Counter("bench_total")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkGaugeAdd(b *testing.B) {
+	g := New().Gauge("bench_gauge")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := New().Histogram("bench_ns", LatencyBuckets)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i) % 1_000_000_000)
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	c := New().Counter("bench_par_total")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}

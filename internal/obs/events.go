@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event levels, in increasing severity.
+const (
+	LevelDebug = "debug"
+	LevelInfo  = "info"
+	LevelWarn  = "warn"
+	LevelError = "error"
+)
+
+// Event is one structured log entry: a named event plus key=value fields,
+// pre-rendered at log time (the log is for humans and /eventz, not for
+// machine parsing on the hot path).
+type Event struct {
+	Time  time.Time `json:"time"`
+	Level string    `json:"level"`
+	// Name identifies the event kind, dotted ("balance.move").
+	Name string `json:"name"`
+	// Fields is the rendered key=value list.
+	Fields string `json:"fields,omitempty"`
+}
+
+// String renders the event as one log line.
+func (e Event) String() string {
+	s := fmt.Sprintf("%s %-5s %s", e.Time.Format("15:04:05.000"), e.Level, e.Name)
+	if e.Fields != "" {
+		s += " " + e.Fields
+	}
+	return s
+}
+
+// EventLog is a fixed-capacity ring buffer of structured events: churn
+// events (joins, moves, drops) are appended forever and the buffer keeps
+// the most recent window for /eventz. A nil *EventLog discards events, so
+// callers never need nil checks.
+type EventLog struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int
+	n    int // total events ever logged
+}
+
+// NewEventLog creates a log keeping the last capacity events
+// (default 1024 when capacity <= 0).
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &EventLog{buf: make([]Event, capacity)}
+}
+
+// Log appends an event. kv must alternate keys and values; values are
+// rendered with %v. Safe on a nil receiver (no-op).
+func (l *EventLog) Log(level, name string, kv ...any) {
+	if l == nil {
+		return
+	}
+	var b strings.Builder
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%v=%v", kv[i], kv[i+1])
+	}
+	e := Event{Time: time.Now(), Level: level, Name: name, Fields: b.String()}
+	l.mu.Lock()
+	l.buf[l.next] = e
+	l.next = (l.next + 1) % len(l.buf)
+	l.n++
+	l.mu.Unlock()
+}
+
+// Events returns the retained events in chronological order.
+func (l *EventLog) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	kept := l.n
+	if kept > len(l.buf) {
+		kept = len(l.buf)
+	}
+	out := make([]Event, 0, kept)
+	start := (l.next - kept + len(l.buf)) % len(l.buf)
+	for i := 0; i < kept; i++ {
+		out = append(out, l.buf[(start+i)%len(l.buf)])
+	}
+	return out
+}
+
+// Total returns the number of events ever logged (including ones the ring
+// has dropped).
+func (l *EventLog) Total() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}

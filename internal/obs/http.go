@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewMux builds the admin/debug HTTP mux over a registry and event log:
+//
+//	/metrics      Prometheus text exposition
+//	/statsz       JSON snapshot (the same document d2ctl merges)
+//	/eventz       recent structured events, newest last
+//	/debug/pprof  the standard Go profiler endpoints
+//
+// Callers add application endpoints (/healthz, /ringz) on the returned
+// mux. events may be nil.
+func NewMux(reg *Registry, events *EventLog) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Snapshot())
+	})
+	mux.HandleFunc("/eventz", func(w http.ResponseWriter, r *http.Request) {
+		evs := events.Events()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(evs)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "# %d events retained (%d total)\n", len(evs), events.Total())
+		for _, e := range evs {
+			fmt.Fprintln(w, e.String())
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

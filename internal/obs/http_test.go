@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestMetricsHandlerGolden pins the exact /metrics output for a small
+// fixed registry: the Prometheus text format is a wire contract, so any
+// drift (ordering, label merging, cumulative buckets) must be deliberate.
+func TestMetricsHandlerGolden(t *testing.T) {
+	reg := New()
+	reg.Counter(`d2_rpc_client_total{rpc="get"}`).Add(7)
+	reg.Counter(`d2_rpc_client_total{rpc="put"}`).Add(3)
+	reg.Counter("d2_client_cache_hits_total").Add(41)
+	reg.Gauge("d2_node_store_bytes").Set(4096)
+	h := reg.Histogram(`d2_rpc_client_latency_ns{rpc="get"}`, []int64{1000, 5000})
+	h.Observe(500)  // first bucket
+	h.Observe(4000) // second bucket
+	h.Observe(9000) // overflow
+
+	srv := httptest.NewServer(NewMux(reg, NewEventLog(8)))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	want := `# TYPE d2_client_cache_hits_total counter
+d2_client_cache_hits_total 41
+# TYPE d2_rpc_client_total counter
+d2_rpc_client_total{rpc="get"} 7
+d2_rpc_client_total{rpc="put"} 3
+# TYPE d2_node_store_bytes gauge
+d2_node_store_bytes 4096
+# TYPE d2_rpc_client_latency_ns histogram
+d2_rpc_client_latency_ns_bucket{rpc="get",le="1000"} 1
+d2_rpc_client_latency_ns_bucket{rpc="get",le="5000"} 2
+d2_rpc_client_latency_ns_bucket{rpc="get",le="+Inf"} 3
+d2_rpc_client_latency_ns_sum{rpc="get"} 13500
+d2_rpc_client_latency_ns_count{rpc="get"} 3
+`
+	if string(body) != want {
+		t.Fatalf("/metrics output mismatch:\n--- got ---\n%s--- want ---\n%s", body, want)
+	}
+}
+
+// TestStatszRoundTrip checks the JSON snapshot served by /statsz decodes
+// back into an equivalent snapshot (the document d2ctl merges).
+func TestStatszRoundTrip(t *testing.T) {
+	reg := New()
+	reg.Counter("c_total").Add(5)
+	reg.Histogram("h_ns", []int64{10}).Observe(3)
+
+	srv := httptest.NewServer(NewMux(reg, nil))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["c_total"] != 5 {
+		t.Fatalf("counter = %d, want 5", snap.Counters["c_total"])
+	}
+	h := snap.Histograms["h_ns"]
+	if h.Count() != 1 || h.Sum != 3 {
+		t.Fatalf("histogram = %+v", h)
+	}
+}
+
+// TestEventzHandler checks the text and JSON event views.
+func TestEventzHandler(t *testing.T) {
+	log := NewEventLog(16)
+	log.Log(LevelInfo, "ring.join", "succ", "127.0.0.1:7001")
+	srv := httptest.NewServer(NewMux(New(), log))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/eventz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "ring.join succ=127.0.0.1:7001") {
+		t.Fatalf("/eventz missing event line:\n%s", body)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/eventz?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var evs []Event
+	if err := json.NewDecoder(resp.Body).Decode(&evs); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Name != "ring.join" {
+		t.Fatalf("events = %+v", evs)
+	}
+}

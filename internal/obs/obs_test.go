@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentIncrements hammers one counter, gauge, and histogram from
+// many goroutines; totals must be exact. Run under -race (tier 2) this
+// also proves the hot paths are race-free.
+func TestConcurrentIncrements(t *testing.T) {
+	reg := New()
+	c := reg.Counter("c_total")
+	g := reg.Gauge("g")
+	h := reg.Histogram("h_ns", LatencyBuckets)
+
+	const workers = 8
+	const perWorker = 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(int64(i%2_000_000 + 1))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != workers*perWorker {
+		t.Fatalf("gauge = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestRegistryGetOrCreate checks the same name returns the same metric.
+func TestRegistryGetOrCreate(t *testing.T) {
+	reg := New()
+	if reg.Counter("x") != reg.Counter("x") {
+		t.Fatal("Counter did not return the existing metric")
+	}
+	if reg.Gauge("y") != reg.Gauge("y") {
+		t.Fatal("Gauge did not return the existing metric")
+	}
+	if reg.Histogram("z", CountBuckets) != reg.Histogram("z", LatencyBuckets) {
+		t.Fatal("Histogram did not return the existing metric")
+	}
+}
+
+// TestHistogramBucketBoundaries pins down the le semantics: a value goes
+// to the first bucket with v <= bound; values above every bound go to the
+// overflow bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bounds := []int64{10, 20, 30}
+	cases := []struct {
+		value  int64
+		bucket int
+	}{
+		{-5, 0}, {0, 0}, {9, 0}, {10, 0},
+		{11, 1}, {20, 1},
+		{21, 2}, {30, 2},
+		{31, 3}, {1 << 40, 3},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("v=%d", tc.value), func(t *testing.T) {
+			h := NewHistogram(bounds)
+			h.Observe(tc.value)
+			for i := range h.counts {
+				want := uint64(0)
+				if i == tc.bucket {
+					want = 1
+				}
+				if got := h.counts[i].Load(); got != want {
+					t.Errorf("bucket[%d] = %d, want %d", i, got, want)
+				}
+			}
+			if h.Sum() != tc.value {
+				t.Errorf("sum = %d, want %d", h.Sum(), tc.value)
+			}
+		})
+	}
+}
+
+// TestHistogramQuantile sanity-checks the bucket interpolation.
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]int64{100, 200, 400})
+	for i := 0; i < 100; i++ {
+		h.Observe(50) // all in the first bucket
+	}
+	s := snapHist(h)
+	if q := s.Quantile(0.5); q <= 0 || q > 100 {
+		t.Fatalf("p50 = %v, want in (0, 100]", q)
+	}
+	h2 := NewHistogram([]int64{100, 200, 400})
+	h2.Observe(1000) // overflow only
+	if q := snapHist(h2).Quantile(0.99); q != 400 {
+		t.Fatalf("overflow quantile = %v, want 400 (largest bound)", q)
+	}
+	var empty HistSnapshot
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+}
+
+func snapHist(h *Histogram) HistSnapshot {
+	reg := New()
+	reg.mu.Lock()
+	reg.hists["h"] = h
+	reg.mu.Unlock()
+	return reg.Snapshot().Histograms["h"]
+}
+
+// randomSnapshot builds a snapshot drawing metric names from a small pool
+// so merges genuinely collide.
+func randomSnapshot(rng *rand.Rand) Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	names := []string{"a", "b", "c", "d"}
+	for _, n := range names {
+		if rng.IntN(2) == 0 {
+			s.Counters[n] = uint64(rng.IntN(1000))
+		}
+		if rng.IntN(2) == 0 {
+			s.Gauges[n] = int64(rng.IntN(1000)) - 500
+		}
+		if rng.IntN(2) == 0 {
+			bounds := []int64{10, 20}
+			if rng.IntN(4) == 0 {
+				bounds = []int64{10, 20, 30} // occasional mismatch
+			}
+			counts := make([]uint64, len(bounds)+1)
+			var sum int64
+			for i := range counts {
+				counts[i] = uint64(rng.IntN(50))
+				sum += int64(counts[i]) * 10
+			}
+			s.Histograms[n] = HistSnapshot{Bounds: bounds, Counts: counts, Sum: sum}
+		}
+	}
+	return s
+}
+
+// TestMergeAssociative is the property test: for random snapshots,
+// merge(merge(a,b),c) == merge(a,merge(b,c)), and merging must not
+// mutate its inputs.
+func TestMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 0))
+	for trial := 0; trial < 200; trial++ {
+		a, b, c := randomSnapshot(rng), randomSnapshot(rng), randomSnapshot(rng)
+		aCopy := MergeAll(a)
+		left := Merge(Merge(a, b), c)
+		right := Merge(a, Merge(b, c))
+		if !reflect.DeepEqual(left, right) {
+			t.Fatalf("trial %d: merge not associative:\nleft  %#v\nright %#v", trial, left, right)
+		}
+		if !reflect.DeepEqual(MergeAll(a), aCopy) {
+			t.Fatalf("trial %d: Merge mutated its input", trial)
+		}
+	}
+}
+
+// TestMergeCounts checks the merge arithmetic on a concrete example.
+func TestMergeCounts(t *testing.T) {
+	a := Snapshot{
+		Counters:   map[string]uint64{"x": 2},
+		Gauges:     map[string]int64{"g": 10},
+		Histograms: map[string]HistSnapshot{"h": {Bounds: []int64{5}, Counts: []uint64{1, 2}, Sum: 30}},
+	}
+	b := Snapshot{
+		Counters:   map[string]uint64{"x": 3, "y": 1},
+		Gauges:     map[string]int64{"g": -4},
+		Histograms: map[string]HistSnapshot{"h": {Bounds: []int64{5}, Counts: []uint64{4, 0}, Sum: 8}},
+	}
+	m := Merge(a, b)
+	if m.Counters["x"] != 5 || m.Counters["y"] != 1 {
+		t.Fatalf("counters = %v", m.Counters)
+	}
+	if m.Gauges["g"] != 6 {
+		t.Fatalf("gauge = %d, want 6", m.Gauges["g"])
+	}
+	h := m.Histograms["h"]
+	if h.Counts[0] != 5 || h.Counts[1] != 2 || h.Sum != 38 {
+		t.Fatalf("histogram = %+v", h)
+	}
+}
+
+// TestGaugeFunc checks snapshot-time evaluation.
+func TestGaugeFunc(t *testing.T) {
+	reg := New()
+	v := int64(7)
+	reg.GaugeFunc("fn", func() int64 { return v })
+	if got := reg.Snapshot().Gauges["fn"]; got != 7 {
+		t.Fatalf("gauge func = %d, want 7", got)
+	}
+	v = 9
+	if got := reg.Snapshot().Gauges["fn"]; got != 9 {
+		t.Fatalf("gauge func = %d, want 9", got)
+	}
+}
+
+// TestEventLogRing checks capacity, ordering, and wraparound.
+func TestEventLogRing(t *testing.T) {
+	l := NewEventLog(4)
+	for i := 0; i < 10; i++ {
+		l.Log(LevelInfo, "ev", "i", i)
+	}
+	evs := l.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for j, e := range evs {
+		want := fmt.Sprintf("i=%d", 6+j)
+		if e.Fields != want {
+			t.Fatalf("event %d fields = %q, want %q", j, e.Fields, want)
+		}
+	}
+	if l.Total() != 10 {
+		t.Fatalf("total = %d, want 10", l.Total())
+	}
+	var nilLog *EventLog
+	nilLog.Log(LevelInfo, "ignored") // must not panic
+	if nilLog.Events() != nil || nilLog.Total() != 0 {
+		t.Fatal("nil event log should be inert")
+	}
+}

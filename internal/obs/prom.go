@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format. Registry names may carry a label block (`name{k="v"}`), which
+// is split out so histogram bucket series get an additional `le` label.
+// Series are emitted in sorted name order, grouped so each base name gets
+// one # TYPE header.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	bw := &errWriter{w: w}
+	writeFamily(bw, s.Counters, "counter", func(name, labels string, v uint64) {
+		bw.printf("%s%s %d\n", name, wrapLabels(labels), v)
+	})
+	writeFamily(bw, s.Gauges, "gauge", func(name, labels string, v int64) {
+		bw.printf("%s%s %d\n", name, wrapLabels(labels), v)
+	})
+	writeFamily(bw, s.Histograms, "histogram", func(name, labels string, h HistSnapshot) {
+		var cum uint64
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = fmt.Sprintf("%d", h.Bounds[i])
+			}
+			bw.printf("%s_bucket%s %d\n", name, joinLabels(labels, `le="`+le+`"`), cum)
+		}
+		bw.printf("%s_sum%s %d\n", name, wrapLabels(labels), h.Sum)
+		bw.printf("%s_count%s %d\n", name, wrapLabels(labels), cum)
+	})
+	return bw.err
+}
+
+// writeFamily emits one metric family (sorted, TYPE header per base name).
+func writeFamily[V any](bw *errWriter, m map[string]V, typ string, emit func(name, labels string, v V)) {
+	lastBase := ""
+	for _, key := range sortedKeys(m) {
+		name, labels := splitLabels(key)
+		if name != lastBase {
+			bw.printf("# TYPE %s %s\n", name, typ)
+			lastBase = name
+		}
+		emit(name, labels, m[key])
+	}
+}
+
+// splitLabels separates `name{k="v"}` into name and the inner label list.
+func splitLabels(key string) (name, labels string) {
+	i := strings.IndexByte(key, '{')
+	if i < 0 {
+		return key, ""
+	}
+	return key[:i], strings.TrimSuffix(key[i+1:], "}")
+}
+
+// wrapLabels re-wraps an inner label list in braces (empty stays empty).
+func wrapLabels(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// joinLabels merges an inner label list with one extra label.
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return "{" + labels + "," + extra + "}"
+}
+
+// errWriter latches the first write error so the writers above stay
+// uncluttered.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -73,7 +73,7 @@ func (c *Cluster) moveNode(b, a *Node) {
 	c.resyncArc(lo, hi, true)
 	c.recomputeResp(b)
 	c.recomputeResp(a)
-	c.Moves++
+	c.moves.Inc()
 	c.sweepStale(b)
 }
 

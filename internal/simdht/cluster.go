@@ -15,6 +15,7 @@ import (
 
 	"github.com/defragdht/d2/internal/btree"
 	"github.com/defragdht/d2/internal/keys"
+	"github.com/defragdht/d2/internal/obs"
 	"github.com/defragdht/d2/internal/sim"
 )
 
@@ -53,6 +54,10 @@ type Config struct {
 	FetchRetry time.Duration
 	// Seed drives node ID assignment and probe randomness.
 	Seed uint64
+	// Metrics is the cluster's registry; nil creates a fresh one. The
+	// simulator reports through the same obs counters as the live node so
+	// experiment output and live scrapes share a vocabulary.
+	Metrics *obs.Registry
 }
 
 func (c *Config) applyDefaults() {
@@ -156,24 +161,45 @@ type Cluster struct {
 
 	userLinks map[int32]*sim.Link
 
-	// MigratedBytes counts all regeneration + rebalance transfer bytes
-	// (Table 4's L).
-	MigratedBytes int64
-	// WrittenBytes counts user-written bytes (Table 4's W).
-	WrittenBytes int64
-	// Moves counts voluntary ID changes performed by the balancer.
-	Moves int64
+	reg *obs.Registry
+	// migratedBytes counts all regeneration + rebalance transfer bytes
+	// (Table 4's L); writtenBytes counts user-written bytes (Table 4's W);
+	// moves counts voluntary ID changes performed by the balancer.
+	migratedBytes *obs.Counter
+	writtenBytes  *obs.Counter
+	moves         *obs.Counter
 }
+
+// MigratedBytes returns the total regeneration + rebalance transfer bytes
+// (Table 4's L).
+func (c *Cluster) MigratedBytes() int64 { return int64(c.migratedBytes.Value()) }
+
+// WrittenBytes returns the total user-written bytes (Table 4's W).
+func (c *Cluster) WrittenBytes() int64 { return int64(c.writtenBytes.Value()) }
+
+// Moves returns the voluntary ID changes performed by the balancer.
+func (c *Cluster) Moves() int64 { return int64(c.moves.Value()) }
+
+// Metrics returns the cluster's registry.
+func (c *Cluster) Metrics() *obs.Registry { return c.reg }
 
 // New creates a cluster of cfg.Nodes up nodes with uniformly random IDs.
 func New(eng *sim.Engine, cfg Config) *Cluster {
 	cfg.applyDefaults()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.New()
+	}
 	c := &Cluster{
-		Eng:       eng,
-		cfg:       cfg,
-		rng:       rand.New(rand.NewPCG(cfg.Seed, 0x53494d44)), // "SIMD"
-		byKey:     make(map[keys.Key]int32),
-		userLinks: make(map[int32]*sim.Link),
+		Eng:           eng,
+		cfg:           cfg,
+		rng:           rand.New(rand.NewPCG(cfg.Seed, 0x53494d44)), // "SIMD"
+		byKey:         make(map[keys.Key]int32),
+		userLinks:     make(map[int32]*sim.Link),
+		reg:           reg,
+		migratedBytes: reg.Counter("d2_sim_migrated_bytes_total"),
+		writtenBytes:  reg.Counter("d2_sim_written_bytes_total"),
+		moves:         reg.Counter("d2_sim_balance_moves_total"),
 	}
 	c.rankByNode = make([]int, cfg.Nodes)
 	for i := range c.rankByNode {

@@ -192,8 +192,8 @@ func TestWriteThroughUserLink(t *testing.T) {
 	if exists, avail := c.BlockStatus(k); !exists || !avail {
 		t.Fatal("written block not available")
 	}
-	if c.WrittenBytes != 2000 {
-		t.Fatalf("WrittenBytes = %d", c.WrittenBytes)
+	if c.WrittenBytes() != 2000 {
+		t.Fatalf("WrittenBytes = %d", c.WrittenBytes())
 	}
 }
 
@@ -230,7 +230,7 @@ func TestFailureRegeneration(t *testing.T) {
 			t.Fatalf("block %s has %d live replicas after regeneration, want 3", k.Short(), up)
 		}
 	}
-	if c.MigratedBytes == 0 {
+	if c.MigratedBytes() == 0 {
 		t.Fatal("regeneration moved no bytes")
 	}
 	checkInvariants(t, c)
@@ -310,7 +310,7 @@ func TestBalancerConvergesOnSkewedKeys(t *testing.T) {
 	if ratio := c.MaxLoadRatio(); ratio > 5.5 {
 		t.Fatalf("max/mean load ratio %.2f after balancing, want ≲ t+slack", ratio)
 	}
-	if c.Moves == 0 {
+	if c.Moves() == 0 {
 		t.Fatal("balancer performed no moves")
 	}
 	checkInvariants(t, c)
@@ -368,7 +368,7 @@ func TestPointerAblationMovesMoreData(t *testing.T) {
 			c.PutInstant(k, 8192)
 		}
 		eng.Run(8 * time.Hour)
-		return c.MigratedBytes
+		return c.MigratedBytes()
 	}
 	withPointers := run(false)
 	withoutPointers := run(true)
@@ -386,8 +386,8 @@ func TestBalancerIdleOnUniformLoad(t *testing.T) {
 	eng.Run(6 * time.Hour)
 	// Uniform keys under consistent hashing: some imbalance exists, but
 	// moves should be few once loads are within the t=4 band.
-	if c.Moves > 40 {
-		t.Fatalf("balancer churned %d moves on uniform load", c.Moves)
+	if c.Moves() > 40 {
+		t.Fatalf("balancer churned %d moves on uniform load", c.Moves())
 	}
 	checkInvariants(t, c)
 	checkRespBytes(t, c)

@@ -47,7 +47,7 @@ func TestReplayNoFailuresNoReadLoss(t *testing.T) {
 	if failed != 0 {
 		t.Fatalf("%d/%d reads failed with no node failures", failed, reads)
 	}
-	if c.WrittenBytes == 0 {
+	if c.WrittenBytes() == 0 {
 		t.Fatal("no write traffic recorded")
 	}
 	checkInvariants(t, c)

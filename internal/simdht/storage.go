@@ -64,7 +64,7 @@ func (c *Cluster) Write(user int32, k keys.Key, size int32, done func()) {
 		link = sim.NewLink(c.Eng, c.cfg.UserWriteBPS)
 		c.userLinks[user] = link
 	}
-	c.WrittenBytes += int64(size)
+	c.writtenBytes.Add(uint64(size))
 	link.Enqueue(int64(size), func() {
 		c.PutInstant(k, size)
 		if done != nil {
@@ -318,7 +318,7 @@ func (c *Cluster) finishFetch(d int, h int32, size int64) {
 	if !node.Up {
 		return
 	}
-	c.MigratedBytes += size
+	c.migratedBytes.Add(uint64(size))
 	c.addReplica(node, h)
 	// The fulfilled pointer disappears.
 	for i, p := range b.pointers {

@@ -15,12 +15,31 @@ type MemNetwork struct {
 	eps     map[Addr]*MemTransport
 	nextID  int
 	latency time.Duration
+	// metrics, when set, instruments every endpoint on the network (the
+	// in-process cluster is observed as one unit; per-node metrics come
+	// from the node layer's own registries).
+	metrics *RPCMetrics
 }
 
 // NewMemNetwork creates an empty in-memory network. latency, if non-zero,
 // is the simulated one-way delay applied to every call.
 func NewMemNetwork(latency time.Duration) *MemNetwork {
 	return &MemNetwork{eps: make(map[Addr]*MemTransport), latency: latency}
+}
+
+// UseMetrics attaches RPC metrics to the network; all endpoints (existing
+// and future) report through it.
+func (n *MemNetwork) UseMetrics(m *RPCMetrics) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.metrics = m
+}
+
+// rpcMetrics returns the network's metrics (nil when off).
+func (n *MemNetwork) rpcMetrics() *RPCMetrics {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.metrics
 }
 
 // NewEndpoint creates a fresh endpoint with a unique address.
@@ -77,6 +96,15 @@ func (t *MemTransport) Serve(h Handler) {
 // latency, and after the handler returns — so a batched fan-out that
 // cancels its context stops promptly instead of draining every call.
 func (t *MemTransport) Call(ctx context.Context, to Addr, req Message) (Message, error) {
+	m := t.net.rpcMetrics()
+	kind, start := m.startCall(req)
+	resp, err := t.call(ctx, to, req, m)
+	m.finishCall(kind, start, resp, err)
+	return resp, err
+}
+
+// call is the uninstrumented dispatch path.
+func (t *MemTransport) call(ctx context.Context, to Addr, req Message, m *RPCMetrics) (Message, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -104,7 +132,9 @@ func (t *MemTransport) Call(ctx context.Context, to Addr, req Message) (Message,
 			return nil, ctx.Err()
 		}
 	}
+	m.serveStart(req)
 	resp, err := h(t.addr, req)
+	m.serveEnd()
 	if err != nil {
 		return nil, err
 	}

@@ -40,6 +40,49 @@ type TCPTransport struct {
 
 	// DialTimeout bounds connection establishment.
 	DialTimeout time.Duration
+
+	metrics *RPCMetrics
+}
+
+// UseMetrics attaches RPC metrics to the endpoint. Call before traffic
+// starts; connections opened earlier do not count wire bytes.
+func (t *TCPTransport) UseMetrics(m *RPCMetrics) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.metrics = m
+}
+
+// rpcMetrics returns the endpoint's metrics (nil when off).
+func (t *TCPTransport) rpcMetrics() *RPCMetrics {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.metrics
+}
+
+// countingConn wraps a net.Conn, reporting raw wire bytes to RPCMetrics.
+type countingConn struct {
+	net.Conn
+	m *RPCMetrics
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.m.wireRead(n)
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.m.wireWritten(n)
+	return n, err
+}
+
+// countConn wraps conn with byte counting when metrics are on.
+func (m *RPCMetrics) countConn(conn net.Conn) net.Conn {
+	if m == nil {
+		return conn
+	}
+	return &countingConn{Conn: conn, m: m}
 }
 
 var _ Transport = (*TCPTransport)(nil)
@@ -105,8 +148,10 @@ func (t *TCPTransport) acceptLoop() {
 // stall the requests pipelined behind it; response writes are serialized.
 func (t *TCPTransport) serveConn(conn net.Conn) {
 	defer conn.Close()
-	dec := gob.NewDecoder(bufio.NewReader(conn))
-	bw := bufio.NewWriter(conn)
+	m := t.rpcMetrics()
+	counted := m.countConn(conn)
+	dec := gob.NewDecoder(bufio.NewReader(counted))
+	bw := bufio.NewWriter(counted)
 	enc := gob.NewEncoder(bw)
 	var wmu sync.Mutex
 	var hwg sync.WaitGroup
@@ -122,6 +167,8 @@ func (t *TCPTransport) serveConn(conn net.Conn) {
 		hwg.Add(1)
 		go func(env envelope) {
 			defer hwg.Done()
+			m.serveStart(env.Msg)
+			defer m.serveEnd()
 			var resp Message
 			if h == nil {
 				resp = ToErrResp(fmt.Errorf("node not serving"))
@@ -163,13 +210,14 @@ type clientConn struct {
 	done    chan struct{}
 }
 
-func newClientConn(conn net.Conn) *clientConn {
-	bw := bufio.NewWriter(conn)
+func newClientConn(conn net.Conn, m *RPCMetrics) *clientConn {
+	counted := m.countConn(conn)
+	bw := bufio.NewWriter(counted)
 	return &clientConn{
 		conn:    conn,
 		bw:      bw,
 		enc:     gob.NewEncoder(bw),
-		dec:     gob.NewDecoder(bufio.NewReader(conn)),
+		dec:     gob.NewDecoder(bufio.NewReader(counted)),
 		pending: make(map[uint64]chan envelope),
 		done:    make(chan struct{}),
 	}
@@ -267,8 +315,20 @@ func (cc *clientConn) call(ctx context.Context, from Addr, req Message) (Message
 // and waits for the tagged reply. A dead cached connection is replaced
 // and the call retried once (all node RPCs are idempotent).
 func (t *TCPTransport) Call(ctx context.Context, to Addr, req Message) (Message, error) {
+	m := t.rpcMetrics()
+	kind, start := m.startCall(req)
+	resp, err := t.doCall(ctx, to, req, m)
+	m.finishCall(kind, start, resp, err)
+	return resp, err
+}
+
+// doCall is Call's retry loop, without instrumentation.
+func (t *TCPTransport) doCall(ctx context.Context, to Addr, req Message, m *RPCMetrics) (Message, error) {
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
+		if attempt > 0 {
+			m.retried()
+		}
 		cc, err := t.clientConn(ctx, to)
 		if err != nil {
 			return nil, err
@@ -300,12 +360,14 @@ func (t *TCPTransport) clientConn(ctx context.Context, to Addr) (*clientConn, er
 	}
 	t.mu.Unlock()
 
+	m := t.rpcMetrics()
+	m.dialed()
 	d := net.Dialer{Timeout: t.DialTimeout}
 	conn, err := d.DialContext(ctx, "tcp", string(to))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
 	}
-	cc := newClientConn(conn)
+	cc := newClientConn(conn, m)
 
 	t.mu.Lock()
 	if t.closed {

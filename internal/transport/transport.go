@@ -224,6 +224,27 @@ type SampleReq struct{ Hops int }
 // SampleResp returns the sampled peer.
 type SampleResp struct{ Peer PeerInfo }
 
+// StatsReq asks a node for its metrics snapshot and load summary — the
+// admin plane's scrape RPC, used by d2ctl stats/top to build cluster-wide
+// views without an HTTP round trip.
+type StatsReq struct{}
+
+// StatsResp carries one node's observability state.
+type StatsResp struct {
+	Self PeerInfo
+	Pred PeerInfo
+	// RespBytes is the node's primary-responsibility load (§6) and
+	// StoredBytes its total stored volume; reported per node (not merged)
+	// so the scraper can compute the §10 load-imbalance metric.
+	RespBytes   int64
+	StoredBytes int64
+	// Blocks is the number of store entries (data and pointers).
+	Blocks int64
+	// SnapshotJSON is the node's obs.Snapshot, JSON-encoded. Mergeable
+	// with other nodes' snapshots via obs.Merge.
+	SnapshotJSON []byte
+}
+
 // ErrResp carries an application-level error back to the caller.
 type ErrResp struct{ Err string }
 
@@ -256,6 +277,8 @@ func (PutPtrReq) isMessage()      {}
 func (PutPtrResp) isMessage()     {}
 func (SampleReq) isMessage()      {}
 func (SampleResp) isMessage()     {}
+func (StatsReq) isMessage()       {}
+func (StatsResp) isMessage()      {}
 func (ErrResp) isMessage()        {}
 
 // RegisterMessages registers every protocol message with gob. The TCP
@@ -270,7 +293,7 @@ func registerMessages() {
 		SplitReq{}, SplitResp{}, RangeReq{}, RangeResp{},
 		MultiGetReq{}, MultiGetResp{}, FetchRangeReq{}, FetchRangeResp{},
 		PutPtrReq{}, PutPtrResp{},
-		SampleReq{}, SampleResp{}, ErrResp{},
+		SampleReq{}, SampleResp{}, StatsReq{}, StatsResp{}, ErrResp{},
 	} {
 		gob.Register(m)
 	}

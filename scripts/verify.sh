@@ -2,28 +2,51 @@
 # verify.sh — repo verification tiers.
 #
 #   scripts/verify.sh        tier 1: build + full test suite
-#   scripts/verify.sh race   tier 2: tier 1 plus go vet and the race
+#   scripts/verify.sh lint   lint tier: go vet and a gofmt -l check
+#   scripts/verify.sh race   tier 2: tier 1 plus lint and the race
 #                            detector (catches data races in the parallel
-#                            experiment pool; several times slower)
+#                            experiment pool and the obs hot paths;
+#                            several times slower)
 #   scripts/verify.sh bench  tier 3: tier 1 plus a one-iteration smoke run
-#                            of the batched-read benchmark (checks the
-#                            benchmark harness and the d2bench converter
-#                            still work; not a performance measurement)
+#                            of the batched-read benchmark through the
+#                            d2bench converter with an embedded metrics
+#                            snapshot (checks the harness still works; not
+#                            a performance measurement)
 set -eu
 cd "$(dirname "$0")/.."
+
+lint() {
+	echo "== lint: go vet ./... && gofmt -l ."
+	go vet ./...
+	fmt=$(gofmt -l .)
+	if [ -n "$fmt" ]; then
+		echo "gofmt: needs formatting:" >&2
+		echo "$fmt" >&2
+		exit 1
+	fi
+}
+
+if [ "${1:-}" = "lint" ]; then
+	lint
+	exit 0
+fi
 
 echo "== tier 1: go build ./... && go test ./..."
 go build ./...
 go test ./...
 
 if [ "${1:-}" = "race" ]; then
-	echo "== tier 2: go vet ./... && go test -race ./..."
-	go vet ./...
+	lint
+	echo "== tier 2: go test -race (full suite, incl. internal/obs)"
 	go test -race ./...
 fi
 
 if [ "${1:-}" = "bench" ]; then
 	echo "== tier 3: BenchmarkBatchedRead smoke (1 iteration, mem only)"
-	go test -run '^$' -bench 'BenchmarkBatchedRead/transport=mem' \
-		-benchtime 1x ./internal/node | go run ./cmd/d2bench
+	snap=$(mktemp)
+	D2_BENCH_METRICS="$snap" go test -run '^$' \
+		-bench 'BenchmarkBatchedRead/transport=mem' \
+		-benchtime 1x ./internal/node |
+		go run ./cmd/d2bench -metrics "$snap"
+	rm -f "$snap"
 fi
