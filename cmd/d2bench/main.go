@@ -11,7 +11,9 @@
 //
 // The -metrics flag embeds a metrics snapshot (the obs.Snapshot JSON a
 // benchmark writes when D2_BENCH_METRICS is set) so a perf record carries
-// its RPC and byte counts, not just wall-clock numbers.
+// its RPC and byte counts, not just wall-clock numbers. The -trace flag
+// likewise embeds the sampled request-trace JSON a benchmark writes when
+// D2_BENCH_TRACE is set (Chrome trace-event form, Perfetto-loadable).
 package main
 
 import (
@@ -51,6 +53,9 @@ type Report struct {
 	// MetricsSnapshot is an embedded obs.Snapshot captured during the run
 	// (see -metrics).
 	MetricsSnapshot json.RawMessage `json:"metrics_snapshot,omitempty"`
+	// TraceSnapshot is embedded Chrome trace-event JSON captured during the
+	// run (see -trace).
+	TraceSnapshot json.RawMessage `json:"trace_snapshot,omitempty"`
 }
 
 func main() {
@@ -63,6 +68,7 @@ func main() {
 func run() error {
 	before := flag.String("before", "", "baseline `go test -bench` output to diff against")
 	metrics := flag.String("metrics", "", "metrics snapshot JSON to embed in the report")
+	trace := flag.String("trace", "", "request-trace JSON (D2_BENCH_TRACE output) to embed in the report")
 	out := flag.String("o", "", "output JSON path (default stdout)")
 	flag.Parse()
 
@@ -121,6 +127,17 @@ func run() error {
 			return fmt.Errorf("%s: not valid JSON", *metrics)
 		}
 		rep.MetricsSnapshot = json.RawMessage(raw)
+	}
+
+	if *trace != "" {
+		raw, err := os.ReadFile(*trace)
+		if err != nil {
+			return err
+		}
+		if !json.Valid(raw) {
+			return fmt.Errorf("%s: not valid JSON", *trace)
+		}
+		rep.TraceSnapshot = json.RawMessage(raw)
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")

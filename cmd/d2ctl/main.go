@@ -18,6 +18,13 @@
 //	d2ctl -seeds 127.0.0.1:7001 stats
 //	d2ctl -seeds 127.0.0.1:7001 -vol home stats
 //	d2ctl -seeds 127.0.0.1:7001 top
+//
+// Request tracing (reads the file under a forced trace, scrapes every
+// ring member for its spans, and prints the assembled cross-node tree;
+// the optional second argument exports Perfetto-loadable JSON):
+//
+//	d2ctl -seeds 127.0.0.1:7001 -vol home trace /docs/a.txt
+//	d2ctl -seeds 127.0.0.1:7001 -vol home trace /docs/a.txt trace.json
 package main
 
 import (
@@ -46,7 +53,7 @@ func run() error {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("usage: d2ctl [flags] mkvol|mkdir|write|cat|ls|stat|mv|rm|stats|top ...")
+		return fmt.Errorf("usage: d2ctl [flags] mkvol|mkdir|write|cat|ls|stat|mv|rm|trace|stats|top ...")
 	}
 
 	client, err := d2.ConnectTCP(strings.Split(*seeds, ","), 3)
@@ -106,6 +113,15 @@ func run() error {
 	}
 
 	switch cmd {
+	case "trace":
+		if len(args) != 2 && len(args) != 3 {
+			return fmt.Errorf("usage: trace <path> [export.json]")
+		}
+		export := ""
+		if len(args) == 3 {
+			export = args[2]
+		}
+		return runTrace(ctx, client, vol, args[1], export)
 	case "mkdir":
 		if len(args) != 2 {
 			return fmt.Errorf("usage: mkdir <path>")

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	d2 "github.com/defragdht/d2"
+	"github.com/defragdht/d2/internal/obs/tracing"
+)
+
+// runTrace reads path through the volume under a force-sampled trace,
+// scrapes every ring member for that trace's spans, and prints the
+// assembled cross-node span tree. When export is non-empty it also writes
+// Chrome trace-event JSON there, loadable at ui.perfetto.dev.
+func runTrace(ctx context.Context, client *d2.Client, vol *d2.Volume, path, export string) error {
+	tctx, root := client.StartTrace(ctx, "d2ctl.trace")
+	root.Annotate("path", path)
+	data, rerr := vol.ReadFile(tctx, path)
+	root.EndErr(rerr)
+	if rerr != nil {
+		return fmt.Errorf("read %s: %w", path, rerr)
+	}
+	trace := root.TraceID()
+
+	spans, err := client.FetchClusterTrace(ctx, trace)
+	if err != nil {
+		return fmt.Errorf("fetch trace %s: %w", tracing.TraceIDString(trace), err)
+	}
+	fmt.Printf("read %s: %d bytes\ntrace %s: %d spans across %d nodes\n\n",
+		path, len(data), tracing.TraceIDString(trace), len(spans), tracing.NodeCount(spans))
+	if err := tracing.WriteTree(os.Stdout, spans); err != nil {
+		return err
+	}
+	if export != "" {
+		f, err := os.Create(export)
+		if err != nil {
+			return err
+		}
+		if err := tracing.WriteChromeTrace(f, spans); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote Chrome trace-event JSON to %s (open in ui.perfetto.dev)\n", export)
+	}
+	return nil
+}

@@ -6,7 +6,9 @@
 //	d2node -bind 127.0.0.1:7003 -seed 127.0.0.1:7001 -balance 10m
 //
 // The -admin address serves the observability plane: /metrics (Prometheus
-// text), /statsz (JSON), /eventz, /healthz, /ringz, and /debug/pprof/.
+// text), /statsz (JSON), /eventz, /tracez, /healthz, /ringz, and
+// /debug/pprof/. Pass -trace-sample / -trace-slow to retain request
+// traces; "d2ctl trace <file>" assembles them across nodes.
 // Use cmd/d2ctl to read and write blocks and volumes ("d2ctl stats" and
 // "d2ctl top" build cluster-wide views from every node's metrics).
 package main
@@ -40,7 +42,9 @@ func run() error {
 	pointerStab := flag.Duration("pointer-stab", time.Hour, "pointer stabilization time")
 	removeDelay := flag.Duration("remove-delay", 30*time.Second, "block removal delay")
 	statsEvery := flag.Duration("stats", 30*time.Second, "stats print interval (0 = quiet)")
-	admin := flag.String("admin", "", "admin/debug HTTP address (empty = off); serves /metrics, /statsz, /eventz, /healthz, /ringz, /debug/pprof/")
+	admin := flag.String("admin", "", "admin/debug HTTP address (empty = off); serves /metrics, /statsz, /eventz, /tracez, /healthz, /ringz, /debug/pprof/")
+	traceSample := flag.Int("trace-sample", 0, "keep 1 in N request traces (0 = off; forced traces always work)")
+	traceSlow := flag.Duration("trace-slow", 0, "always keep traces of requests at least this slow (0 = off)")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -49,6 +53,8 @@ func run() error {
 		BalanceInterval:      *balance,
 		PointerStabilization: *pointerStab,
 		RemoveDelay:          *removeDelay,
+		TraceSampleEvery:     *traceSample,
+		TraceSlowThreshold:   *traceSlow,
 	})
 	if err != nil {
 		return err

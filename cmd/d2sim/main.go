@@ -9,8 +9,12 @@
 //
 //	d2sim [-scale small|medium|full] [-workers N] [-fig7] [-fig8] [-fig16]
 //	      [-fig17] [-table3] [-table4] [-ablation-pointers] [-ablation-replicas]
+//	      [-trace out.json]
 //
 // With no selection flags, everything runs (minutes at medium scale).
+// -trace runs the D2 system over the Harvard workload with a span sink
+// attached and writes the migration timeline (one span per block transfer,
+// in simulated time) as Chrome trace-event JSON, loadable in Perfetto.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"os"
 
 	"github.com/defragdht/d2/internal/experiments"
+	"github.com/defragdht/d2/internal/obs/tracing"
 )
 
 func main() {
@@ -39,6 +44,7 @@ func run() error {
 	table4 := flag.Bool("table4", false, "Table 4: write vs migration traffic")
 	ablPtr := flag.Bool("ablation-pointers", false, "ablation: block pointers on/off")
 	ablRep := flag.Bool("ablation-replicas", false, "ablation: replicas r=3 vs r=4")
+	traceOut := flag.String("trace", "", "capture the D2/Harvard migration timeline as Chrome trace-event JSON")
 	flag.Parse()
 
 	scale, err := experiments.ScaleByName(*scaleName)
@@ -46,6 +52,9 @@ func run() error {
 		return err
 	}
 	scale.Workers = *workers
+	if *traceOut != "" {
+		return runTraceCapture(scale, *traceOut)
+	}
 	all := !*fig7 && !*fig8 && !*fig16 && !*fig17 && !*table3 && !*table4 && !*ablPtr && !*ablRep
 	if *fig7 || all {
 		fmt.Println(experiments.RenderFig7(experiments.Fig7(scale)))
@@ -75,5 +84,28 @@ func run() error {
 	if *ablRep || all {
 		fmt.Println(experiments.AblationReplicas(scale))
 	}
+	return nil
+}
+
+// runTraceCapture simulates the D2 system on the Harvard workload with a
+// span sink attached and writes the captured block-transfer spans as
+// Chrome trace-event JSON (open the file in ui.perfetto.dev).
+func runTraceCapture(scale experiments.Scale, out string) error {
+	sink := tracing.NewSink(1 << 16)
+	experiments.TraceMigration(scale, sink)
+	spans := sink.Spans()
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := tracing.WriteChromeTrace(f, spans); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("captured %d transfer spans (%d total; ring keeps the most recent) to %s\n",
+		len(spans), sink.Total(), out)
 	return nil
 }

@@ -32,6 +32,7 @@ import (
 	"github.com/defragdht/d2/internal/keys"
 	"github.com/defragdht/d2/internal/node"
 	"github.com/defragdht/d2/internal/obs"
+	"github.com/defragdht/d2/internal/obs/tracing"
 	"github.com/defragdht/d2/internal/transport"
 )
 
@@ -80,6 +81,24 @@ type NodeOptions struct {
 	RepairInterval time.Duration
 	// Seed makes node identity deterministic (0 = random per node).
 	Seed uint64
+	// TraceSampleEvery keeps 1 in N requests' traces (0 disables head
+	// sampling). Forced traces (d2ctl trace) work regardless.
+	TraceSampleEvery int
+	// TraceSlowThreshold force-keeps the trace of any operation at least
+	// this slow, regardless of sampling (0 disables). Setting it makes
+	// every operation provisionally traced, which costs allocations.
+	TraceSlowThreshold time.Duration
+}
+
+// tracer builds the per-node (or per-client) request tracer. Every node
+// gets one — with sampling off its cost is near zero — so TraceFetch and
+// forced traces always work.
+func (o NodeOptions) tracer(label string) *tracing.Tracer {
+	return tracing.New(tracing.Config{
+		Node:          label,
+		SampleEvery:   o.TraceSampleEvery,
+		SlowThreshold: o.TraceSlowThreshold,
+	})
 }
 
 func (o NodeOptions) toConfig(seed uint64) node.Config {
@@ -128,7 +147,10 @@ func NewCluster(ctx context.Context, n int, opts NodeOptions) (*Cluster, error) 
 
 // AddNode starts one more node and joins it to the ring.
 func (c *Cluster) AddNode(ctx context.Context) error {
-	nd := node.Start(c.net.NewEndpoint(), c.opts.toConfig(uint64(len(c.nodes)+1)))
+	ep := c.net.NewEndpoint()
+	cfg := c.opts.toConfig(uint64(len(c.nodes) + 1))
+	cfg.Tracer = c.opts.tracer(string(ep.Addr()))
+	nd := node.Start(ep, cfg)
 	if len(c.nodes) > 0 {
 		if err := nd.Join(ctx, c.nodes[0].Self().Addr); err != nil {
 			_ = nd.Close()
@@ -181,6 +203,7 @@ func (c *Cluster) Client() (*Client, error) {
 	inner, err := node.NewClient(c.net.NewEndpoint(), node.ClientConfig{
 		Seeds:    c.Seeds(),
 		Replicas: replicas,
+		Tracer:   c.opts.tracer("client"),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("d2: client: %w", err)
@@ -227,6 +250,7 @@ func StartNode(ctx context.Context, bind, seed string, opts NodeOptions) (*Node,
 	cfg := opts.toConfig(0)
 	cfg.Metrics = reg
 	cfg.Events = events
+	cfg.Tracer = opts.tracer(string(tr.Addr()))
 	nd := node.Start(tr, cfg)
 	if seed != "" {
 		if err := nd.Join(ctx, transport.Addr(seed)); err != nil {
@@ -250,11 +274,12 @@ func (n *Node) StoredBytes() int64 { return n.inner.StoredBytes() }
 func (n *Node) Close() error { return n.inner.Close() }
 
 // AdminHandler returns the node's admin/debug plane: Prometheus /metrics,
-// /statsz (JSON snapshot), /eventz (structured event log), /healthz,
-// /ringz (the node's ring view), and net/http/pprof under /debug/pprof/.
-// Serve it on a loopback or otherwise-protected port; it is unauthenticated.
+// /statsz (JSON snapshot), /eventz (structured event log), /tracez
+// (retained request traces), /healthz, /ringz (the node's ring view), and
+// net/http/pprof under /debug/pprof/. Serve it on a loopback or
+// otherwise-protected port; it is unauthenticated.
 func (n *Node) AdminHandler() http.Handler {
-	mux := obs.NewMux(n.reg, n.events)
+	mux := obs.NewMux(n.reg, n.events, n.inner.Tracer().Sink())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "ok %s %s\n", n.inner.Self().ID.Short(), n.Addr())
@@ -305,7 +330,13 @@ func ConnectTCP(seeds []string, replicas int) (*Client, error) {
 	// snapshot covers cache behavior and per-RPC latency together.
 	reg := obs.New()
 	tr.UseMetrics(transport.NewRPCMetrics(reg))
-	inner, err := node.NewClient(tr, node.ClientConfig{Seeds: addrs, Replicas: replicas, Metrics: reg})
+	inner, err := node.NewClient(tr, node.ClientConfig{
+		Seeds:    addrs,
+		Replicas: replicas,
+		Metrics:  reg,
+		Tracer:   NodeOptions{}.tracer("client@" + string(tr.Addr())),
+		Events:   obs.NewEventLog(256),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -356,6 +387,41 @@ func (c *Client) Remove(ctx context.Context, k Key) error {
 
 // CacheStats returns the lookup cache's hit and miss counts.
 func (c *Client) CacheStats() (hits, misses uint64) { return c.inner.Stats() }
+
+// TraceSpan is an in-flight span handle returned by StartTrace.
+type TraceSpan = tracing.ActiveSpan
+
+// TraceRecord is one completed span, as fetched by FetchClusterTrace.
+type TraceRecord = tracing.Span
+
+// SetTraceSampling reconfigures the client's tracer at runtime: keep the
+// trace of 1 in every `every` operations (0 disables head sampling), and
+// always keep operations at least `slow` long (0 disables the slow-path
+// escape hatch).
+func (c *Client) SetTraceSampling(every int, slow time.Duration) {
+	t := c.inner.Tracer()
+	t.SetSampleEvery(every)
+	t.SetSlowThreshold(slow)
+}
+
+// StartTrace opens a force-sampled root span: every client operation made
+// with the returned context joins the trace regardless of sampling. End
+// the span, then pass its TraceID to FetchClusterTrace to assemble the
+// cross-node tree (d2ctl trace drives exactly this).
+func (c *Client) StartTrace(ctx context.Context, name string) (context.Context, *TraceSpan) {
+	return c.inner.Tracer().ForceOp(ctx, name)
+}
+
+// FetchClusterTrace scrapes every ring member (plus the client's own
+// sink) for spans of the given trace and returns them sorted by start
+// time; feed the result to tracing.Assemble / WriteTree / WriteChromeTrace.
+func (c *Client) FetchClusterTrace(ctx context.Context, trace uint64) ([]TraceRecord, error) {
+	return c.inner.FetchClusterTrace(ctx, trace)
+}
+
+// TraceSpans snapshots the spans retained in the client's local sink
+// (roots it sampled plus child spans of its own operations).
+func (c *Client) TraceSpans() []TraceRecord { return c.inner.Tracer().Sink().Spans() }
 
 // MetricsSnapshot freezes the client's own metrics (lookup cache, RPCs,
 // per-RPC latency when on TCP).

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/defragdht/d2/internal/keys"
+	"github.com/defragdht/d2/internal/obs/tracing"
 	"github.com/defragdht/d2/internal/parexp"
 	"github.com/defragdht/d2/internal/placement"
 	"github.com/defragdht/d2/internal/sim"
@@ -18,6 +19,8 @@ type lbSystem struct {
 	Strategy placement.Strategy
 	Balance  bool
 	URLKeys  bool // webcache uses hashed-slot D2 keys (§4.2 footnote 2)
+	// Trace receives simulated-time transfer spans (d2sim -trace).
+	Trace *tracing.Sink
 }
 
 func lbSystems() []lbSystem {
@@ -53,6 +56,7 @@ func runLoadBalance(s Scale, tr *trace.Trace, sys lbSystem) *LBSeries {
 		Balance:      sys.Balance,
 		MigrationBPS: s.MigrationBPS,
 		Seed:         s.Seed + 31,
+		Trace:        sys.Trace,
 	})
 	vol := keys.NewVolumeID([]byte("d2-lb"), tr.Name)
 	var keyer placement.Keyer
@@ -101,6 +105,15 @@ func runLoadBalance(s Scale, tr *trace.Trace, sys lbSystem) *LBSeries {
 	})
 	eng.Run(offset + tr.Duration + time.Hour)
 	return out
+}
+
+// TraceMigration runs the D2 system over the Harvard workload with a span
+// sink attached: every completed block transfer (regeneration, rebalance,
+// and pointer-stabilization fetch) lands in the sink as one span stamped
+// with simulated time — the d2sim -trace data source.
+func TraceMigration(s Scale, sink *tracing.Sink) *LBSeries {
+	return runLoadBalance(s, s.HarvardTrace(),
+		lbSystem{Name: "d2", Strategy: placement.D2, Balance: true, Trace: sink})
 }
 
 // Fig16 reproduces Figure 16: load imbalance over time on the Harvard

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"time"
+
+	"github.com/defragdht/d2/internal/obs/tracing"
 )
 
 // FileInfo describes a file or directory.
@@ -31,9 +33,15 @@ func (v *Volume) WriteFile(ctx context.Context, path string, data []byte) error 
 	if len(comps) == 0 {
 		return fmt.Errorf("%w: empty path", ErrIsDir)
 	}
+	ctx, sp := tracing.ChildSpan(ctx, "fs.write_file")
+	if sp != nil {
+		sp.Annotate("path", path, "bytes", len(data))
+	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	return v.writeFileLocked(ctx, comps, data)
+	err := v.writeFileLocked(ctx, comps, data)
+	sp.EndErr(err)
+	return err
 }
 
 func (v *Volume) writeFileLocked(ctx context.Context, comps []string, data []byte) error {
@@ -91,6 +99,17 @@ func (v *Volume) ReadFile(ctx context.Context, path string) ([]byte, error) {
 	if len(comps) == 0 {
 		return nil, ErrIsDir
 	}
+	ctx, sp := tracing.ChildSpan(ctx, "fs.read_file")
+	if sp != nil {
+		sp.Annotate("path", path)
+	}
+	data, err := v.readFile(ctx, path, comps)
+	sp.EndErr(err)
+	return data, err
+}
+
+// readFile is ReadFile without the tracing shell.
+func (v *Volume) readFile(ctx context.Context, path string, comps []string) ([]byte, error) {
 	root, err := v.currentRoot(ctx)
 	if err != nil {
 		return nil, err

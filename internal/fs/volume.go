@@ -11,6 +11,7 @@ import (
 
 	"github.com/defragdht/d2/internal/keys"
 	"github.com/defragdht/d2/internal/obs"
+	"github.com/defragdht/d2/internal/obs/tracing"
 	"github.com/defragdht/d2/internal/placement"
 )
 
@@ -454,7 +455,9 @@ func (v *Volume) readInode(ctx context.Context, cur pathCursor, ver uint32, hash
 	return ino, nil
 }
 
-// readContent returns a file or directory's full content bytes.
+// readContent returns a file or directory's full content bytes. Under a
+// trace the assembly is one fs.assemble span: block count in, integrity-
+// checked bytes out.
 func (v *Volume) readContent(ctx context.Context, cur pathCursor, ino *Inode) ([]byte, error) {
 	if ino.Size == 0 {
 		return nil, nil
@@ -462,6 +465,17 @@ func (v *Volume) readContent(ctx context.Context, cur pathCursor, ino *Inode) ([
 	if len(ino.Inline) > 0 || len(ino.BlockVers) == 0 {
 		return ino.Inline, nil
 	}
+	ctx, sp := tracing.ChildSpan(ctx, "fs.assemble")
+	if sp != nil {
+		sp.Annotate("blocks", len(ino.BlockVers), "bytes", ino.Size)
+	}
+	out, err := v.assembleBlocks(ctx, cur, ino)
+	sp.EndErr(err)
+	return out, err
+}
+
+// assembleBlocks fetches and verifies a file's content blocks.
+func (v *Volume) assembleBlocks(ctx context.Context, cur pathCursor, ino *Inode) ([]byte, error) {
 	blks := make([][]byte, len(ino.BlockVers))
 	if batch, ok := v.svc.(BatchBlockService); ok && len(ino.BlockVers) > 1 {
 		if err := v.fetchBlocksBatched(ctx, batch, cur, ino, blks); err != nil {

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"github.com/defragdht/d2/internal/obs"
+	"github.com/defragdht/d2/internal/obs/tracing"
 	"github.com/defragdht/d2/internal/transport"
 )
 
@@ -124,4 +125,35 @@ func (c *Client) ClusterStats(ctx context.Context) ([]NodeStats, error) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Self.ID.Less(out[j].Self.ID) })
 	return out, nil
+}
+
+// FetchClusterTrace scrapes every ring member's span sink for one trace
+// (TraceFetch RPC), merges the results with the client's own local spans,
+// and returns the combined set sorted by start time — the raw material
+// for tracing.Assemble's cross-node span tree. Unreachable members are
+// skipped: a partial tree still renders, with the missing node's spans
+// surfacing as orphans.
+func (c *Client) FetchClusterTrace(ctx context.Context, trace uint64) ([]tracing.Span, error) {
+	if trace == 0 {
+		return nil, fmt.Errorf("node: FetchClusterTrace needs a trace ID")
+	}
+	members, err := c.WalkRing(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var spans []tracing.Span
+	for _, m := range members {
+		resp, err := transport.Expect[transport.TraceFetchResp](
+			c.call(ctx, m.Self.Addr, transport.TraceFetchReq{Trace: trace}))
+		if err != nil {
+			continue
+		}
+		spans = append(spans, resp.Spans...)
+	}
+	// The client's own spans (op roots, lookups, batch groups) live in its
+	// local sink, not on any ring member.
+	if sink := c.tracer.Sink(); sink != nil {
+		spans = append(spans, sink.Trace(trace)...)
+	}
+	return tracing.SortedByStart(spans), nil
 }

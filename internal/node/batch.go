@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sort"
 	"sync"
 
@@ -40,6 +41,22 @@ type ownerGroup struct {
 // replica walk. The result maps each found key to its data; absent keys
 // are simply omitted. Duplicate keys are fetched once.
 func (c *Client) GetMany(ctx context.Context, ks []keys.Key) (map[keys.Key][]byte, error) {
+	sctx, sp := c.tracer.StartOp(ctx, "client.get_many")
+	if !opTraced(sctx, sp) {
+		return c.getMany(ctx, ks)
+	}
+	sp.Annotate("keys", len(ks))
+	var out map[keys.Key][]byte
+	var err error
+	pprof.Do(sctx, pprof.Labels("d2_op", "client.get_many"), func(cx context.Context) {
+		out, err = c.getMany(cx, ks)
+	})
+	sp.EndErr(err)
+	return out, err
+}
+
+// getMany is GetMany without the tracing shell.
+func (c *Client) getMany(ctx context.Context, ks []keys.Key) (map[keys.Key][]byte, error) {
 	out := make(map[keys.Key][]byte, len(ks))
 	if len(ks) == 0 {
 		return out, nil
@@ -70,7 +87,19 @@ func (c *Client) GetMany(ctx context.Context, ks []keys.Key) (map[keys.Key][]byt
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			found, missed := c.multiGet(ctx, g)
+			// One span per owner group: the unit of batching the §5 key
+			// scheme optimizes for. Each goroutine derives its own child
+			// from the op span, so concurrent groups never share a parent
+			// pointer across goroutines.
+			gctx, gsp := c.tracer.StartSpan(ctx, "batch.group")
+			if gsp != nil {
+				gsp.Annotate("owner", g.owner.Addr, "keys", len(g.keys))
+			}
+			found, missed := c.multiGet(gctx, g)
+			if gsp != nil && len(missed) > 0 {
+				gsp.Annotate("fallback", len(missed))
+			}
+			gsp.End()
 			mu.Lock()
 			for k, data := range found {
 				out[k] = data
@@ -154,6 +183,24 @@ func (c *Client) multiGet(ctx context.Context, g ownerGroup) (found map[keys.Key
 // RPC per owner instead of one per block. Blocks are returned in key
 // order. Requires lo != hi (a full-ring scan has no defined start).
 func (c *Client) ReadRange(ctx context.Context, lo, hi keys.Key) ([]RangeEntry, error) {
+	sctx, sp := c.tracer.StartOp(ctx, "client.read_range")
+	if !opTraced(sctx, sp) {
+		return c.readRange(ctx, lo, hi)
+	}
+	var out []RangeEntry
+	var err error
+	pprof.Do(sctx, pprof.Labels("d2_op", "client.read_range"), func(cx context.Context) {
+		out, err = c.readRange(cx, lo, hi)
+	})
+	if sp != nil {
+		sp.Annotate("blocks", len(out))
+	}
+	sp.EndErr(err)
+	return out, err
+}
+
+// readRange is ReadRange without the tracing shell.
+func (c *Client) readRange(ctx context.Context, lo, hi keys.Key) ([]RangeEntry, error) {
 	if lo.Equal(hi) {
 		return nil, errors.New("node: ReadRange needs a proper arc (lo != hi)")
 	}
@@ -164,19 +211,31 @@ func (c *Client) ReadRange(ctx context.Context, lo, hi keys.Key) ([]RangeEntry, 
 		if err != nil {
 			return nil, err
 		}
-		entries, segHi, last, err := c.fetchSegment(ctx, owner, cur, hi)
+		// One span per owner segment: the arc∩(pred, self] unit ReadRange
+		// fans out over.
+		gctx, gsp := c.tracer.StartSpan(ctx, "range.segment")
+		if gsp != nil {
+			gsp.Annotate("owner", owner.Addr)
+		}
+		entries, segHi, last, err := c.fetchSegment(gctx, owner, cur, hi)
 		if err != nil {
 			// Stale cache: re-resolve the owner once and retry.
 			c.invalidate(cur.Next())
-			owner, err = c.freshLookup(ctx, cur.Next())
+			owner, err = c.freshLookup(gctx, cur.Next())
 			if err != nil {
+				gsp.EndErr(err)
 				return nil, err
 			}
-			entries, segHi, last, err = c.fetchSegment(ctx, owner, cur, hi)
+			entries, segHi, last, err = c.fetchSegment(gctx, owner, cur, hi)
 			if err != nil {
+				gsp.EndErr(err)
 				return nil, err
 			}
 		}
+		if gsp != nil {
+			gsp.Annotate("blocks", len(entries))
+		}
+		gsp.End()
 		out = append(out, entries...)
 		if last {
 			return out, nil

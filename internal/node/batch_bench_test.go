@@ -10,6 +10,7 @@ import (
 
 	"github.com/defragdht/d2/internal/keys"
 	"github.com/defragdht/d2/internal/obs"
+	"github.com/defragdht/d2/internal/obs/tracing"
 	"github.com/defragdht/d2/internal/transport"
 )
 
@@ -41,13 +42,21 @@ func BenchmarkBatchedRead(b *testing.B) {
 		benchPlacements(b, c, blocks)
 		snaps = append(snaps, c.Metrics().Snapshot())
 	})
+	var traceSink *tracing.Sink
 	b.Run("transport=tcp", func(b *testing.B) {
 		nodes, cleanup := startTCPRing(b, 16)
 		defer cleanup()
 		c := newTCPClient(b, nodes)
 		defer c.Close()
+		// D2_BENCH_TRACE turns on 1-in-64 head sampling so the run leaves
+		// real traces behind; with it unset the tracer stays configured but
+		// idle, which is the zero-alloc path the bench numbers must hold on.
+		if os.Getenv("D2_BENCH_TRACE") != "" {
+			c.Tracer().SetSampleEvery(64)
+		}
 		benchPlacements(b, c, blocks)
 		snaps = append(snaps, c.Metrics().Snapshot())
+		traceSink = c.Tracer().Sink()
 	})
 	// D2_BENCH_METRICS names a file to receive the merged client-side
 	// metric snapshot; d2bench -metrics embeds it in BENCH_<n>.json so a
@@ -59,6 +68,21 @@ func BenchmarkBatchedRead(b *testing.B) {
 		}
 		if err != nil {
 			b.Errorf("write metrics snapshot: %v", err)
+		}
+	}
+	// D2_BENCH_TRACE names a file to receive the TCP client's sampled spans
+	// as Chrome trace-event JSON (Perfetto-loadable); d2bench -trace embeds
+	// the raw span form in BENCH_<n>.json.
+	if path := os.Getenv("D2_BENCH_TRACE"); path != "" && traceSink != nil {
+		f, err := os.Create(path)
+		if err == nil {
+			err = tracing.WriteChromeTrace(f, traceSink.Spans())
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			b.Errorf("write trace spans: %v", err)
 		}
 	}
 }
@@ -132,6 +156,7 @@ func benchRead(b *testing.B, c *Client, read func() error) {
 	}
 	before := c.Metrics().Snapshot()
 	start := c.RPCs()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := read(); err != nil {
@@ -200,6 +225,9 @@ func newTCPClient(b *testing.B, nodes []*Node) *Client {
 		Seeds:    []transport.Addr{nodes[0].Self().Addr, nodes[len(nodes)-1].Self().Addr},
 		Replicas: 3,
 		Metrics:  reg,
+		// Sampling starts off: the bench numbers double as proof that an
+		// idle tracer costs nothing on the read path.
+		Tracer: tracing.New(tracing.Config{Node: "bench-client"}),
 	})
 	if err != nil {
 		b.Fatal(err)

@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"runtime/pprof"
 	"sync"
 	"time"
 
 	"github.com/defragdht/d2/internal/keys"
 	"github.com/defragdht/d2/internal/lookupcache"
 	"github.com/defragdht/d2/internal/obs"
+	"github.com/defragdht/d2/internal/obs/tracing"
 	"github.com/defragdht/d2/internal/transport"
 )
 
@@ -29,6 +31,8 @@ type Client struct {
 	cache *lookupcache.Cache[transport.PeerInfo]
 	rng   *rand.Rand
 	start time.Time
+
+	tracer *tracing.Tracer
 
 	// Metrics live in the registry so Stats() is race-safe and d2ctl can
 	// merge a client's view into the cluster-wide one.
@@ -54,6 +58,14 @@ type ClientConfig struct {
 	Seed uint64
 	// Metrics is the client's registry; nil creates a fresh one.
 	Metrics *obs.Registry
+	// Tracer records request spans for sampled operations; nil disables
+	// tracing. NewClient also attaches it to the transport endpoint when
+	// the transport supports per-endpoint tracers.
+	Tracer *tracing.Tracer
+	// Events, when set together with Tracer, receives the slow-request
+	// log: a warn event for every operation force-kept by the tracer's
+	// slow threshold.
+	Events *obs.EventLog
 }
 
 // NewClient creates a client using the given transport endpoint.
@@ -72,6 +84,7 @@ func NewClient(tr transport.Transport, cfg ClientConfig) (*Client, error) {
 		tr:         tr,
 		seeds:      cfg.Seeds,
 		replicas:   cfg.Replicas,
+		tracer:     cfg.Tracer,
 		cache:      lookupcache.New[transport.PeerInfo](cfg.CacheTTL),
 		rng:        rand.New(rand.NewPCG(cfg.Seed, 0x434c4e54)), // "CLNT"
 		start:      time.Now(),
@@ -83,8 +96,21 @@ func NewClient(tr transport.Transport, cfg ClientConfig) (*Client, error) {
 		nfRetries:  reg.Counter("d2_client_notfound_retries_total"),
 		lookupHops: reg.Histogram("d2_client_lookup_hops", obs.CountBuckets),
 	}
+	if cfg.Tracer != nil {
+		if ut, ok := tr.(interface{ UseTracer(*tracing.Tracer) }); ok {
+			ut.UseTracer(cfg.Tracer)
+		}
+		if ev := cfg.Events; ev != nil {
+			cfg.Tracer.OnSlow(func(root tracing.Span) {
+				ev.Log(obs.LevelWarn, "slow.request",
+					"op", root.Name,
+					"trace", tracing.TraceIDString(root.Trace),
+					"dur_ms", root.Dur/1e6)
+			})
+		}
+	}
 	// A client is a pure caller; answer anything inbound with an error.
-	tr.Serve(func(transport.Addr, transport.Message) (transport.Message, error) {
+	tr.Serve(func(context.Context, transport.Addr, transport.Message) (transport.Message, error) {
 		return nil, errors.New("node: client endpoint serves no requests")
 	})
 	return c, nil
@@ -106,23 +132,37 @@ func (c *Client) RPCs() uint64 { return c.rpcs.Value() }
 // Metrics returns the client's registry.
 func (c *Client) Metrics() *obs.Registry { return c.reg }
 
+// Tracer returns the client's request tracer (nil when disabled).
+func (c *Client) Tracer() *tracing.Tracer { return c.tracer }
+
 // call issues one counted RPC.
 func (c *Client) call(ctx context.Context, to transport.Addr, req transport.Message) (transport.Message, error) {
 	c.rpcs.Inc()
 	return c.tr.Call(ctx, to, req)
 }
 
-// Lookup resolves the owner of key k, from cache when possible.
+// Lookup resolves the owner of key k, from cache when possible. Under a
+// trace, a cache hit annotates the active span and a miss opens a lookup
+// child span covering the full iterative resolution.
 func (c *Client) Lookup(ctx context.Context, k keys.Key) (transport.PeerInfo, error) {
 	c.mu.Lock()
 	owner, ok := c.cache.Lookup(k, c.now())
 	c.mu.Unlock()
 	if ok {
 		c.hits.Inc()
+		if sp := tracing.FromContext(ctx); sp != nil {
+			sp.Annotate("cache", "hit")
+		}
 		return owner, nil
 	}
 	c.misses.Inc()
-	return c.freshLookup(ctx, k)
+	sctx, sp := c.tracer.StartSpan(ctx, "lookup")
+	if sp != nil {
+		sp.Annotate("cache", "miss", "key", k.Short())
+	}
+	owner, err := c.freshLookup(sctx, k)
+	sp.EndErr(err)
+	return owner, err
 }
 
 // freshLookup performs a full DHT lookup and caches the owner's range.
@@ -185,12 +225,19 @@ func (c *Client) seedOrder(attempt int) []transport.Addr {
 	return out
 }
 
-// iterLookup drives the iterative protocol from a seed.
+// iterLookup drives the iterative protocol from a seed. Under a trace,
+// each hop is its own child span carrying the hop index and the queried
+// node, so a slow lookup shows exactly which hop cost the time.
 func (c *Client) iterLookup(ctx context.Context, start transport.Addr, k keys.Key) (owner, pred transport.PeerInfo, err error) {
 	cur := start
 	for hops := 0; hops < 128; hops++ {
+		hctx, hsp := c.tracer.StartSpan(ctx, "lookup.hop")
+		if hsp != nil {
+			hsp.Annotate("hop", hops, "at", cur)
+		}
 		resp, err := transport.Expect[transport.FindSuccResp](
-			c.call(ctx, cur, transport.FindSuccReq{Key: k}))
+			c.call(hctx, cur, transport.FindSuccReq{Key: k}))
+		hsp.EndErr(err)
 		if err != nil {
 			return transport.PeerInfo{}, transport.PeerInfo{}, err
 		}
@@ -213,8 +260,29 @@ func (c *Client) invalidate(k keys.Key) {
 	c.cache.Invalidate(k)
 }
 
+// opTraced reports whether a client operation begun by StartOp is traced
+// (span active or a caller's trace to propagate); untraced operations
+// bypass spans and profiler labels entirely.
+func opTraced(ctx context.Context, sp *tracing.ActiveSpan) bool {
+	return sp != nil || tracing.FromContext(ctx) != nil
+}
+
 // Put stores a block with r replicas.
 func (c *Client) Put(ctx context.Context, k keys.Key, data []byte) error {
+	sctx, sp := c.tracer.StartOp(ctx, "client.put")
+	if !opTraced(sctx, sp) {
+		return c.put(ctx, k, data)
+	}
+	var err error
+	pprof.Do(sctx, pprof.Labels("d2_op", "client.put"), func(cx context.Context) {
+		err = c.put(cx, k, data)
+	})
+	sp.EndErr(err)
+	return err
+}
+
+// put is Put without the tracing shell.
+func (c *Client) put(ctx context.Context, k keys.Key, data []byte) error {
 	owner, err := c.Lookup(ctx, k)
 	if err != nil {
 		return err
@@ -243,6 +311,21 @@ func (c *Client) Put(ctx context.Context, k keys.Key, data []byte) error {
 // unreadable at its (brand-new) owner even though the block still exists
 // in the ring (§8.1 treats such failures as transient and retries them).
 func (c *Client) Get(ctx context.Context, k keys.Key) ([]byte, error) {
+	sctx, sp := c.tracer.StartOp(ctx, "client.get")
+	if !opTraced(sctx, sp) {
+		return c.get(ctx, k)
+	}
+	var data []byte
+	var err error
+	pprof.Do(sctx, pprof.Labels("d2_op", "client.get"), func(cx context.Context) {
+		data, err = c.get(cx, k)
+	})
+	sp.EndErr(err)
+	return data, err
+}
+
+// get is Get without the tracing shell.
+func (c *Client) get(ctx context.Context, k keys.Key) ([]byte, error) {
 	data, err := c.getOnce(ctx, k)
 	backoff := 100 * time.Millisecond
 	for attempt := 0; attempt < 2 && errors.Is(err, ErrNotFound); attempt++ {
@@ -325,6 +408,20 @@ func (c *Client) successorsOf(ctx context.Context, owner transport.PeerInfo) ([]
 
 // Remove deletes a block (and its replicas) after the node-side delay.
 func (c *Client) Remove(ctx context.Context, k keys.Key) error {
+	sctx, sp := c.tracer.StartOp(ctx, "client.remove")
+	if !opTraced(sctx, sp) {
+		return c.remove(ctx, k)
+	}
+	var err error
+	pprof.Do(sctx, pprof.Labels("d2_op", "client.remove"), func(cx context.Context) {
+		err = c.remove(cx, k)
+	})
+	sp.EndErr(err)
+	return err
+}
+
+// remove is Remove without the tracing shell.
+func (c *Client) remove(ctx context.Context, k keys.Key) error {
 	owner, err := c.Lookup(ctx, k)
 	if err != nil {
 		return err

@@ -18,6 +18,7 @@ import (
 
 	"github.com/defragdht/d2/internal/keys"
 	"github.com/defragdht/d2/internal/obs"
+	"github.com/defragdht/d2/internal/obs/tracing"
 	"github.com/defragdht/d2/internal/store"
 	"github.com/defragdht/d2/internal/transport"
 )
@@ -60,6 +61,10 @@ type Config struct {
 	// Events receives the node's structured event log; nil disables
 	// event logging (obs.EventLog is nil-safe).
 	Events *obs.EventLog
+	// Tracer records request spans for sampled traces; nil disables
+	// tracing (the tracing API is nil-safe). Start also attaches it to
+	// the transport when the transport supports per-endpoint tracers.
+	Tracer *tracing.Tracer
 }
 
 func (c *Config) applyDefaults() {
@@ -118,6 +123,7 @@ type Node struct {
 	reg     *obs.Registry
 	metrics *nodeMetrics
 	events  *obs.EventLog
+	tracer  *tracing.Tracer
 }
 
 // Start creates a node on the transport and begins serving. The node
@@ -153,9 +159,15 @@ func Start(tr transport.Transport, cfg Config) *Node {
 		removeTimers: make(map[keys.Key]*time.Timer),
 		reg:          reg,
 		events:       cfg.Events,
+		tracer:       cfg.Tracer,
 	}
 	n.metrics = newNodeMetrics(reg, n)
 	n.succs = []transport.PeerInfo{n.self}
+	if cfg.Tracer != nil {
+		if ut, ok := tr.(interface{ UseTracer(*tracing.Tracer) }); ok {
+			ut.UseTracer(cfg.Tracer)
+		}
+	}
 	tr.Serve(n.handle)
 	n.startLoops()
 	return n
@@ -232,6 +244,9 @@ func (n *Node) Metrics() *obs.Registry { return n.reg }
 
 // Events returns the node's event log (nil when disabled).
 func (n *Node) Events() *obs.EventLog { return n.events }
+
+// Tracer returns the node's request tracer (nil when disabled).
+func (n *Node) Tracer() *tracing.Tracer { return n.tracer }
 
 // StoredBytes returns the node's stored data volume.
 func (n *Node) StoredBytes() int64 { return n.st.Bytes() }

@@ -11,8 +11,11 @@ import (
 	"github.com/defragdht/d2/internal/transport"
 )
 
-// handle dispatches inbound RPCs.
-func (n *Node) handle(from transport.Addr, req transport.Message) (transport.Message, error) {
+// dispatch routes one inbound RPC to its handler. ctx carries the
+// caller's trace position (never its cancellation); handlers that fan out
+// further RPCs thread it through so replication and forwards join the
+// trace. The traced entry path is the handle wrapper in trace.go.
+func (n *Node) dispatch(ctx context.Context, from transport.Addr, req transport.Message) (transport.Message, error) {
 	switch r := req.(type) {
 	case transport.PingReq:
 		return transport.PingResp{Self: n.Self()}, nil
@@ -24,15 +27,15 @@ func (n *Node) handle(from transport.Addr, req transport.Message) (transport.Mes
 		n.handleNotify(r.Cand)
 		return transport.NotifyResp{}, nil
 	case transport.PutReq:
-		return n.handlePut(r), nil
+		return n.handlePut(ctx, r), nil
 	case transport.GetReq:
-		return n.handleGet(r), nil
+		return n.handleGet(ctx, r), nil
 	case transport.MultiGetReq:
-		return n.handleMultiGet(r), nil
+		return n.handleMultiGet(ctx, r), nil
 	case transport.FetchRangeReq:
 		return n.handleFetchRange(r), nil
 	case transport.RemoveReq:
-		return n.handleRemove(r), nil
+		return n.handleRemove(ctx, r), nil
 	case transport.PutPtrReq:
 		n.st.PutPointer(r.Key, r.Target, r.Size, time.Now())
 		n.metrics.ptrInstalls.Inc()
@@ -42,13 +45,15 @@ func (n *Node) handle(from transport.Addr, req transport.Message) (transport.Mes
 			Self: n.Self(), RespBytes: n.RespBytes(), StoredBytes: n.StoredBytes(),
 		}, nil
 	case transport.SplitReq:
-		return n.handleSplit(), nil
+		return n.handleSplit(ctx), nil
 	case transport.RangeReq:
 		return n.handleRange(r), nil
 	case transport.SampleReq:
-		return n.handleSample(r), nil
+		return n.handleSample(ctx, r), nil
 	case transport.StatsReq:
 		return n.handleStats(), nil
+	case transport.TraceFetchReq:
+		return n.handleTraceFetch(r), nil
 	default:
 		return nil, fmt.Errorf("node: unknown request %T", req)
 	}
@@ -150,7 +155,7 @@ func (n *Node) handleNotify(cand transport.PeerInfo) {
 
 // handleSample implements random-walk peer sampling: forward the request
 // with one fewer hop to a random neighbor, or answer with self.
-func (n *Node) handleSample(r transport.SampleReq) transport.Message {
+func (n *Node) handleSample(ctx context.Context, r transport.SampleReq) transport.Message {
 	if r.Hops <= 0 {
 		return transport.SampleResp{Peer: n.Self()}
 	}
@@ -170,7 +175,9 @@ func (n *Node) handleSample(r transport.SampleReq) transport.Message {
 	if next.IsZero() {
 		return transport.SampleResp{Peer: n.Self()}
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	// ctx carries the trace position only (no caller cancellation), so the
+	// forwarded hop joins the walk's trace under its own deadline.
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
 	defer cancel()
 	resp, err := transport.Expect[transport.SampleResp](
 		n.call(ctx, next.Addr, transport.SampleReq{Hops: r.Hops - 1}))

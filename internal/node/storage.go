@@ -6,32 +6,34 @@ import (
 
 	"github.com/defragdht/d2/internal/keys"
 	"github.com/defragdht/d2/internal/obs"
+	"github.com/defragdht/d2/internal/obs/tracing"
 	"github.com/defragdht/d2/internal/store"
 	"github.com/defragdht/d2/internal/transport"
 )
 
 // handlePut stores a replica; when Replicate is set (the primary's copy),
 // the block is forwarded to the r-1 following successors.
-func (n *Node) handlePut(r transport.PutReq) transport.Message {
+func (n *Node) handlePut(ctx context.Context, r transport.PutReq) transport.Message {
 	ttl := time.Duration(r.TTL) * time.Second
 	if ttl == 0 {
 		ttl = n.cfg.DefaultTTL
 	}
 	n.st.Put(r.Key, r.Data, ttl, time.Now())
 	if r.Replicate {
-		n.forwardToReplicas(transport.PutReq{Key: r.Key, Data: r.Data, TTL: r.TTL})
+		n.forwardToReplicas(ctx, transport.PutReq{Key: r.Key, Data: r.Data, TTL: r.TTL})
 	}
 	return transport.PutResp{}
 }
 
 // handleGet serves a block, redirecting when only a pointer is held.
-func (n *Node) handleGet(r transport.GetReq) transport.Message {
+func (n *Node) handleGet(ctx context.Context, r transport.GetReq) transport.Message {
 	b, ok := n.st.Get(r.Key)
 	if !ok {
 		return transport.GetResp{Found: false}
 	}
 	if b.IsPointer() {
 		n.metrics.ptrRedirects.Inc()
+		tracing.FromContext(ctx).Annotate("redirect", b.Pointer)
 		return transport.GetResp{Found: true, Redirect: b.Pointer}
 	}
 	return transport.GetResp{Found: true, Data: b.Data}
@@ -40,9 +42,10 @@ func (n *Node) handleGet(r transport.GetReq) transport.Message {
 // handleMultiGet serves a batch of blocks in one RPC, one item per
 // requested key in request order. Pointer entries report a redirect
 // instead of data, exactly as handleGet does.
-func (n *Node) handleMultiGet(r transport.MultiGetReq) transport.Message {
+func (n *Node) handleMultiGet(ctx context.Context, r transport.MultiGetReq) transport.Message {
 	blocks := n.st.GetBatch(r.Keys)
 	items := make([]transport.BatchItem, len(r.Keys))
+	redirects := 0
 	for i, b := range blocks {
 		items[i].Key = r.Keys[i]
 		if b == nil {
@@ -51,10 +54,14 @@ func (n *Node) handleMultiGet(r transport.MultiGetReq) transport.Message {
 		items[i].Found = true
 		if b.IsPointer() {
 			n.metrics.ptrRedirects.Inc()
+			redirects++
 			items[i].Redirect = b.Pointer
 		} else {
 			items[i].Data = b.Data
 		}
+	}
+	if redirects > 0 {
+		tracing.FromContext(ctx).Annotate("redirects", redirects)
 	}
 	return transport.MultiGetResp{Items: items}
 }
@@ -87,14 +94,14 @@ func (n *Node) handleFetchRange(r transport.FetchRangeReq) transport.Message {
 
 // handleRemove deletes a block after the removal delay (§3), forwarding to
 // the replica group when asked.
-func (n *Node) handleRemove(r transport.RemoveReq) transport.Message {
+func (n *Node) handleRemove(ctx context.Context, r transport.RemoveReq) transport.Message {
 	delay := time.Duration(r.DelaySec) * time.Second
 	if delay == 0 {
 		delay = n.cfg.RemoveDelay
 	}
 	n.scheduleRemoval(r.Key, delay)
 	if r.Replicate {
-		n.forwardToReplicas(transport.RemoveReq{Key: r.Key, DelaySec: r.DelaySec})
+		n.forwardToReplicas(ctx, transport.RemoveReq{Key: r.Key, DelaySec: r.DelaySec})
 	}
 	return transport.RemoveResp{}
 }
@@ -127,7 +134,10 @@ func (n *Node) doomed(k keys.Key) bool {
 }
 
 // forwardToReplicas sends the request to the r-1 successors, best effort.
-func (n *Node) forwardToReplicas(req transport.Message) {
+// ctx carries the caller's trace position so replica writes appear as
+// children of the primary's handler span (it never carries cancellation —
+// handlers run under background-derived contexts).
+func (n *Node) forwardToReplicas(ctx context.Context, req transport.Message) {
 	n.mu.Lock()
 	targets := make([]transport.PeerInfo, 0, n.cfg.Replicas-1)
 	for _, p := range n.succs {
@@ -140,7 +150,7 @@ func (n *Node) forwardToReplicas(req transport.Message) {
 		}
 	}
 	n.mu.Unlock()
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	ctx, cancel := context.WithTimeout(ctx, 10*time.Second)
 	defer cancel()
 	for _, p := range targets {
 		_, _ = n.call(ctx, p.Addr, req)
@@ -153,7 +163,7 @@ func (n *Node) forwardToReplicas(req transport.Message) {
 // (or visibly given up), concurrent probers are refused — otherwise two
 // movers would both adopt the same median as their ID and corrupt the
 // ring with duplicate node IDs.
-func (n *Node) handleSplit() transport.Message {
+func (n *Node) handleSplit(ctx context.Context) transport.Message {
 	n.mu.Lock()
 	pred, self := n.pred, n.self
 	settling := !n.lastSplit.IsZero() &&
@@ -172,7 +182,7 @@ func (n *Node) handleSplit() transport.Message {
 	n.lastSplitAt = time.Now()
 	n.mu.Unlock()
 	n.metrics.splitHandouts.Inc()
-	n.events.Log(obs.LevelInfo, "balance.split_handout", "median", m.Short())
+	n.events.LogCtx(ctx, obs.LevelInfo, "balance.split_handout", "median", m.Short())
 	return transport.SplitResp{Ok: true, Median: m}
 }
 

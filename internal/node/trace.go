@@ -1,0 +1,75 @@
+package node
+
+import (
+	"context"
+	"runtime/pprof"
+	"time"
+
+	"github.com/defragdht/d2/internal/obs"
+	"github.com/defragdht/d2/internal/obs/tracing"
+	"github.com/defragdht/d2/internal/transport"
+)
+
+// handle is the transport-facing entry for inbound RPCs. Untraced
+// requests (the overwhelming majority under sampling) go straight to
+// dispatch with no span, no labels, and no allocation — unless a slow
+// threshold is set, in which case they pay two clock reads so slow serves
+// land in the event log even when the caller wasn't tracing. Traced
+// requests get a serve.<kind> span parented to the caller's send span and
+// run under pprof labels, so CPU profiles can be cut by RPC kind for
+// exactly the requests a trace cares about.
+func (n *Node) handle(ctx context.Context, from transport.Addr, req transport.Message) (transport.Message, error) {
+	if tracing.FromContext(ctx) == nil {
+		thr := n.tracer.SlowThreshold()
+		if thr <= 0 {
+			return n.dispatch(ctx, from, req)
+		}
+		start := time.Now()
+		resp, err := n.dispatch(ctx, from, req)
+		if dur := time.Since(start); dur >= thr {
+			n.events.Log(obs.LevelWarn, "slow.request",
+				"rpc", transport.RPCName(req), "from", from, "dur_ms", dur.Milliseconds())
+		}
+		return resp, err
+	}
+	sctx, sp := n.tracer.StartSpan(ctx, transport.ServeSpanName(req))
+	var resp transport.Message
+	var err error
+	pprof.Do(sctx, pprof.Labels("d2_rpc", transport.RPCName(req)), func(c context.Context) {
+		resp, err = n.dispatch(c, from, req)
+	})
+	sp.EndErr(err)
+	if thr := n.tracer.SlowThreshold(); thr > 0 && sp != nil && sp.Duration() >= thr {
+		n.events.LogCtx(sctx, obs.LevelWarn, "slow.request",
+			"rpc", transport.RPCName(req), "from", from, "dur_ms", sp.Duration().Milliseconds())
+	}
+	return resp, err
+}
+
+// traceFetchMaxSpans caps one TraceFetch response.
+const traceFetchMaxSpans = 4096
+
+// handleTraceFetch serves the node's retained spans for one trace — the
+// scrape RPC behind cross-node span assembly. A zero trace ID returns the
+// node's recent root spans instead (trace discovery for /tracez-style
+// listings over RPC).
+func (n *Node) handleTraceFetch(r transport.TraceFetchReq) transport.Message {
+	sink := n.tracer.Sink()
+	if sink == nil {
+		return transport.TraceFetchResp{}
+	}
+	limit := r.Limit
+	if limit <= 0 || limit > traceFetchMaxSpans {
+		limit = traceFetchMaxSpans
+	}
+	var spans []tracing.Span
+	if r.Trace == 0 {
+		spans = sink.Roots()
+	} else {
+		spans = sink.Trace(r.Trace)
+	}
+	if len(spans) > limit {
+		spans = spans[:limit]
+	}
+	return transport.TraceFetchResp{Spans: spans}
+}

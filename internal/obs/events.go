@@ -1,10 +1,13 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
 	"time"
+
+	"github.com/defragdht/d2/internal/obs/tracing"
 )
 
 // Event levels, in increasing severity.
@@ -25,6 +28,9 @@ type Event struct {
 	Name string `json:"name"`
 	// Fields is the rendered key=value list.
 	Fields string `json:"fields,omitempty"`
+	// Trace is the request trace active when the event was logged (zero
+	// outside traced requests), cross-referencing /eventz with /tracez.
+	Trace uint64 `json:"trace,omitempty"`
 }
 
 // String renders the event as one log line.
@@ -32,6 +38,9 @@ func (e Event) String() string {
 	s := fmt.Sprintf("%s %-5s %s", e.Time.Format("15:04:05.000"), e.Level, e.Name)
 	if e.Fields != "" {
 		s += " " + e.Fields
+	}
+	if e.Trace != 0 {
+		s += " trace=" + tracing.TraceIDString(e.Trace)
 	}
 	return s
 }
@@ -59,6 +68,21 @@ func NewEventLog(capacity int) *EventLog {
 // Log appends an event. kv must alternate keys and values; values are
 // rendered with %v. Safe on a nil receiver (no-op).
 func (l *EventLog) Log(level, name string, kv ...any) {
+	l.log(0, level, name, kv...)
+}
+
+// LogCtx appends an event tagged with the trace active in ctx (untagged
+// when ctx carries no trace), so traced requests' events cross-reference
+// their span tree. Safe on a nil receiver.
+func (l *EventLog) LogCtx(ctx context.Context, level, name string, kv ...any) {
+	if l == nil {
+		return
+	}
+	trace, _ := tracing.WireContext(ctx)
+	l.log(trace, level, name, kv...)
+}
+
+func (l *EventLog) log(trace uint64, level, name string, kv ...any) {
 	if l == nil {
 		return
 	}
@@ -69,7 +93,7 @@ func (l *EventLog) Log(level, name string, kv ...any) {
 		}
 		fmt.Fprintf(&b, "%v=%v", kv[i], kv[i+1])
 	}
-	e := Event{Time: time.Now(), Level: level, Name: name, Fields: b.String()}
+	e := Event{Time: time.Now(), Level: level, Name: name, Fields: b.String(), Trace: trace}
 	l.mu.Lock()
 	l.buf[l.next] = e
 	l.next = (l.next + 1) % len(l.buf)

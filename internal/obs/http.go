@@ -5,18 +5,24 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"github.com/defragdht/d2/internal/obs/tracing"
 )
 
-// NewMux builds the admin/debug HTTP mux over a registry and event log:
+// NewMux builds the admin/debug HTTP mux over a registry, event log, and
+// span sink:
 //
 //	/metrics      Prometheus text exposition
 //	/statsz       JSON snapshot (the same document d2ctl merges)
 //	/eventz       recent structured events, newest last
+//	/tracez       recent traces and slowest roots; ?trace=<id> for one tree
 //	/debug/pprof  the standard Go profiler endpoints
 //
 // Callers add application endpoints (/healthz, /ringz) on the returned
-// mux. events may be nil.
-func NewMux(reg *Registry, events *EventLog) *http.ServeMux {
+// mux. events and sink may be nil.
+func NewMux(reg *Registry, events *EventLog, sink *tracing.Sink) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -41,10 +47,77 @@ func NewMux(reg *Registry, events *EventLog) *http.ServeMux {
 			fmt.Fprintln(w, e.String())
 		}
 	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		serveTracez(w, r, sink)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// serveTracez renders the span sink. Without parameters it lists recent
+// root spans (newest first) and the slowest-N roots; ?trace=<hex id>
+// renders that trace's span tree. format=json returns raw spans;
+// format=chrome returns Chrome trace-event JSON for Perfetto.
+func serveTracez(w http.ResponseWriter, r *http.Request, sink *tracing.Sink) {
+	q := r.URL.Query()
+	var spans []tracing.Span
+	byTrace := false
+	if t := q.Get("trace"); t != "" {
+		id, err := tracing.ParseTraceID(t)
+		if err != nil {
+			http.Error(w, "bad trace id: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		spans = sink.Trace(id)
+		byTrace = true
+	} else {
+		spans = sink.Spans()
+	}
+	switch q.Get("format") {
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		_ = tracing.WriteJSON(w, spans)
+		return
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		_ = tracing.WriteChromeTrace(w, spans)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if byTrace {
+		_ = tracing.WriteTree(w, spans)
+		return
+	}
+	fmt.Fprintf(w, "# %d spans retained (%d recorded)\n", len(spans), sink.Total())
+	n := 20
+	if v, err := strconv.Atoi(q.Get("n")); err == nil && v > 0 {
+		n = v
+	}
+	roots := sink.Roots()
+	fmt.Fprintf(w, "\n## recent traces (newest first, up to %d)\n", n)
+	for i, sp := range roots {
+		if i >= n {
+			break
+		}
+		writeRootLine(w, sp)
+	}
+	fmt.Fprintf(w, "\n## slowest traces (up to %d)\n", n)
+	for _, sp := range sink.SlowestRoots(n) {
+		writeRootLine(w, sp)
+	}
+	fmt.Fprintln(w, "\n# drill down with ?trace=<id>, export with &format=json|chrome")
+}
+
+// writeRootLine prints one root span as a /tracez listing row.
+func writeRootLine(w http.ResponseWriter, sp tracing.Span) {
+	line := fmt.Sprintf("%s  %-24s %-10v", tracing.TraceIDString(sp.Trace),
+		sp.Name, time.Duration(sp.Dur).Round(time.Microsecond))
+	if sp.Attrs != "" {
+		line += "  [" + sp.Attrs + "]"
+	}
+	fmt.Fprintln(w, line)
 }

@@ -22,7 +22,7 @@ func TestMetricsHandlerGolden(t *testing.T) {
 	h.Observe(4000) // second bucket
 	h.Observe(9000) // overflow
 
-	srv := httptest.NewServer(NewMux(reg, NewEventLog(8)))
+	srv := httptest.NewServer(NewMux(reg, NewEventLog(8), nil))
 	defer srv.Close()
 
 	resp, err := srv.Client().Get(srv.URL + "/metrics")
@@ -64,7 +64,7 @@ func TestStatszRoundTrip(t *testing.T) {
 	reg.Counter("c_total").Add(5)
 	reg.Histogram("h_ns", []int64{10}).Observe(3)
 
-	srv := httptest.NewServer(NewMux(reg, nil))
+	srv := httptest.NewServer(NewMux(reg, nil, nil))
 	defer srv.Close()
 	resp, err := srv.Client().Get(srv.URL + "/statsz")
 	if err != nil {
@@ -88,7 +88,7 @@ func TestStatszRoundTrip(t *testing.T) {
 func TestEventzHandler(t *testing.T) {
 	log := NewEventLog(16)
 	log.Log(LevelInfo, "ring.join", "succ", "127.0.0.1:7001")
-	srv := httptest.NewServer(NewMux(New(), log))
+	srv := httptest.NewServer(NewMux(New(), log, nil))
 	defer srv.Close()
 
 	resp, err := srv.Client().Get(srv.URL + "/eventz")

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/defragdht/d2/internal/obs/tracing"
+)
+
+func TestLogCtxTagsTraceID(t *testing.T) {
+	l := NewEventLog(8)
+	tr := tracing.New(tracing.Config{Node: "n"})
+	sctx, root := tr.ForceOp(context.Background(), "op")
+
+	l.LogCtx(sctx, LevelInfo, "traced.event", "k", "v")
+	l.LogCtx(context.Background(), LevelInfo, "untraced.event")
+	root.End()
+
+	evs := l.Events()
+	if len(evs) != 2 {
+		t.Fatalf("logged %d events, want 2", len(evs))
+	}
+	if evs[0].Trace != root.TraceID() {
+		t.Fatalf("traced event carries %x, want %x", evs[0].Trace, root.TraceID())
+	}
+	if !strings.Contains(evs[0].String(), "trace="+tracing.TraceIDString(root.TraceID())) {
+		t.Fatalf("event line %q lacks trace tag", evs[0].String())
+	}
+	if evs[1].Trace != 0 {
+		t.Fatalf("untraced event carries trace %x, want 0", evs[1].Trace)
+	}
+	if strings.Contains(evs[1].String(), "trace=") {
+		t.Fatalf("untraced event line %q has a trace tag", evs[1].String())
+	}
+}
+
+func TestTracezHandler(t *testing.T) {
+	reg := New()
+	sink := tracing.NewSink(16)
+	sink.Record(tracing.Span{Trace: 0xabc, ID: 1, Name: "client.get", Node: "client", Start: 100, Dur: 5000})
+	sink.Record(tracing.Span{Trace: 0xabc, ID: 2, Parent: 1, Name: "rpc.get", Node: "client", Start: 200, Dur: 3000})
+	mux := NewMux(reg, NewEventLog(8), sink)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/tracez", nil))
+	body := rec.Body.String()
+	if rec.Code != 200 || !strings.Contains(body, "client.get") {
+		t.Fatalf("/tracez = %d %q", rec.Code, body)
+	}
+	if !strings.Contains(body, tracing.TraceIDString(0xabc)) {
+		t.Fatalf("/tracez listing lacks the trace ID: %q", body)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/tracez?trace="+tracing.TraceIDString(0xabc), nil))
+	body = rec.Body.String()
+	if !strings.Contains(body, "rpc.get") {
+		t.Fatalf("/tracez?trace= tree lacks the child span: %q", body)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/tracez?trace="+tracing.TraceIDString(0xabc)+"&format=chrome", nil))
+	var events []map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &events); err != nil {
+		t.Fatalf("chrome export is not JSON: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("chrome export has %d events, want 2", len(events))
+	}
+	if events[0]["ph"] != "X" {
+		t.Fatalf("chrome event ph = %v, want X", events[0]["ph"])
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/tracez?trace=zzz", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad trace id returned %d, want 400", rec.Code)
+	}
+}

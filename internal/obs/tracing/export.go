@@ -1,0 +1,163 @@
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// TreeNode is one span with its resolved children, for rendering an
+// assembled trace.
+type TreeNode struct {
+	Span     Span
+	Children []*TreeNode
+}
+
+// Assemble builds span trees from a flat span set (typically one trace's
+// spans gathered across nodes). Spans whose parent is absent — the true
+// root, or subtrees whose upstream spans were lost to ring wraparound —
+// become top-level trees. Trees and children are ordered by start time.
+func Assemble(spans []Span) []*TreeNode {
+	byID := make(map[uint64]*TreeNode, len(spans))
+	ordered := make([]*TreeNode, 0, len(spans))
+	sorted := append([]Span(nil), spans...)
+	sortSpans(sorted)
+	for _, sp := range sorted {
+		if _, dup := byID[sp.ID]; dup {
+			continue // same span fetched from two sources
+		}
+		n := &TreeNode{Span: sp}
+		byID[sp.ID] = n
+		ordered = append(ordered, n)
+	}
+	var roots []*TreeNode
+	for _, n := range ordered {
+		if p, ok := byID[n.Span.Parent]; ok && n.Span.Parent != n.Span.ID {
+			p.Children = append(p.Children, n)
+			continue
+		}
+		roots = append(roots, n)
+	}
+	return roots
+}
+
+// NodeCount returns the number of distinct node labels in a span set —
+// how many processes a trace touched.
+func NodeCount(spans []Span) int {
+	seen := make(map[string]struct{}, 4)
+	for _, sp := range spans {
+		if sp.Node != "" {
+			seen[sp.Node] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// WriteTree renders assembled span trees as indented text with per-span
+// timing offsets relative to the earliest span: the d2ctl trace and
+// /tracez?trace= view.
+func WriteTree(w io.Writer, spans []Span) error {
+	if len(spans) == 0 {
+		_, err := fmt.Fprintln(w, "(no spans)")
+		return err
+	}
+	base := spans[0].Start
+	for _, sp := range spans {
+		if sp.Start < base {
+			base = sp.Start
+		}
+	}
+	for _, root := range Assemble(spans) {
+		if err := writeTreeNode(w, root, base, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeTreeNode(w io.Writer, n *TreeNode, base int64, depth int) error {
+	indent := ""
+	for i := 0; i < depth; i++ {
+		indent += "  "
+	}
+	line := fmt.Sprintf("%s%-28s +%-9s %-9s", indent, n.Span.Name,
+		time.Duration(n.Span.Start-base).Round(time.Microsecond),
+		time.Duration(n.Span.Dur).Round(time.Microsecond))
+	if n.Span.Node != "" {
+		line += " @" + n.Span.Node
+	}
+	if n.Span.Attrs != "" {
+		line += "  [" + n.Span.Attrs + "]"
+	}
+	if _, err := fmt.Fprintln(w, line); err != nil {
+		return err
+	}
+	for _, c := range n.Children {
+		if err := writeTreeNode(w, c, base, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the spans as a JSON array (the machine-readable
+// /tracez export).
+func WriteJSON(w io.Writer, spans []Span) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(spans)
+}
+
+// chromeEvent is one Chrome trace-event ("X" complete event). Perfetto
+// and chrome://tracing load an array of these directly.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	Pid  string            `json:"pid"`
+	Tid  string            `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the spans in Chrome trace-event format: one
+// complete event per span, processes labeled by node and threads by trace
+// ID, timestamps relative to the earliest span. Load the output in
+// Perfetto (ui.perfetto.dev) or chrome://tracing.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	var base int64
+	for i, sp := range spans {
+		if i == 0 || sp.Start < base {
+			base = sp.Start
+		}
+	}
+	events := make([]chromeEvent, 0, len(spans))
+	for _, sp := range spans {
+		node := sp.Node
+		if node == "" {
+			node = "unknown"
+		}
+		ev := chromeEvent{
+			Name: sp.Name,
+			Ph:   "X",
+			Ts:   float64(sp.Start-base) / 1e3,
+			Dur:  float64(sp.Dur) / 1e3,
+			Pid:  node,
+			Tid:  "trace " + TraceIDString(sp.Trace),
+			Args: map[string]string{
+				"trace": TraceIDString(sp.Trace),
+				"span":  fmt.Sprintf("%016x", sp.ID),
+			},
+		}
+		if sp.Parent != 0 {
+			ev.Args["parent"] = fmt.Sprintf("%016x", sp.Parent)
+		}
+		if sp.Attrs != "" {
+			ev.Args["attrs"] = sp.Attrs
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

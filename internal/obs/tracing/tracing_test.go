@@ -1,0 +1,265 @@
+package tracing
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestSinkWraparound(t *testing.T) {
+	s := NewSink(4)
+	for i := 1; i <= 10; i++ {
+		s.Record(Span{Trace: 1, ID: uint64(i)})
+	}
+	if got := s.Total(); got != 10 {
+		t.Fatalf("Total = %d, want 10", got)
+	}
+	spans := s.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	for i, sp := range spans {
+		if want := uint64(7 + i); sp.ID != want {
+			t.Fatalf("slot %d holds span %d, want %d (oldest-first after wrap)", i, sp.ID, want)
+		}
+	}
+}
+
+func TestSinkNilSafe(t *testing.T) {
+	var s *Sink
+	s.Record(Span{ID: 1})
+	if s.Total() != 0 || s.Spans() != nil || s.Trace(1) != nil || s.Roots() != nil {
+		t.Fatal("nil sink must discard and report empty")
+	}
+}
+
+func TestHeadSampling(t *testing.T) {
+	tr := New(Config{Node: "n", SampleEvery: 2})
+	ctx := context.Background()
+	var kept int
+	for i := 0; i < 10; i++ {
+		sctx, sp := tr.StartOp(ctx, "op")
+		if sp == nil {
+			if sctx != ctx {
+				t.Fatal("unsampled StartOp must return ctx unchanged")
+			}
+			continue
+		}
+		kept++
+		sp.End()
+	}
+	if kept != 5 {
+		t.Fatalf("kept %d of 10 ops at SampleEvery=2, want 5", kept)
+	}
+	if got := len(tr.Sink().Spans()); got != 5 {
+		t.Fatalf("sink holds %d spans, want 5", got)
+	}
+}
+
+func TestForceOpBypassesSampling(t *testing.T) {
+	tr := New(Config{Node: "n"}) // sampling off
+	sctx, root := tr.ForceOp(context.Background(), "forced")
+	if root == nil {
+		t.Fatal("ForceOp returned nil span")
+	}
+	_, child := tr.StartSpan(sctx, "child")
+	if child == nil {
+		t.Fatal("StartSpan under a forced root returned nil")
+	}
+	child.End()
+	root.End()
+	spans := tr.Sink().Trace(root.TraceID())
+	if len(spans) != 2 {
+		t.Fatalf("trace has %d spans, want 2", len(spans))
+	}
+	rootID := root.TraceID()
+	for _, sp := range spans {
+		if sp.Trace != rootID {
+			t.Fatalf("span %q trace %d, want %d", sp.Name, sp.Trace, rootID)
+		}
+	}
+	var rootRec, childRec *Span
+	for i := range spans {
+		switch spans[i].Name {
+		case "forced":
+			rootRec = &spans[i]
+		case "child":
+			childRec = &spans[i]
+		}
+	}
+	if rootRec == nil || childRec == nil {
+		t.Fatalf("missing spans: %+v", spans)
+	}
+	if childRec.Parent != rootRec.ID {
+		t.Fatalf("child parent %d, want root span %d", childRec.Parent, rootRec.ID)
+	}
+}
+
+func TestSlowThresholdForceKeeps(t *testing.T) {
+	tr := New(Config{Node: "n", SlowThreshold: time.Nanosecond})
+	var slowRoot Span
+	tr.OnSlow(func(root Span) { slowRoot = root })
+	_, sp := tr.StartOp(context.Background(), "slowop")
+	if sp == nil {
+		t.Fatal("StartOp with a slow threshold must provisionally trace")
+	}
+	time.Sleep(time.Millisecond)
+	sp.End()
+	if got := len(tr.Sink().Spans()); got != 1 {
+		t.Fatalf("sink holds %d spans, want the force-kept slow root", got)
+	}
+	if slowRoot.Name != "slowop" {
+		t.Fatalf("OnSlow saw %q, want slowop", slowRoot.Name)
+	}
+}
+
+func TestFastUnsampledRootDropped(t *testing.T) {
+	tr := New(Config{Node: "n", SlowThreshold: time.Hour})
+	sctx, sp := tr.StartOp(context.Background(), "fastop")
+	if sp == nil {
+		t.Fatal("StartOp with a slow threshold must provisionally trace")
+	}
+	_, child := tr.StartSpan(sctx, "child")
+	child.End()
+	sp.End()
+	if got := len(tr.Sink().Spans()); got != 0 {
+		t.Fatalf("sink holds %d spans, want 0 (fast unsampled root drops its subtree)", got)
+	}
+}
+
+func TestRemoteParentFlushesToLocalSink(t *testing.T) {
+	// Server side of an RPC: the wire carries (trace, span); spans started
+	// under the reconstructed remote parent flush straight to this node's
+	// sink, never waiting for the (remote) root's keep decision.
+	tr := New(Config{Node: "server"})
+	ctx := WithRemote(context.Background(), 42, 7)
+	sctx, sp := tr.StartSpan(ctx, "serve.get")
+	if sp == nil {
+		t.Fatal("StartSpan under a remote parent returned nil")
+	}
+	_, inner := tr.StartSpan(sctx, "inner")
+	inner.End()
+	sp.End()
+	spans := tr.Sink().Trace(42)
+	if len(spans) != 2 {
+		t.Fatalf("sink holds %d spans of trace 42, want 2", len(spans))
+	}
+	var serve *Span
+	for i := range spans {
+		if spans[i].Name == "serve.get" {
+			serve = &spans[i]
+		}
+	}
+	if serve == nil || serve.Parent != 7 {
+		t.Fatalf("serve span = %+v, want Parent 7", serve)
+	}
+}
+
+func TestWireContextRoundTrip(t *testing.T) {
+	if tr, sp := WireContext(context.Background()); tr != 0 || sp != 0 {
+		t.Fatalf("untraced WireContext = (%d, %d), want zeros", tr, sp)
+	}
+	tr := New(Config{Node: "n"})
+	sctx, root := tr.ForceOp(context.Background(), "op")
+	wantTrace, wantSpan := root.IDs()
+	gotTrace, gotSpan := WireContext(sctx)
+	if gotTrace != wantTrace || gotSpan != wantSpan {
+		t.Fatalf("WireContext = (%d, %d), want (%d, %d)", gotTrace, gotSpan, wantTrace, wantSpan)
+	}
+	hctx := HandlerContext(sctx)
+	if hctx.Done() != nil {
+		t.Fatal("HandlerContext must not inherit caller cancellation")
+	}
+	rTrace, rSpan := WireContext(hctx)
+	if rTrace != wantTrace || rSpan != wantSpan {
+		t.Fatalf("HandlerContext carries (%d, %d), want (%d, %d)", rTrace, rSpan, wantTrace, wantSpan)
+	}
+	root.End()
+}
+
+func TestParseTraceID(t *testing.T) {
+	id := uint64(0xdeadbeef01234567)
+	s := TraceIDString(id)
+	got, err := ParseTraceID(s)
+	if err != nil || got != id {
+		t.Fatalf("ParseTraceID(%q) = (%x, %v), want %x", s, got, err, id)
+	}
+	if _, err := ParseTraceID("not hex"); err == nil {
+		t.Fatal("ParseTraceID accepted garbage")
+	}
+}
+
+func TestAssembleBuildsTreeAndPromotesOrphans(t *testing.T) {
+	spans := []Span{
+		{Trace: 1, ID: 10, Name: "root", Node: "client", Start: 100},
+		{Trace: 1, ID: 11, Parent: 10, Name: "child-a", Node: "client", Start: 110},
+		{Trace: 1, ID: 12, Parent: 11, Name: "grandchild", Node: "node-1", Start: 120},
+		{Trace: 1, ID: 13, Parent: 99, Name: "orphan", Node: "node-2", Start: 130},
+		{Trace: 1, ID: 13, Parent: 99, Name: "orphan", Node: "node-2", Start: 130}, // duplicate scrape
+	}
+	roots := Assemble(spans)
+	if len(roots) != 2 {
+		t.Fatalf("Assemble returned %d top-level nodes, want root + promoted orphan", len(roots))
+	}
+	if roots[0].Span.Name != "root" || len(roots[0].Children) != 1 {
+		t.Fatalf("tree shape wrong: %+v", roots[0])
+	}
+	if roots[0].Children[0].Children[0].Span.Name != "grandchild" {
+		t.Fatal("grandchild not nested under child-a")
+	}
+	if n := NodeCount(spans); n != 3 {
+		t.Fatalf("NodeCount = %d, want 3 distinct node labels", n)
+	}
+}
+
+// TestUnsampledStartOpAllocates asserts the zero-cost claim: with head
+// sampling off and no slow threshold, StartOp on an untraced context must
+// not allocate at all.
+func TestUnsampledStartOpAllocates(t *testing.T) {
+	tr := New(Config{Node: "n"})
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		sctx, sp := tr.StartOp(ctx, "op")
+		if sp != nil {
+			t.Fatal("unsampled StartOp returned a span")
+		}
+		_ = sctx
+	})
+	if allocs != 0 {
+		t.Fatalf("unsampled StartOp allocates %.1f per op, want 0", allocs)
+	}
+	var nilTracer *Tracer
+	allocs = testing.AllocsPerRun(1000, func() {
+		_, sp := nilTracer.StartOp(ctx, "op")
+		if sp != nil {
+			t.Fatal("nil tracer returned a span")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-tracer StartOp allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// BenchmarkStartOpUnsampled is the alloc guard the verify trace tier runs
+// with -benchmem: the untraced hot path must report 0 allocs/op.
+func BenchmarkStartOpUnsampled(b *testing.B) {
+	tr := New(Config{Node: "n"})
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := tr.StartOp(ctx, "op")
+		if sp != nil {
+			b.Fatal("unsampled StartOp returned a span")
+		}
+	}
+}
+
+func BenchmarkStartOpSampled(b *testing.B) {
+	tr := New(Config{Node: "n", SampleEvery: 1})
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := tr.StartOp(ctx, "op")
+		sp.End()
+	}
+}

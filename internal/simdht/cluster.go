@@ -16,6 +16,7 @@ import (
 	"github.com/defragdht/d2/internal/btree"
 	"github.com/defragdht/d2/internal/keys"
 	"github.com/defragdht/d2/internal/obs"
+	"github.com/defragdht/d2/internal/obs/tracing"
 	"github.com/defragdht/d2/internal/sim"
 )
 
@@ -58,6 +59,11 @@ type Config struct {
 	// simulator reports through the same obs counters as the live node so
 	// experiment output and live scrapes share a vocabulary.
 	Metrics *obs.Registry
+	// Trace, when non-nil, receives one span per completed block transfer
+	// (regeneration, rebalance, and pointer-stabilization fetches) stamped
+	// with simulated time, so a run's migration timeline exports as a
+	// Perfetto-loadable Chrome trace (d2sim -trace).
+	Trace *tracing.Sink
 }
 
 func (c *Config) applyDefaults() {

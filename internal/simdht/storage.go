@@ -1,7 +1,11 @@
 package simdht
 
 import (
+	"fmt"
+	"time"
+
 	"github.com/defragdht/d2/internal/keys"
+	"github.com/defragdht/d2/internal/obs/tracing"
 	"github.com/defragdht/d2/internal/sim"
 )
 
@@ -296,13 +300,14 @@ func (c *Cluster) scheduleFetch(d int, h int32) {
 	b.fetching = append(b.fetching, int32(d))
 	node.fetch[h] = struct{}{}
 	size := int64(b.size)
+	start := c.Eng.Now()
 	node.link.Enqueue(size, func() {
-		c.finishFetch(d, h, size)
+		c.finishFetch(d, h, size, start)
 	})
 }
 
 // finishFetch completes a block transfer.
-func (c *Cluster) finishFetch(d int, h int32, size int64) {
+func (c *Cluster) finishFetch(d int, h int32, size int64, start time.Duration) {
 	b := &c.blocks[h]
 	for i, f := range b.fetching {
 		if int(f) == d {
@@ -319,6 +324,17 @@ func (c *Cluster) finishFetch(d int, h int32, size int64) {
 		return
 	}
 	c.migratedBytes.Add(uint64(size))
+	if c.cfg.Trace != nil {
+		c.cfg.Trace.Record(tracing.Span{
+			Trace: uint64(h) + 1, // one trace per block; +1 keeps handle 0 valid
+			ID:    c.cfg.Trace.Total() + 1,
+			Name:  "sim.fetch",
+			Node:  fmt.Sprintf("sim-node-%d", d),
+			Start: int64(start),
+			Dur:   int64(c.Eng.Now() - start),
+			Attrs: fmt.Sprintf("block=%d bytes=%d", h, size),
+		})
+	}
 	c.addReplica(node, h)
 	// The fulfilled pointer disappears.
 	for i, p := range b.pointers {

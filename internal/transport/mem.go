@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"github.com/defragdht/d2/internal/obs/tracing"
 )
 
 // MemNetwork is an in-process network: endpoints exchange messages by
@@ -75,6 +77,7 @@ type MemTransport struct {
 
 	mu      sync.RWMutex
 	handler Handler
+	tracer  *tracing.Tracer
 	closed  bool
 }
 
@@ -90,6 +93,21 @@ func (t *MemTransport) Serve(h Handler) {
 	t.handler = h
 }
 
+// UseTracer attaches a request tracer to this endpoint: outbound calls
+// that belong to a sampled trace record an rpc.<kind> send span.
+func (t *MemTransport) UseTracer(tr *tracing.Tracer) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tracer = tr
+}
+
+// endpointTracer returns the endpoint's tracer (nil when off).
+func (t *MemTransport) endpointTracer() *tracing.Tracer {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.tracer
+}
+
 // Call invokes the destination's handler synchronously (plus the
 // configured latency on each direction). Context cancellation is honored
 // at every step the transport controls: before dispatch, during injected
@@ -98,7 +116,9 @@ func (t *MemTransport) Serve(h Handler) {
 func (t *MemTransport) Call(ctx context.Context, to Addr, req Message) (Message, error) {
 	m := t.net.rpcMetrics()
 	kind, start := m.startCall(req)
-	resp, err := t.call(ctx, to, req, m)
+	sctx, sp := startSend(ctx, t.endpointTracer(), to, req)
+	resp, err := t.call(sctx, to, req, m)
+	finishSend(sp, err)
 	m.finishCall(kind, start, resp, err)
 	return resp, err
 }
@@ -133,7 +153,10 @@ func (t *MemTransport) call(ctx context.Context, to Addr, req Message, m *RPCMet
 		}
 	}
 	m.serveStart(req)
-	resp, err := h(t.addr, req)
+	// The handler runs under a background-derived context carrying only
+	// the caller's trace position — exactly what the TCP envelope would
+	// deliver, so mem and TCP handlers behave identically.
+	resp, err := h(tracing.HandlerContext(ctx), t.addr, req)
 	m.serveEnd()
 	if err != nil {
 		return nil, err

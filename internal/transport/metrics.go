@@ -29,6 +29,7 @@ const (
 	kindPutPtr
 	kindSample
 	kindStats
+	kindTraceFetch
 	kindOther
 	numKinds
 )
@@ -36,7 +37,7 @@ const (
 var kindNames = [numKinds]string{
 	"ping", "find_succ", "neighbors", "notify", "put", "get",
 	"multi_get", "fetch_range", "remove", "load", "split", "range",
-	"put_ptr", "sample", "stats", "other",
+	"put_ptr", "sample", "stats", "trace_fetch", "other",
 }
 
 // kindOf classifies a request message.
@@ -72,6 +73,8 @@ func kindOf(m Message) rpcKind {
 		return kindSample
 	case StatsReq:
 		return kindStats
+	case TraceFetchReq:
+		return kindTraceFetch
 	default:
 		return kindOther
 	}

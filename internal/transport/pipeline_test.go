@@ -26,7 +26,7 @@ func TestTCPPipelinesOnOneConnection(t *testing.T) {
 	var inflight, peak atomic.Int64
 	release := make(chan struct{})
 	arrived := make(chan struct{}, calls)
-	srv.Serve(func(from Addr, req Message) (Message, error) {
+	srv.Serve(func(_ context.Context, from Addr, req Message) (Message, error) {
 		cur := inflight.Add(1)
 		defer inflight.Add(-1)
 		for {
@@ -96,7 +96,7 @@ func TestTCPConcurrentMixedSizes(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	srv.Serve(func(from Addr, req Message) (Message, error) {
+	srv.Serve(func(_ context.Context, from Addr, req Message) (Message, error) {
 		p := req.(PutReq)
 		return GetResp{Found: true, Data: p.Data}, nil
 	})
@@ -147,7 +147,7 @@ func TestTCPCancelLeavesConnectionUsable(t *testing.T) {
 	}
 	defer srv.Close()
 	block := make(chan struct{})
-	srv.Serve(func(from Addr, req Message) (Message, error) {
+	srv.Serve(func(_ context.Context, from Addr, req Message) (Message, error) {
 		if r, ok := req.(PutReq); ok && r.TTL == 1 {
 			<-block
 		}
@@ -181,7 +181,7 @@ func TestMemCallHonorsContext(t *testing.T) {
 	net := NewMemNetwork(0)
 	a, b := net.NewEndpoint(), net.NewEndpoint()
 	var handled atomic.Int64
-	b.Serve(func(from Addr, req Message) (Message, error) {
+	b.Serve(func(_ context.Context, from Addr, req Message) (Message, error) {
 		handled.Add(1)
 		return PingResp{}, nil
 	})
@@ -197,7 +197,7 @@ func TestMemCallHonorsContext(t *testing.T) {
 
 	slow := NewMemNetwork(time.Hour)
 	c, d := slow.NewEndpoint(), slow.NewEndpoint()
-	d.Serve(func(from Addr, req Message) (Message, error) { return PingResp{}, nil })
+	d.Serve(func(_ context.Context, from Addr, req Message) (Message, error) { return PingResp{}, nil })
 	ctx2, cancel2 := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel2()
 	start := time.Now()

@@ -8,15 +8,22 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"github.com/defragdht/d2/internal/obs/tracing"
 )
 
 // envelope is the on-wire unit: a tagged request or response. Tags let
 // many requests share one connection — responses may arrive out of order
-// and are matched back to their callers by tag.
+// and are matched back to their callers by tag. Trace and Span carry the
+// caller's trace position for sampled requests (zero otherwise), so spans
+// recorded by the remote handler join the caller's trace; responses leave
+// them zero.
 type envelope struct {
-	Tag  uint64
-	From Addr
-	Msg  Message
+	Tag   uint64
+	From  Addr
+	Trace uint64
+	Span  uint64
+	Msg   Message
 }
 
 // TCPTransport is a Transport over TCP with pipelined gob streams. All
@@ -42,6 +49,23 @@ type TCPTransport struct {
 	DialTimeout time.Duration
 
 	metrics *RPCMetrics
+	tracer  *tracing.Tracer
+}
+
+// UseTracer attaches a request tracer to the endpoint: outbound calls
+// belonging to a sampled trace record an rpc.<kind> send span, and the
+// trace position rides the envelope either way.
+func (t *TCPTransport) UseTracer(tr *tracing.Tracer) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tracer = tr
+}
+
+// endpointTracer returns the endpoint's tracer (nil when off).
+func (t *TCPTransport) endpointTracer() *tracing.Tracer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tracer
 }
 
 // UseMetrics attaches RPC metrics to the endpoint. Call before traffic
@@ -173,7 +197,8 @@ func (t *TCPTransport) serveConn(conn net.Conn) {
 			if h == nil {
 				resp = ToErrResp(fmt.Errorf("node not serving"))
 			} else {
-				r, herr := h(env.From, env.Msg)
+				hctx := tracing.WithRemote(context.Background(), env.Trace, env.Span)
+				r, herr := h(hctx, env.From, env.Msg)
 				switch {
 				case herr != nil:
 					resp = ToErrResp(herr)
@@ -287,7 +312,8 @@ func (cc *clientConn) call(ctx context.Context, from Addr, req Message) (Message
 	} else {
 		_ = cc.conn.SetWriteDeadline(time.Time{})
 	}
-	err := cc.enc.Encode(&envelope{Tag: tag, From: from, Msg: req})
+	trace, span := tracing.WireContext(ctx)
+	err := cc.enc.Encode(&envelope{Tag: tag, From: from, Trace: trace, Span: span, Msg: req})
 	if err == nil {
 		err = cc.bw.Flush()
 	}
@@ -317,7 +343,9 @@ func (cc *clientConn) call(ctx context.Context, from Addr, req Message) (Message
 func (t *TCPTransport) Call(ctx context.Context, to Addr, req Message) (Message, error) {
 	m := t.rpcMetrics()
 	kind, start := m.startCall(req)
-	resp, err := t.doCall(ctx, to, req, m)
+	sctx, sp := startSend(ctx, t.endpointTracer(), to, req)
+	resp, err := t.doCall(sctx, to, req, m)
+	finishSend(sp, err)
 	m.finishCall(kind, start, resp, err)
 	return resp, err
 }

@@ -1,0 +1,58 @@
+package transport
+
+import (
+	"context"
+
+	"github.com/defragdht/d2/internal/obs/tracing"
+)
+
+// rpcSpanNames maps an rpcKind to its client-side send span name,
+// precomputed so the traced path never concatenates strings per call.
+var rpcSpanNames = func() [numKinds]string {
+	var out [numKinds]string
+	for k := rpcKind(0); k < numKinds; k++ {
+		out[k] = "rpc." + kindNames[k]
+	}
+	return out
+}()
+
+// serveSpanNames maps an rpcKind to its server-side handler span name.
+var serveSpanNames = func() [numKinds]string {
+	var out [numKinds]string
+	for k := rpcKind(0); k < numKinds; k++ {
+		out[k] = "serve." + kindNames[k]
+	}
+	return out
+}()
+
+// RPCName returns the wire name of a request's kind ("get", "multi_get",
+// ...), for span and profiler-label naming at higher layers. The string is
+// precomputed — callers on traced paths pay no per-call concatenation.
+func RPCName(m Message) string { return kindNames[kindOf(m)] }
+
+// ServeSpanName returns the precomputed server-side span name for a
+// request ("serve.get", ...).
+func ServeSpanName(m Message) string { return serveSpanNames[kindOf(m)] }
+
+// startSend opens the transport's client-side span for one outbound RPC:
+// a child of whatever trace ctx carries, named rpc.<kind>. It returns the
+// context to dispatch with (carrying the send span, so the remote handler
+// parents to it) and the span; both pass through untouched when the call
+// is untraced. A nil tracer still propagates the caller's trace position —
+// the remote spans then parent to the caller's span directly.
+func startSend(ctx context.Context, tr *tracing.Tracer, to Addr, req Message) (context.Context, *tracing.ActiveSpan) {
+	if tracing.FromContext(ctx) == nil {
+		return ctx, nil
+	}
+	sctx, sp := tr.StartSpan(ctx, rpcSpanNames[kindOf(req)])
+	sp.Annotate("to", to)
+	return sctx, sp
+}
+
+// finishSend completes a send span with the call outcome.
+func finishSend(sp *tracing.ActiveSpan, err error) {
+	if sp == nil {
+		return
+	}
+	sp.EndErr(err)
+}

@@ -1,0 +1,188 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/defragdht/d2/internal/obs/tracing"
+)
+
+// TestTCPTracePropagation checks that trace and span IDs survive the wire:
+// a traced call's envelope carries the client-side rpc span, and the
+// handler context reconstructs it as a remote parent.
+func TestTCPTracePropagation(t *testing.T) {
+	srv, cli := tracedPair(t)
+
+	srv.Serve(func(ctx context.Context, from Addr, req Message) (Message, error) {
+		trID, spID := tracing.WireContext(ctx)
+		return GetResp{Found: true, Data: packIDs(trID, spID)}, nil
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	cliTracer := cli.endpointTracer()
+	sctx, root := cliTracer.ForceOp(ctx, "test.op")
+	resp, err := Expect[GetResp](cli.Call(sctx, srv.Addr(), GetReq{}))
+	root.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTrace, gotSpan := unpackIDs(resp.Data)
+	if gotTrace != root.TraceID() {
+		t.Fatalf("server saw trace %x, want %x", gotTrace, root.TraceID())
+	}
+	// The span on the wire is the client's rpc.get send span, a child of
+	// the root op.
+	rootID := func() uint64 { _, id := root.IDs(); return id }()
+	var rpcSpan *tracing.Span
+	for _, sp := range cliTracer.Sink().Trace(root.TraceID()) {
+		if sp.ID == gotSpan {
+			cp := sp
+			rpcSpan = &cp
+		}
+	}
+	if rpcSpan == nil {
+		t.Fatalf("span %x seen by the server is not in the client sink", gotSpan)
+	}
+	if rpcSpan.Name != "rpc.get" || rpcSpan.Parent != rootID {
+		t.Fatalf("wire span = %q parent %x, want rpc.get under root %x",
+			rpcSpan.Name, rpcSpan.Parent, rootID)
+	}
+
+	// An untraced call must put zero IDs on the wire.
+	resp, err = Expect[GetResp](cli.Call(ctx, srv.Addr(), GetReq{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trID, spID := unpackIDs(resp.Data); trID != 0 || spID != 0 {
+		t.Fatalf("untraced call leaked IDs (%x, %x) onto the wire", trID, spID)
+	}
+}
+
+// TestTCPTraceNoCrossPollination hammers one pipelined connection with
+// concurrent traced calls; every response must report the trace ID of the
+// root that issued it, and the wire span must be that root's own rpc
+// child. Run under -race this also exercises the envelope encode path.
+func TestTCPTraceNoCrossPollination(t *testing.T) {
+	srv, cli := tracedPair(t)
+
+	srv.Serve(func(ctx context.Context, from Addr, req Message) (Message, error) {
+		trID, spID := tracing.WireContext(ctx)
+		return GetResp{Found: true, Data: packIDs(trID, spID)}, nil
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	cliTracer := cli.endpointTracer()
+
+	const goroutines = 16
+	const callsEach = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < callsEach; i++ {
+				sctx, root := cliTracer.ForceOp(ctx, "test.op")
+				resp, err := Expect[GetResp](cli.Call(sctx, srv.Addr(), GetReq{}))
+				root.End()
+				if err != nil {
+					errs <- err
+					return
+				}
+				gotTrace, gotSpan := unpackIDs(resp.Data)
+				if gotTrace != root.TraceID() {
+					t.Errorf("cross-pollination: server saw trace %x, caller was %x",
+						gotTrace, root.TraceID())
+					return
+				}
+				rootID := func() uint64 { _, id := root.IDs(); return id }()
+				found := false
+				for _, sp := range cliTracer.Sink().Trace(gotTrace) {
+					if sp.ID == gotSpan && sp.Parent == rootID {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("wire span %x is not a child of its own root %x", gotSpan, rootID)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestMemTransportTraceParity checks the in-memory transport matches TCP
+// semantics: handlers get a background-derived context carrying the
+// caller's trace position as a remote parent.
+func TestMemTransportTraceParity(t *testing.T) {
+	net := NewMemNetwork(0)
+	a, b := net.NewEndpoint(), net.NewEndpoint()
+	tr := tracing.New(tracing.Config{Node: "mem-client"})
+	a.UseTracer(tr)
+
+	b.Serve(func(ctx context.Context, from Addr, req Message) (Message, error) {
+		if ctx.Done() != nil {
+			t.Error("mem handler context inherits caller cancellation")
+		}
+		trID, spID := tracing.WireContext(ctx)
+		return GetResp{Found: true, Data: packIDs(trID, spID)}, nil
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sctx, root := tr.ForceOp(ctx, "test.op")
+	resp, err := Expect[GetResp](a.Call(sctx, b.Addr(), GetReq{}))
+	root.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTrace, gotSpan := unpackIDs(resp.Data)
+	if gotTrace != root.TraceID() || gotSpan == 0 {
+		t.Fatalf("mem handler saw (%x, %x), want trace %x with a live span",
+			gotTrace, gotSpan, root.TraceID())
+	}
+}
+
+// tracedPair builds a server and client TCP transport with tracers
+// attached, cleaned up with the test.
+func tracedPair(t *testing.T) (srv, cli *TCPTransport) {
+	t.Helper()
+	srv, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	srv.UseTracer(tracing.New(tracing.Config{Node: "server"}))
+	cli, err = ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	cli.UseTracer(tracing.New(tracing.Config{Node: "client"}))
+	return srv, cli
+}
+
+func packIDs(trace, span uint64) []byte {
+	buf := make([]byte, 16)
+	binary.BigEndian.PutUint64(buf[:8], trace)
+	binary.BigEndian.PutUint64(buf[8:], span)
+	return buf
+}
+
+func unpackIDs(data []byte) (trace, span uint64) {
+	if len(data) != 16 {
+		return 0, 0
+	}
+	return binary.BigEndian.Uint64(data[:8]), binary.BigEndian.Uint64(data[8:])
+}

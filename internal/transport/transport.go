@@ -13,13 +13,19 @@ import (
 	"fmt"
 
 	"github.com/defragdht/d2/internal/keys"
+	"github.com/defragdht/d2/internal/obs/tracing"
 )
 
 // Addr identifies a node endpoint ("mem://n42" or "127.0.0.1:7000").
 type Addr string
 
-// Handler processes one request and returns the response.
-type Handler func(from Addr, req Message) (Message, error)
+// Handler processes one request and returns the response. ctx carries the
+// caller's trace position (tracing.WithRemote) when the request belongs to
+// a sampled trace; it does not carry the caller's cancellation — the
+// transports hand every handler a background-derived context, so a
+// pipelined handler outlives an impatient caller exactly as it would over
+// a real wire.
+type Handler func(ctx context.Context, from Addr, req Message) (Message, error)
 
 // Transport sends requests and serves responses.
 type Transport interface {
@@ -224,6 +230,19 @@ type SampleReq struct{ Hops int }
 // SampleResp returns the sampled peer.
 type SampleResp struct{ Peer PeerInfo }
 
+// TraceFetchReq asks a node for the spans it retains for one trace — the
+// scrape RPC behind d2ctl trace's cross-node span assembly. A zero Trace
+// asks for the node's recent root spans instead (trace discovery).
+type TraceFetchReq struct {
+	Trace uint64
+	// Limit caps returned spans (0 = server default).
+	Limit int
+}
+
+// TraceFetchResp returns one node's retained spans for the asked trace
+// (or its recent roots), ordered by start time.
+type TraceFetchResp struct{ Spans []tracing.Span }
+
 // StatsReq asks a node for its metrics snapshot and load summary — the
 // admin plane's scrape RPC, used by d2ctl stats/top to build cluster-wide
 // views without an HTTP round trip.
@@ -279,6 +298,8 @@ func (SampleReq) isMessage()      {}
 func (SampleResp) isMessage()     {}
 func (StatsReq) isMessage()       {}
 func (StatsResp) isMessage()      {}
+func (TraceFetchReq) isMessage()  {}
+func (TraceFetchResp) isMessage() {}
 func (ErrResp) isMessage()        {}
 
 // RegisterMessages registers every protocol message with gob. The TCP
@@ -293,7 +314,8 @@ func registerMessages() {
 		SplitReq{}, SplitResp{}, RangeReq{}, RangeResp{},
 		MultiGetReq{}, MultiGetResp{}, FetchRangeReq{}, FetchRangeResp{},
 		PutPtrReq{}, PutPtrResp{},
-		SampleReq{}, SampleResp{}, StatsReq{}, StatsResp{}, ErrResp{},
+		SampleReq{}, SampleResp{}, StatsReq{}, StatsResp{},
+		TraceFetchReq{}, TraceFetchResp{}, ErrResp{},
 	} {
 		gob.Register(m)
 	}

@@ -15,7 +15,7 @@ func TestMemCallRoundTrip(t *testing.T) {
 	net := NewMemNetwork(0)
 	a := net.NewEndpoint()
 	b := net.NewEndpoint()
-	b.Serve(func(from Addr, req Message) (Message, error) {
+	b.Serve(func(_ context.Context, from Addr, req Message) (Message, error) {
 		if from != a.Addr() {
 			t.Errorf("from = %s, want %s", from, a.Addr())
 		}
@@ -37,7 +37,7 @@ func TestMemUnreachable(t *testing.T) {
 		t.Errorf("err = %v, want ErrUnreachable", err)
 	}
 	b := net.NewEndpoint()
-	b.Serve(func(Addr, Message) (Message, error) { return PingResp{}, nil })
+	b.Serve(func(context.Context, Addr, Message) (Message, error) { return PingResp{}, nil })
 	if err := b.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestMemLatency(t *testing.T) {
 	net := NewMemNetwork(20 * time.Millisecond)
 	a := net.NewEndpoint()
 	b := net.NewEndpoint()
-	b.Serve(func(Addr, Message) (Message, error) { return PingResp{}, nil })
+	b.Serve(func(context.Context, Addr, Message) (Message, error) { return PingResp{}, nil })
 	start := time.Now()
 	if _, err := a.Call(context.Background(), b.Addr(), PingReq{}); err != nil {
 		t.Fatal(err)
@@ -74,7 +74,7 @@ func TestTCPRoundTrip(t *testing.T) {
 	defer srv.Close()
 	var k keys.Key
 	k[0] = 0xAB
-	srv.Serve(func(from Addr, req Message) (Message, error) {
+	srv.Serve(func(_ context.Context, from Addr, req Message) (Message, error) {
 		get, ok := req.(GetReq)
 		if !ok {
 			return nil, fmt.Errorf("unexpected %T", req)
@@ -109,7 +109,7 @@ func TestTCPHandlerError(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	srv.Serve(func(Addr, Message) (Message, error) {
+	srv.Serve(func(context.Context, Addr, Message) (Message, error) {
 		return nil, errors.New("boom")
 	})
 	cli, err := ListenTCP("127.0.0.1:0")
@@ -129,7 +129,7 @@ func TestTCPConcurrentCalls(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	srv.Serve(func(_ Addr, req Message) (Message, error) {
+	srv.Serve(func(_ context.Context, _ Addr, req Message) (Message, error) {
 		return req, nil // echo
 	})
 	cli, err := ListenTCP("127.0.0.1:0")
@@ -168,7 +168,7 @@ func TestTCPContextTimeout(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	srv.Serve(func(Addr, Message) (Message, error) {
+	srv.Serve(func(context.Context, Addr, Message) (Message, error) {
 		time.Sleep(500 * time.Millisecond)
 		return PingResp{}, nil
 	})

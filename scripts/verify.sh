@@ -12,6 +12,11 @@
 #                            d2bench converter with an embedded metrics
 #                            snapshot (checks the harness still works; not
 #                            a performance measurement)
+#   scripts/verify.sh trace  trace tier: the request-tracing tests under
+#                            -race (TCP propagation, sink wraparound, the
+#                            cross-node e2e assembly) plus the alloc guard
+#                            proving the unsampled path stays
+#                            zero-allocation
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -28,6 +33,20 @@ lint() {
 
 if [ "${1:-}" = "lint" ]; then
 	lint
+	exit 0
+fi
+
+if [ "${1:-}" = "trace" ]; then
+	echo "== trace tier: tracing tests under -race"
+	go test -race ./internal/obs/tracing/
+	go test -race -run 'Trace' ./internal/obs/ ./internal/transport/ ./internal/node/ .
+	echo "== trace tier: unsampled-path alloc guard (want 0 allocs/op)"
+	out=$(go test -run '^$' -bench 'BenchmarkStartOpUnsampled' -benchmem \
+		./internal/obs/tracing/ | tee /dev/stderr)
+	echo "$out" | grep -q 'BenchmarkStartOpUnsampled.* 0 B/op[[:space:]]*0 allocs/op' || {
+		echo "trace tier: unsampled StartOp allocates" >&2
+		exit 1
+	}
 	exit 0
 fi
 
