@@ -12,12 +12,12 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
-	"encoding/gob"
 	"errors"
 	"fmt"
 
 	"github.com/defragdht/d2/internal/keys"
 	"github.com/defragdht/d2/internal/trace"
+	"github.com/defragdht/d2/internal/wire"
 )
 
 // BlockSize is the maximum block payload (§3).
@@ -84,21 +84,185 @@ type RootBlock struct {
 	Signature []byte
 }
 
-// encode serializes a value with gob.
-func encode(v interface{}) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return nil, fmt.Errorf("fs: encode %T: %w", v, err)
+// Metadata blocks carry a hand-rolled binary encoding (internal/wire):
+// a one-byte kind magic, a one-byte format version, then the fields in
+// fixed order. Unlike gob, the bytes are canonical — identical across
+// processes regardless of encode history — so content hashes and block
+// keys derived from them agree cluster-wide.
+const (
+	magicInode   = 'I'
+	magicEntries = 'E'
+	magicRoot    = 'R'
+	blockCodecV1 = 1
+)
+
+// appendInode appends an inode's fields (shared by the inode block and
+// root block encodings).
+func appendInode(b []byte, ino *Inode) []byte {
+	b = wire.AppendBool(b, ino.IsDir)
+	b = wire.AppendI64(b, ino.Size)
+	b = wire.AppendBytes(b, ino.Inline)
+	b = wire.AppendU32(b, uint32(len(ino.BlockVers)))
+	for _, v := range ino.BlockVers {
+		b = wire.AppendU32(b, v)
 	}
-	return buf.Bytes(), nil
+	b = wire.AppendU32(b, uint32(len(ino.BlockHashes)))
+	for i := range ino.BlockHashes {
+		b = append(b, ino.BlockHashes[i][:]...)
+	}
+	return wire.AppendU16(b, ino.NextSlot)
 }
 
-// decode deserializes a gob value.
-func decode(data []byte, v interface{}) error {
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
-		return fmt.Errorf("fs: decode %T: %w", v, err)
+// readInodeFields decodes appendInode's output. Byte fields are copied:
+// inode structs outlive the block buffer they were parsed from.
+func readInodeFields(r *wire.Reader, ino *Inode) {
+	ino.IsDir = r.Bool()
+	ino.Size = r.I64()
+	ino.Inline = r.BytesCopy()
+	n := r.Count(4)
+	if n > 0 {
+		ino.BlockVers = make([]uint32, n)
+		for i := range ino.BlockVers {
+			ino.BlockVers[i] = r.U32()
+		}
+	} else {
+		ino.BlockVers = nil
 	}
-	return nil
+	n = r.Count(32)
+	if n > 0 {
+		ino.BlockHashes = make([][32]byte, n)
+		for i := range ino.BlockHashes {
+			copy(ino.BlockHashes[i][:], r.Take(32))
+		}
+	} else {
+		ino.BlockHashes = nil
+	}
+	ino.NextSlot = r.U16()
+}
+
+// checkMagic consumes and validates a block's kind and version bytes.
+func checkMagic(r *wire.Reader, kind byte) error {
+	if got := r.U8(); got != kind && r.Err() == nil {
+		return fmt.Errorf("%w: block magic %q (want %q)", wire.ErrMalformed, got, kind)
+	}
+	if v := r.U8(); v != blockCodecV1 && r.Err() == nil {
+		return fmt.Errorf("%w: block codec version %d", wire.ErrMalformed, v)
+	}
+	return r.Err()
+}
+
+// encodeInode serializes a file or directory metadata block.
+func encodeInode(ino *Inode) []byte {
+	b := make([]byte, 0, 64+len(ino.Inline)+4*len(ino.BlockVers)+32*len(ino.BlockHashes))
+	b = append(b, magicInode, blockCodecV1)
+	return appendInode(b, ino)
+}
+
+// decodeInode parses an inode block.
+func decodeInode(data []byte) (Inode, error) {
+	var ino Inode
+	r := wire.NewReader(data)
+	if err := checkMagic(&r, magicInode); err != nil {
+		return Inode{}, fmt.Errorf("fs: decode inode: %w", err)
+	}
+	readInodeFields(&r, &ino)
+	r.ExpectEmpty()
+	if err := r.Err(); err != nil {
+		return Inode{}, fmt.Errorf("fs: decode inode: %w", err)
+	}
+	return ino, nil
+}
+
+// encodeEntries serializes a directory's entry list (its content blocks).
+func encodeEntries(entries []DirEntry) []byte {
+	b := []byte{magicEntries, blockCodecV1}
+	b = wire.AppendU32(b, uint32(len(entries)))
+	for i := range entries {
+		e := &entries[i]
+		b = wire.AppendShortString(b, e.Name)
+		b = wire.AppendBool(b, e.IsDir)
+		b = wire.AppendI64(b, e.Size)
+		b = wire.AppendU16(b, e.Slot)
+		b = wire.AppendU32(b, e.Ver)
+		b = append(b, e.Hash[:]...)
+		b = wire.AppendBool(b, e.Moved)
+		b = wire.AppendU16(b, uint16(len(e.OrigSlots)))
+		for _, s := range e.OrigSlots {
+			b = wire.AppendU16(b, s)
+		}
+		b = append(b, e.OrigRemainder[:]...)
+	}
+	return b
+}
+
+// minDirEntry is the smallest encoded DirEntry.
+const minDirEntry = 2 + 1 + 8 + 2 + 4 + 32 + 1 + 2 + 8
+
+// decodeEntries parses a directory's entry list.
+func decodeEntries(content []byte) ([]DirEntry, error) {
+	r := wire.NewReader(content)
+	if err := checkMagic(&r, magicEntries); err != nil {
+		return nil, fmt.Errorf("fs: decode dir entries: %w", err)
+	}
+	n := r.Count(minDirEntry)
+	var entries []DirEntry
+	if n > 0 {
+		entries = make([]DirEntry, n)
+	}
+	for i := range entries {
+		e := &entries[i]
+		e.Name = r.ShortString()
+		e.IsDir = r.Bool()
+		e.Size = r.I64()
+		e.Slot = r.U16()
+		e.Ver = r.U32()
+		copy(e.Hash[:], r.Take(32))
+		e.Moved = r.Bool()
+		if ns := int(r.U16()); ns > 0 && r.Err() == nil {
+			if ns*2 > r.Len() {
+				return nil, fmt.Errorf("fs: decode dir entries: %w: slot count %d", wire.ErrMalformed, ns)
+			}
+			e.OrigSlots = make([]uint16, ns)
+			for j := range e.OrigSlots {
+				e.OrigSlots[j] = r.U16()
+			}
+		}
+		copy(e.OrigRemainder[:], r.Take(8))
+	}
+	r.ExpectEmpty()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("fs: decode dir entries: %w", err)
+	}
+	return entries, nil
+}
+
+// encodeRoot serializes the volume's signed root block.
+func encodeRoot(root *RootBlock) []byte {
+	b := []byte{magicRoot, blockCodecV1}
+	b = wire.AppendString(b, root.Name)
+	b = wire.AppendBytes(b, root.PublicKey)
+	b = wire.AppendU32(b, root.Version)
+	b = appendInode(b, &root.Root)
+	return wire.AppendBytes(b, root.Signature)
+}
+
+// decodeRoot parses a root block.
+func decodeRoot(data []byte) (RootBlock, error) {
+	var root RootBlock
+	r := wire.NewReader(data)
+	if err := checkMagic(&r, magicRoot); err != nil {
+		return RootBlock{}, fmt.Errorf("fs: decode root block: %w", err)
+	}
+	root.Name = r.String()
+	root.PublicKey = r.BytesCopy()
+	root.Version = r.U32()
+	readInodeFields(&r, &root.Root)
+	root.Signature = r.BytesCopy()
+	r.ExpectEmpty()
+	if err := r.Err(); err != nil {
+		return RootBlock{}, fmt.Errorf("fs: decode root block: %w", err)
+	}
+	return root, nil
 }
 
 // contentHash is the integrity hash stored in parent metadata.

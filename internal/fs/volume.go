@@ -153,10 +153,7 @@ func Create(ctx context.Context, svc BlockService, name string, priv ed25519.Pri
 	if err := v.signRoot(); err != nil {
 		return nil, err
 	}
-	data, err := encode(v.root)
-	if err != nil {
-		return nil, err
-	}
+	data := encodeRoot(v.root)
 	if err := svc.Put(ctx, v.rootKey(), data); err != nil {
 		return nil, fmt.Errorf("fs: create volume %q: %w", name, err)
 	}
@@ -240,8 +237,8 @@ func (v *Volume) fetchRoot(ctx context.Context) (*RootBlock, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fs: open volume %q: %w", v.name, err)
 	}
-	var root RootBlock
-	if err := decode(data, &root); err != nil {
+	root, err := decodeRoot(data)
+	if err != nil {
 		return nil, err
 	}
 	payload, err := root.signablePayload()
@@ -448,11 +445,7 @@ func (v *Volume) readInode(ctx context.Context, cur pathCursor, ver uint32, hash
 	if contentHash(data) != hash {
 		return Inode{}, fmt.Errorf("%w: inode", ErrIntegrity)
 	}
-	var ino Inode
-	if err := decode(data, &ino); err != nil {
-		return Inode{}, err
-	}
-	return ino, nil
+	return decodeInode(data)
 }
 
 // readContent returns a file or directory's full content bytes. Under a
@@ -552,11 +545,7 @@ func (v *Volume) loadEntries(ctx context.Context, cur pathCursor, ino *Inode) ([
 	if len(content) == 0 {
 		return nil, nil
 	}
-	var entries []DirEntry
-	if err := decode(content, &entries); err != nil {
-		return nil, err
-	}
-	return entries, nil
+	return decodeEntries(content)
 }
 
 // writeContent writes content blocks for a file or directory, queuing
@@ -594,10 +583,7 @@ func (v *Volume) writeContent(cur pathCursor, data []byte, old *Inode, ino *Inod
 // writeInode serializes an inode, queues the block write, removes the old
 // version, and returns the new version hash and content hash.
 func (v *Volume) writeInode(cur pathCursor, ino *Inode, oldVer uint32) (uint32, [32]byte, error) {
-	data, err := encode(ino)
-	if err != nil {
-		return 0, [32]byte{}, err
-	}
+	data := encodeInode(ino)
 	ver := versionHash(data)
 	if oldVer != 0 && oldVer != ver {
 		v.removeBlock(cur.blockKey(0, oldVer))
@@ -613,10 +599,7 @@ func (v *Volume) writeInode(cur pathCursor, ino *Inode, oldVer uint32) (uint32, 
 func (v *Volume) commitChain(ctx context.Context, root *RootBlock, chain []step) error {
 	for i := len(chain) - 1; i >= 1; i-- {
 		s := &chain[i]
-		content, err := encode(s.entries)
-		if err != nil {
-			return err
-		}
+		content := encodeEntries(s.entries)
 		oldIno := s.ino
 		v.writeContent(s.cur, content, &oldIno, &s.ino)
 		oldVer := chain[i-1].entries[s.entryIdx].Ver
@@ -631,10 +614,7 @@ func (v *Volume) commitChain(ctx context.Context, root *RootBlock, chain []step)
 	}
 	// Root directory: entries embed in the root block's inode content.
 	rootStep := &chain[0]
-	content, err := encode(rootStep.entries)
-	if err != nil {
-		return err
-	}
+	content := encodeEntries(rootStep.entries)
 	oldRoot := root.Root
 	v.writeContent(rootStep.cur, content, &oldRoot, &rootStep.ino)
 	root.Root = rootStep.ino
@@ -642,10 +622,6 @@ func (v *Volume) commitChain(ctx context.Context, root *RootBlock, chain []step)
 	if err := v.signRoot(); err != nil {
 		return err
 	}
-	data, err := encode(root)
-	if err != nil {
-		return err
-	}
-	v.writeBlock(v.rootKey(), data)
+	v.writeBlock(v.rootKey(), encodeRoot(root))
 	return nil
 }

@@ -29,8 +29,8 @@ func (c *Client) WalkRing(ctx context.Context) ([]RingMember, error) {
 	var start transport.PeerInfo
 	var lastErr error
 	for _, seed := range c.seeds {
-		resp, err := transport.Expect[transport.NeighborsResp](
-			c.call(ctx, seed, transport.NeighborsReq{}))
+		resp, err := transport.Expect[*transport.NeighborsResp](
+			c.call(ctx, seed, &transport.NeighborsReq{}))
 		if err != nil {
 			lastErr = err
 			continue
@@ -49,8 +49,8 @@ func (c *Client) WalkRing(ctx context.Context) ([]RingMember, error) {
 		if seen[cur.Addr] {
 			break // closed the ring (or hit a successor loop)
 		}
-		resp, err := transport.Expect[transport.NeighborsResp](
-			c.call(ctx, cur.Addr, transport.NeighborsReq{}))
+		resp, err := transport.Expect[*transport.NeighborsResp](
+			c.call(ctx, cur.Addr, &transport.NeighborsReq{}))
 		if err != nil {
 			// Skip a dead member by stepping through the previous node's
 			// successor list.
@@ -106,8 +106,8 @@ func (c *Client) ClusterStats(ctx context.Context) ([]NodeStats, error) {
 	}
 	var out []NodeStats
 	for _, m := range members {
-		resp, err := transport.Expect[transport.StatsResp](
-			c.call(ctx, m.Self.Addr, transport.StatsReq{}))
+		resp, err := transport.Expect[*transport.StatsResp](
+			c.call(ctx, m.Self.Addr, &transport.StatsReq{}))
 		if err != nil {
 			continue
 		}
@@ -143,8 +143,8 @@ func (c *Client) FetchClusterTrace(ctx context.Context, trace uint64) ([]tracing
 	}
 	var spans []tracing.Span
 	for _, m := range members {
-		resp, err := transport.Expect[transport.TraceFetchResp](
-			c.call(ctx, m.Self.Addr, transport.TraceFetchReq{Trace: trace}))
+		resp, err := transport.Expect[*transport.TraceFetchResp](
+			c.call(ctx, m.Self.Addr, &transport.TraceFetchReq{Trace: trace}))
 		if err != nil {
 			continue
 		}

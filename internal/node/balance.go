@@ -17,13 +17,13 @@ func (n *Node) balanceProbe() {
 	defer cancel()
 
 	n.metrics.balanceProbes.Inc()
-	sample, err := transport.Expect[transport.SampleResp](
-		n.call(ctx, n.tr.Addr(), transport.SampleReq{Hops: 6}))
+	sample, err := transport.Expect[*transport.SampleResp](
+		n.call(ctx, n.tr.Addr(), &transport.SampleReq{Hops: 6}))
 	if err != nil || sample.Peer.IsZero() || sample.Peer.Addr == n.tr.Addr() {
 		return
 	}
-	load, err := transport.Expect[transport.LoadResp](
-		n.call(ctx, sample.Peer.Addr, transport.LoadReq{}))
+	load, err := transport.Expect[*transport.LoadResp](
+		n.call(ctx, sample.Peer.Addr, &transport.LoadReq{}))
 	if err != nil {
 		return
 	}
@@ -39,8 +39,8 @@ func (n *Node) balanceProbe() {
 // range's new owner gets pointers to us, and we take pointers to a for
 // our new range; pointer stabilization moves the data later.
 func (n *Node) moveTo(ctx context.Context, a transport.PeerInfo) {
-	split, err := transport.Expect[transport.SplitResp](
-		n.call(ctx, a.Addr, transport.SplitReq{}))
+	split, err := transport.Expect[*transport.SplitResp](
+		n.call(ctx, a.Addr, &transport.SplitReq{}))
 	if err != nil || !split.Ok {
 		return
 	}
@@ -67,7 +67,7 @@ func (n *Node) moveTo(ctx context.Context, a transport.PeerInfo) {
 			if target == succ.Addr {
 				continue // the successor already stores this block
 			}
-			_, _ = transport.Expect[transport.PutPtrResp](n.call(ctx, succ.Addr, transport.PutPtrReq{
+			_, _ = transport.Expect[*transport.PutPtrResp](n.call(ctx, succ.Addr, &transport.PutPtrReq{
 				Key: it.Key, Target: target, Size: it.Block.Size,
 			}))
 		}
@@ -77,8 +77,8 @@ func (n *Node) moveTo(ctx context.Context, a transport.PeerInfo) {
 	// primary range BEFORE adopting the new identity: the moment lookups
 	// route to us for (pred, median] we must already answer with data or a
 	// redirect, never a spurious not-found.
-	aNeighbors, err := transport.Expect[transport.NeighborsResp](
-		n.call(ctx, a.Addr, transport.NeighborsReq{}))
+	aNeighbors, err := transport.Expect[*transport.NeighborsResp](
+		n.call(ctx, a.Addr, &transport.NeighborsReq{}))
 	if err != nil {
 		return
 	}
@@ -94,7 +94,7 @@ func (n *Node) moveTo(ctx context.Context, a transport.PeerInfo) {
 		// all pointers. We must learn those keys too — taking over the arc
 		// without them would make us a not-found hole — and we point at
 		// the node actually storing each block so chains never grow.
-		resp, err := transport.Expect[transport.RangeResp](n.call(ctx, a.Addr, transport.RangeReq{
+		resp, err := transport.Expect[*transport.RangeResp](n.call(ctx, a.Addr, &transport.RangeReq{
 			Lo: newPred.ID, Hi: split.Median, WithPointers: true,
 		}))
 		if err != nil {
@@ -129,6 +129,6 @@ func (n *Node) moveTo(ctx context.Context, a transport.PeerInfo) {
 	n.events.Log(obs.LevelInfo, "balance.move",
 		"old_id", oldSelf.ID.Short(), "new_id", newSelf.ID.Short(),
 		"succ", string(a.Addr))
-	_, _ = transport.Expect[transport.NotifyResp](
-		n.call(ctx, a.Addr, transport.NotifyReq{Cand: newSelf}))
+	_, _ = transport.Expect[*transport.NotifyResp](
+		n.call(ctx, a.Addr, &transport.NotifyReq{Cand: newSelf}))
 }

@@ -147,8 +147,8 @@ func (c *Client) groupByOwner(ctx context.Context, sorted []keys.Key) ([]ownerGr
 // per-key fallback.
 func (c *Client) multiGet(ctx context.Context, g ownerGroup) (found map[keys.Key][]byte, missed []keys.Key) {
 	found = make(map[keys.Key][]byte, len(g.keys))
-	resp, err := transport.Expect[transport.MultiGetResp](
-		c.call(ctx, g.owner.Addr, transport.MultiGetReq{Keys: g.keys}))
+	resp, err := transport.Expect[*transport.MultiGetResp](
+		c.call(ctx, g.owner.Addr, &transport.MultiGetReq{Keys: g.keys}))
 	if err != nil || len(resp.Items) != len(g.keys) {
 		// Dead or stale owner: drop its cached range and let the
 		// fallback path re-resolve every key.
@@ -255,8 +255,8 @@ func (c *Client) fetchSegment(ctx context.Context, owner transport.PeerInfo, cur
 	}
 	lo := cur
 	for {
-		resp, rerr := transport.Expect[transport.FetchRangeResp](
-			c.call(ctx, owner.Addr, transport.FetchRangeReq{Lo: lo, Hi: segHi}))
+		resp, rerr := transport.Expect[*transport.FetchRangeResp](
+			c.call(ctx, owner.Addr, &transport.FetchRangeReq{Lo: lo, Hi: segHi}))
 		if rerr != nil {
 			return nil, segHi, last, rerr
 		}

@@ -188,8 +188,8 @@ func TestReadRangePaginatesLargeSegments(t *testing.T) {
 	var got []keys.Key
 	lo := base
 	for {
-		resp, err := transport.Expect[transport.FetchRangeResp](
-			c.call(ctx, n.Self().Addr, transport.FetchRangeReq{Lo: lo, Hi: ks[len(ks)-1], Limit: 5}))
+		resp, err := transport.Expect[*transport.FetchRangeResp](
+			c.call(ctx, n.Self().Addr, &transport.FetchRangeReq{Lo: lo, Hi: ks[len(ks)-1], Limit: 5}))
 		if err != nil {
 			t.Fatal(err)
 		}

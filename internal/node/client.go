@@ -235,8 +235,8 @@ func (c *Client) iterLookup(ctx context.Context, start transport.Addr, k keys.Ke
 		if hsp != nil {
 			hsp.Annotate("hop", hops, "at", cur)
 		}
-		resp, err := transport.Expect[transport.FindSuccResp](
-			c.call(hctx, cur, transport.FindSuccReq{Key: k}))
+		resp, err := transport.Expect[*transport.FindSuccResp](
+			c.call(hctx, cur, &transport.FindSuccReq{Key: k}))
 		hsp.EndErr(err)
 		if err != nil {
 			return transport.PeerInfo{}, transport.PeerInfo{}, err
@@ -287,7 +287,7 @@ func (c *Client) put(ctx context.Context, k keys.Key, data []byte) error {
 	if err != nil {
 		return err
 	}
-	_, err = transport.Expect[transport.PutResp](c.call(ctx, owner.Addr, transport.PutReq{
+	_, err = transport.Expect[*transport.PutResp](c.call(ctx, owner.Addr, &transport.PutReq{
 		Key: k, Data: data, Replicate: true,
 	}))
 	if err != nil {
@@ -297,7 +297,7 @@ func (c *Client) put(ctx context.Context, k keys.Key, data []byte) error {
 		if err != nil {
 			return err
 		}
-		_, err = transport.Expect[transport.PutResp](c.call(ctx, owner.Addr, transport.PutReq{
+		_, err = transport.Expect[*transport.PutResp](c.call(ctx, owner.Addr, &transport.PutReq{
 			Key: k, Data: data, Replicate: true,
 		}))
 	}
@@ -376,8 +376,8 @@ func (c *Client) getOnce(ctx context.Context, k keys.Key) ([]byte, error) {
 // getFrom fetches a block from one node, following one pointer redirect.
 func (c *Client) getFrom(ctx context.Context, addr transport.Addr, k keys.Key) ([]byte, error) {
 	for i := 0; i < 2; i++ {
-		resp, err := transport.Expect[transport.GetResp](
-			c.call(ctx, addr, transport.GetReq{Key: k}))
+		resp, err := transport.Expect[*transport.GetResp](
+			c.call(ctx, addr, &transport.GetReq{Key: k}))
 		if err != nil {
 			return nil, err
 		}
@@ -394,8 +394,8 @@ func (c *Client) getFrom(ctx context.Context, addr transport.Addr, k keys.Key) (
 
 // successorsOf fetches the replica group following the owner.
 func (c *Client) successorsOf(ctx context.Context, owner transport.PeerInfo) ([]transport.PeerInfo, error) {
-	resp, err := transport.Expect[transport.NeighborsResp](
-		c.call(ctx, owner.Addr, transport.NeighborsReq{}))
+	resp, err := transport.Expect[*transport.NeighborsResp](
+		c.call(ctx, owner.Addr, &transport.NeighborsReq{}))
 	if err != nil {
 		return nil, err
 	}
@@ -426,7 +426,7 @@ func (c *Client) remove(ctx context.Context, k keys.Key) error {
 	if err != nil {
 		return err
 	}
-	_, err = transport.Expect[transport.RemoveResp](c.call(ctx, owner.Addr, transport.RemoveReq{
+	_, err = transport.Expect[*transport.RemoveResp](c.call(ctx, owner.Addr, &transport.RemoveReq{
 		Key: k, Replicate: true,
 	}))
 	if err != nil {
@@ -435,7 +435,7 @@ func (c *Client) remove(ctx context.Context, k keys.Key) error {
 		if err != nil {
 			return err
 		}
-		_, err = transport.Expect[transport.RemoveResp](c.call(ctx, owner.Addr, transport.RemoveReq{
+		_, err = transport.Expect[*transport.RemoveResp](c.call(ctx, owner.Addr, &transport.RemoveReq{
 			Key: k, Replicate: true,
 		}))
 	}

@@ -280,8 +280,8 @@ func (n *Node) Join(ctx context.Context, seed transport.Addr) error {
 	}
 	n.mu.Unlock()
 	// Announce ourselves so the ring links in quickly.
-	_, _ = transport.Expect[transport.NotifyResp](
-		n.call(ctx, owner.Addr, transport.NotifyReq{Cand: n.Self()}))
+	_, _ = transport.Expect[*transport.NotifyResp](
+		n.call(ctx, owner.Addr, &transport.NotifyReq{Cand: n.Self()}))
 	n.stabilize()
 	return nil
 }
@@ -319,7 +319,7 @@ func (n *Node) Leave(ctx context.Context) error {
 		if err != nil || owner.Addr == n.tr.Addr() {
 			continue
 		}
-		_, _ = transport.Expect[transport.PutResp](n.call(ctx, owner.Addr, transport.PutReq{
+		_, _ = transport.Expect[*transport.PutResp](n.call(ctx, owner.Addr, &transport.PutReq{
 			Key: it.Key, Data: it.Block.Data, Replicate: true,
 		}))
 	}

@@ -17,42 +17,42 @@ import (
 // trace. The traced entry path is the handle wrapper in trace.go.
 func (n *Node) dispatch(ctx context.Context, from transport.Addr, req transport.Message) (transport.Message, error) {
 	switch r := req.(type) {
-	case transport.PingReq:
-		return transport.PingResp{Self: n.Self()}, nil
-	case transport.FindSuccReq:
+	case *transport.PingReq:
+		return &transport.PingResp{Self: n.Self()}, nil
+	case *transport.FindSuccReq:
 		return n.handleFindSucc(r), nil
-	case transport.NeighborsReq:
+	case *transport.NeighborsReq:
 		return n.handleNeighbors(), nil
-	case transport.NotifyReq:
+	case *transport.NotifyReq:
 		n.handleNotify(r.Cand)
-		return transport.NotifyResp{}, nil
-	case transport.PutReq:
+		return &transport.NotifyResp{}, nil
+	case *transport.PutReq:
 		return n.handlePut(ctx, r), nil
-	case transport.GetReq:
+	case *transport.GetReq:
 		return n.handleGet(ctx, r), nil
-	case transport.MultiGetReq:
+	case *transport.MultiGetReq:
 		return n.handleMultiGet(ctx, r), nil
-	case transport.FetchRangeReq:
+	case *transport.FetchRangeReq:
 		return n.handleFetchRange(r), nil
-	case transport.RemoveReq:
+	case *transport.RemoveReq:
 		return n.handleRemove(ctx, r), nil
-	case transport.PutPtrReq:
+	case *transport.PutPtrReq:
 		n.st.PutPointer(r.Key, r.Target, r.Size, time.Now())
 		n.metrics.ptrInstalls.Inc()
-		return transport.PutPtrResp{}, nil
-	case transport.LoadReq:
-		return transport.LoadResp{
+		return &transport.PutPtrResp{}, nil
+	case *transport.LoadReq:
+		return &transport.LoadResp{
 			Self: n.Self(), RespBytes: n.RespBytes(), StoredBytes: n.StoredBytes(),
 		}, nil
-	case transport.SplitReq:
+	case *transport.SplitReq:
 		return n.handleSplit(ctx), nil
-	case transport.RangeReq:
+	case *transport.RangeReq:
 		return n.handleRange(r), nil
-	case transport.SampleReq:
+	case *transport.SampleReq:
 		return n.handleSample(ctx, r), nil
-	case transport.StatsReq:
+	case *transport.StatsReq:
 		return n.handleStats(), nil
-	case transport.TraceFetchReq:
+	case *transport.TraceFetchReq:
 		return n.handleTraceFetch(r), nil
 	default:
 		return nil, fmt.Errorf("node: unknown request %T", req)
@@ -66,7 +66,7 @@ func (n *Node) handleStats() transport.Message {
 	if err != nil {
 		snap = nil
 	}
-	return transport.StatsResp{
+	return &transport.StatsResp{
 		Self:         n.Self(),
 		Pred:         n.Predecessor(),
 		RespBytes:    n.RespBytes(),
@@ -93,9 +93,9 @@ func (n *Node) owns(k keys.Key) bool {
 
 // handleFindSucc answers one routing step: done if we own the key or our
 // first successor does; otherwise the best next hop.
-func (n *Node) handleFindSucc(r transport.FindSuccReq) transport.Message {
+func (n *Node) handleFindSucc(r *transport.FindSuccReq) transport.Message {
 	if n.owns(r.Key) {
-		return transport.FindSuccResp{Done: true, Node: n.Self(), Pred: n.Predecessor()}
+		return &transport.FindSuccResp{Done: true, Node: n.Self(), Pred: n.Predecessor()}
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -106,7 +106,7 @@ func (n *Node) handleFindSucc(r transport.FindSuccReq) transport.Message {
 		succ = n.pred
 	}
 	if succ.Addr != n.self.Addr && r.Key.Between(n.self.ID, succ.ID) {
-		return transport.FindSuccResp{Done: true, Node: succ, Pred: n.self}
+		return &transport.FindSuccResp{Done: true, Node: succ, Pred: n.self}
 	}
 	// Greedy: the closest preceding node among successors and long links.
 	best := succ
@@ -128,7 +128,7 @@ func (n *Node) handleFindSucc(r transport.FindSuccReq) transport.Message {
 	for _, p := range n.links {
 		consider(p)
 	}
-	return transport.FindSuccResp{Done: false, Node: best}
+	return &transport.FindSuccResp{Done: false, Node: best}
 }
 
 func (n *Node) handleNeighbors() transport.Message {
@@ -136,7 +136,7 @@ func (n *Node) handleNeighbors() transport.Message {
 	defer n.mu.Unlock()
 	succs := make([]transport.PeerInfo, len(n.succs))
 	copy(succs, n.succs)
-	return transport.NeighborsResp{Self: n.self, Pred: n.pred, Succs: succs}
+	return &transport.NeighborsResp{Self: n.self, Pred: n.pred, Succs: succs}
 }
 
 // handleNotify adopts a candidate predecessor if it is closer than the
@@ -155,9 +155,9 @@ func (n *Node) handleNotify(cand transport.PeerInfo) {
 
 // handleSample implements random-walk peer sampling: forward the request
 // with one fewer hop to a random neighbor, or answer with self.
-func (n *Node) handleSample(ctx context.Context, r transport.SampleReq) transport.Message {
+func (n *Node) handleSample(ctx context.Context, r *transport.SampleReq) transport.Message {
 	if r.Hops <= 0 {
-		return transport.SampleResp{Peer: n.Self()}
+		return &transport.SampleResp{Peer: n.Self()}
 	}
 	n.mu.Lock()
 	pool := make([]transport.PeerInfo, 0, len(n.succs)+len(n.links))
@@ -173,16 +173,16 @@ func (n *Node) handleSample(ctx context.Context, r transport.SampleReq) transpor
 	}
 	n.mu.Unlock()
 	if next.IsZero() {
-		return transport.SampleResp{Peer: n.Self()}
+		return &transport.SampleResp{Peer: n.Self()}
 	}
 	// ctx carries the trace position only (no caller cancellation), so the
 	// forwarded hop joins the walk's trace under its own deadline.
 	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
 	defer cancel()
-	resp, err := transport.Expect[transport.SampleResp](
-		n.call(ctx, next.Addr, transport.SampleReq{Hops: r.Hops - 1}))
+	resp, err := transport.Expect[*transport.SampleResp](
+		n.call(ctx, next.Addr, &transport.SampleReq{Hops: r.Hops - 1}))
 	if err != nil {
-		return transport.SampleResp{Peer: n.Self()}
+		return &transport.SampleResp{Peer: n.Self()}
 	}
 	return resp
 }
@@ -212,8 +212,8 @@ func (n *Node) stabilize() {
 		n.mu.Unlock()
 		succ = pred
 	}
-	resp, err := transport.Expect[transport.NeighborsResp](
-		n.call(ctx, succ.Addr, transport.NeighborsReq{}))
+	resp, err := transport.Expect[*transport.NeighborsResp](
+		n.call(ctx, succ.Addr, &transport.NeighborsReq{}))
 	if err != nil {
 		n.dropSuccessor(succ)
 		return
@@ -245,8 +245,8 @@ func (n *Node) stabilize() {
 	head := n.succs[0]
 	n.mu.Unlock()
 
-	_, _ = transport.Expect[transport.NotifyResp](
-		n.call(ctx, head.Addr, transport.NotifyReq{Cand: self}))
+	_, _ = transport.Expect[*transport.NotifyResp](
+		n.call(ctx, head.Addr, &transport.NotifyReq{Cand: self}))
 	n.learnLink(head)
 	n.probeOneLink(ctx)
 }
@@ -284,8 +284,8 @@ func (n *Node) rejoinViaLink(ctx context.Context) {
 	n.metrics.rejoins.Inc()
 	n.events.Log(obs.LevelWarn, "ring.rejoin",
 		"via", string(start), "succ", string(owner.Addr))
-	_, _ = transport.Expect[transport.NotifyResp](
-		n.call(ctx, owner.Addr, transport.NotifyReq{Cand: self}))
+	_, _ = transport.Expect[*transport.NotifyResp](
+		n.call(ctx, owner.Addr, &transport.NotifyReq{Cand: self}))
 }
 
 // probeOneLink pings a random long link, dropping it (and refreshing its
@@ -301,8 +301,8 @@ func (n *Node) probeOneLink(ctx context.Context) {
 	link := n.links[i]
 	n.mu.Unlock()
 
-	resp, err := transport.Expect[transport.PingResp](
-		n.call(ctx, link.Addr, transport.PingReq{}))
+	resp, err := transport.Expect[*transport.PingResp](
+		n.call(ctx, link.Addr, &transport.PingReq{}))
 	if err == nil && resp.Self.ID.Equal(link.ID) {
 		return
 	}
@@ -327,8 +327,8 @@ func (n *Node) verifyPred(ctx context.Context) {
 	if pred.IsZero() || pred.Addr == n.tr.Addr() {
 		return
 	}
-	resp, err := transport.Expect[transport.PingResp](
-		n.call(ctx, pred.Addr, transport.PingReq{}))
+	resp, err := transport.Expect[*transport.PingResp](
+		n.call(ctx, pred.Addr, &transport.PingReq{}))
 	if err != nil || !resp.Self.ID.Equal(pred.ID) {
 		n.mu.Lock()
 		if n.pred.Addr == pred.Addr {
@@ -413,8 +413,8 @@ func (n *Node) learnLink(p transport.PeerInfo) {
 func (n *Node) iterLookup(ctx context.Context, start transport.Addr, k keys.Key) (owner, pred transport.PeerInfo, err error) {
 	cur := start
 	for hops := 0; hops < 128; hops++ {
-		resp, err := transport.Expect[transport.FindSuccResp](
-			n.call(ctx, cur, transport.FindSuccReq{Key: k}))
+		resp, err := transport.Expect[*transport.FindSuccResp](
+			n.call(ctx, cur, &transport.FindSuccReq{Key: k}))
 		if err != nil {
 			return transport.PeerInfo{}, transport.PeerInfo{}, err
 		}

@@ -13,57 +13,60 @@ import (
 
 // handlePut stores a replica; when Replicate is set (the primary's copy),
 // the block is forwarded to the r-1 following successors.
-func (n *Node) handlePut(ctx context.Context, r transport.PutReq) transport.Message {
+func (n *Node) handlePut(ctx context.Context, r *transport.PutReq) transport.Message {
 	ttl := time.Duration(r.TTL) * time.Second
 	if ttl == 0 {
 		ttl = n.cfg.DefaultTTL
 	}
 	n.st.Put(r.Key, r.Data, ttl, time.Now())
 	if r.Replicate {
-		n.forwardToReplicas(ctx, transport.PutReq{Key: r.Key, Data: r.Data, TTL: r.TTL})
+		n.forwardToReplicas(ctx, &transport.PutReq{Key: r.Key, Data: r.Data, TTL: r.TTL})
 	}
-	return transport.PutResp{}
+	return &transport.PutResp{}
 }
 
 // handleGet serves a block, redirecting when only a pointer is held.
-func (n *Node) handleGet(ctx context.Context, r transport.GetReq) transport.Message {
+func (n *Node) handleGet(ctx context.Context, r *transport.GetReq) transport.Message {
 	b, ok := n.st.Get(r.Key)
 	if !ok {
-		return transport.GetResp{Found: false}
+		return &transport.GetResp{Found: false}
 	}
 	if b.IsPointer() {
 		n.metrics.ptrRedirects.Inc()
 		tracing.FromContext(ctx).Annotate("redirect", b.Pointer)
-		return transport.GetResp{Found: true, Redirect: b.Pointer}
+		return &transport.GetResp{Found: true, Redirect: b.Pointer}
 	}
-	return transport.GetResp{Found: true, Data: b.Data}
+	return &transport.GetResp{Found: true, Data: b.Data}
 }
 
 // handleMultiGet serves a batch of blocks in one RPC, one item per
 // requested key in request order. Pointer entries report a redirect
 // instead of data, exactly as handleGet does.
-func (n *Node) handleMultiGet(ctx context.Context, r transport.MultiGetReq) transport.Message {
+func (n *Node) handleMultiGet(ctx context.Context, r *transport.MultiGetReq) transport.Message {
 	blocks := n.st.GetBatch(r.Keys)
-	items := make([]transport.BatchItem, len(r.Keys))
+	// Pooled response: over TCP the transport recycles it (and its Items
+	// capacity) once the frame is written, so bulk reads stop allocating
+	// response scaffolding per RPC.
+	resp := transport.AcquireMultiGetResp()
 	redirects := 0
 	for i, b := range blocks {
-		items[i].Key = r.Keys[i]
-		if b == nil {
-			continue
+		item := transport.BatchItem{Key: r.Keys[i]}
+		if b != nil {
+			item.Found = true
+			if b.IsPointer() {
+				n.metrics.ptrRedirects.Inc()
+				redirects++
+				item.Redirect = b.Pointer
+			} else {
+				item.Data = b.Data
+			}
 		}
-		items[i].Found = true
-		if b.IsPointer() {
-			n.metrics.ptrRedirects.Inc()
-			redirects++
-			items[i].Redirect = b.Pointer
-		} else {
-			items[i].Data = b.Data
-		}
+		resp.Items = append(resp.Items, item)
 	}
 	if redirects > 0 {
 		tracing.FromContext(ctx).Annotate("redirects", redirects)
 	}
-	return transport.MultiGetResp{Items: items}
+	return resp
 }
 
 // fetchRangeMaxItems caps one FetchRange response; larger scans paginate
@@ -73,13 +76,15 @@ const fetchRangeMaxItems = 4096
 // handleFetchRange ships every block held in the arc (Lo, Hi] with its
 // data — the read-path counterpart of handleRange. Pointer entries become
 // redirects so the caller can chase the data.
-func (n *Node) handleFetchRange(r transport.FetchRangeReq) transport.Message {
+func (n *Node) handleFetchRange(r *transport.FetchRangeReq) transport.Message {
 	limit := r.Limit
 	if limit <= 0 || limit > fetchRangeMaxItems {
 		limit = fetchRangeMaxItems
 	}
 	items, more := n.st.ArcLimit(r.Lo, r.Hi, limit)
-	out := make([]transport.BatchItem, 0, len(items))
+	// Pooled response; see handleMultiGet.
+	resp := transport.AcquireFetchRangeResp()
+	resp.More = more
 	for _, it := range items {
 		bi := transport.BatchItem{Key: it.Key, Found: true}
 		if it.Block.IsPointer() {
@@ -87,23 +92,23 @@ func (n *Node) handleFetchRange(r transport.FetchRangeReq) transport.Message {
 		} else {
 			bi.Data = it.Block.Data
 		}
-		out = append(out, bi)
+		resp.Items = append(resp.Items, bi)
 	}
-	return transport.FetchRangeResp{Items: out, More: more}
+	return resp
 }
 
 // handleRemove deletes a block after the removal delay (§3), forwarding to
 // the replica group when asked.
-func (n *Node) handleRemove(ctx context.Context, r transport.RemoveReq) transport.Message {
+func (n *Node) handleRemove(ctx context.Context, r *transport.RemoveReq) transport.Message {
 	delay := time.Duration(r.DelaySec) * time.Second
 	if delay == 0 {
 		delay = n.cfg.RemoveDelay
 	}
 	n.scheduleRemoval(r.Key, delay)
 	if r.Replicate {
-		n.forwardToReplicas(ctx, transport.RemoveReq{Key: r.Key, DelaySec: r.DelaySec})
+		n.forwardToReplicas(ctx, &transport.RemoveReq{Key: r.Key, DelaySec: r.DelaySec})
 	}
-	return transport.RemoveResp{}
+	return &transport.RemoveResp{}
 }
 
 // scheduleRemoval arms (or re-arms) the delayed delete for a key.
@@ -171,11 +176,11 @@ func (n *Node) handleSplit(ctx context.Context) transport.Message {
 		!pred.ID.Equal(n.lastSplit)
 	n.mu.Unlock()
 	if pred.IsZero() || settling {
-		return transport.SplitResp{}
+		return &transport.SplitResp{}
 	}
 	m, ok := n.st.MedianKey(pred.ID, self.ID)
 	if !ok || m.Equal(self.ID) {
-		return transport.SplitResp{}
+		return &transport.SplitResp{}
 	}
 	n.mu.Lock()
 	n.lastSplit = m
@@ -183,13 +188,13 @@ func (n *Node) handleSplit(ctx context.Context) transport.Message {
 	n.mu.Unlock()
 	n.metrics.splitHandouts.Inc()
 	n.events.LogCtx(ctx, obs.LevelInfo, "balance.split_handout", "median", m.Short())
-	return transport.SplitResp{Ok: true, Median: m}
+	return &transport.SplitResp{Ok: true, Median: m}
 }
 
 // handleRange lists (or ships) the blocks in an arc.
-func (n *Node) handleRange(r transport.RangeReq) transport.Message {
+func (n *Node) handleRange(r *transport.RangeReq) transport.Message {
 	items := n.st.Arc(r.Lo, r.Hi)
-	resp := transport.RangeResp{}
+	resp := &transport.RangeResp{}
 	for _, it := range items {
 		if it.Block.IsPointer() && !r.WithPointers {
 			continue
@@ -251,8 +256,8 @@ func (n *Node) pushMissing(ctx context.Context, target transport.PeerInfo, lo, h
 	if target.Addr == n.tr.Addr() {
 		return
 	}
-	resp, err := transport.Expect[transport.RangeResp](
-		n.call(ctx, target.Addr, transport.RangeReq{Lo: lo, Hi: hi}))
+	resp, err := transport.Expect[*transport.RangeResp](
+		n.call(ctx, target.Addr, &transport.RangeReq{Lo: lo, Hi: hi}))
 	if err != nil {
 		return
 	}
@@ -264,7 +269,7 @@ func (n *Node) pushMissing(ctx context.Context, target transport.PeerInfo, lo, h
 		if it.Block.IsPointer() || have[it.Key] || n.doomed(it.Key) {
 			continue
 		}
-		if _, err := transport.Expect[transport.PutResp](n.call(ctx, target.Addr, transport.PutReq{
+		if _, err := transport.Expect[*transport.PutResp](n.call(ctx, target.Addr, &transport.PutReq{
 			Key: it.Key, Data: it.Block.Data,
 		})); err == nil {
 			n.metrics.repairPushes.Inc()
@@ -283,8 +288,8 @@ func (n *Node) replicaRangeStart(ctx context.Context) (keys.Key, bool) {
 		return keys.Key{}, false
 	}
 	for i := 1; i < n.cfg.Replicas-1; i++ {
-		resp, err := transport.Expect[transport.NeighborsResp](
-			n.call(ctx, cur.Addr, transport.NeighborsReq{}))
+		resp, err := transport.Expect[*transport.NeighborsResp](
+			n.call(ctx, cur.Addr, &transport.NeighborsReq{}))
 		if err != nil || resp.Pred.IsZero() || resp.Pred.Addr == n.tr.Addr() {
 			return cur.ID, true
 		}
@@ -305,7 +310,7 @@ func (n *Node) handOffOutside(ctx context.Context, lo, hi keys.Key) {
 		if err != nil || owner.Addr == n.tr.Addr() {
 			continue
 		}
-		if _, err := transport.Expect[transport.PutResp](n.call(ctx, owner.Addr, transport.PutReq{
+		if _, err := transport.Expect[*transport.PutResp](n.call(ctx, owner.Addr, &transport.PutReq{
 			Key: it.Key, Data: it.Block.Data, Replicate: true,
 		})); err == nil {
 			n.st.Delete(it.Key)
@@ -325,15 +330,15 @@ func (n *Node) stabilizePointers() {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	for _, it := range stale {
-		resp, err := transport.Expect[transport.GetResp](
-			n.call(ctx, it.Block.Pointer, transport.GetReq{Key: it.Key}))
+		resp, err := transport.Expect[*transport.GetResp](
+			n.call(ctx, it.Block.Pointer, &transport.GetReq{Key: it.Key}))
 		if err != nil || !resp.Found {
 			continue
 		}
 		if resp.Redirect != "" {
 			// Pointer chain: follow one level.
-			resp, err = transport.Expect[transport.GetResp](
-				n.call(ctx, resp.Redirect, transport.GetReq{Key: it.Key}))
+			resp, err = transport.Expect[*transport.GetResp](
+				n.call(ctx, resp.Redirect, &transport.GetReq{Key: it.Key}))
 			if err != nil || !resp.Found || resp.Redirect != "" {
 				continue
 			}

@@ -53,10 +53,10 @@ const traceFetchMaxSpans = 4096
 // scrape RPC behind cross-node span assembly. A zero trace ID returns the
 // node's recent root spans instead (trace discovery for /tracez-style
 // listings over RPC).
-func (n *Node) handleTraceFetch(r transport.TraceFetchReq) transport.Message {
+func (n *Node) handleTraceFetch(r *transport.TraceFetchReq) transport.Message {
 	sink := n.tracer.Sink()
 	if sink == nil {
-		return transport.TraceFetchResp{}
+		return &transport.TraceFetchResp{}
 	}
 	limit := r.Limit
 	if limit <= 0 || limit > traceFetchMaxSpans {
@@ -71,5 +71,5 @@ func (n *Node) handleTraceFetch(r transport.TraceFetchReq) transport.Message {
 	if len(spans) > limit {
 		spans = spans[:limit]
 	}
-	return transport.TraceFetchResp{Spans: spans}
+	return &transport.TraceFetchResp{Spans: spans}
 }

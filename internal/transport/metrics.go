@@ -43,41 +43,64 @@ var kindNames = [numKinds]string{
 // kindOf classifies a request message.
 func kindOf(m Message) rpcKind {
 	switch m.(type) {
-	case PingReq:
+	case *PingReq:
 		return kindPing
-	case FindSuccReq:
+	case *FindSuccReq:
 		return kindFindSucc
-	case NeighborsReq:
+	case *NeighborsReq:
 		return kindNeighbors
-	case NotifyReq:
+	case *NotifyReq:
 		return kindNotify
-	case PutReq:
+	case *PutReq:
 		return kindPut
-	case GetReq:
+	case *GetReq:
 		return kindGet
-	case MultiGetReq:
+	case *MultiGetReq:
 		return kindMultiGet
-	case FetchRangeReq:
+	case *FetchRangeReq:
 		return kindFetchRange
-	case RemoveReq:
+	case *RemoveReq:
 		return kindRemove
-	case LoadReq:
+	case *LoadReq:
 		return kindLoad
-	case SplitReq:
+	case *SplitReq:
 		return kindSplit
-	case RangeReq:
+	case *RangeReq:
 		return kindRange
-	case PutPtrReq:
+	case *PutPtrReq:
 		return kindPutPtr
-	case SampleReq:
+	case *SampleReq:
 		return kindSample
-	case StatsReq:
+	case *StatsReq:
 		return kindStats
-	case TraceFetchReq:
+	case *TraceFetchReq:
 		return kindTraceFetch
 	default:
 		return kindOther
 	}
+}
+
+// wireKinds maps a wire type byte to its rpcKind (responses count under
+// their request's kind), for metric attribution without a type switch on
+// the decode path.
+var wireKinds = [numWireTypes]rpcKind{
+	tPingReq: kindPing, tPingResp: kindPing,
+	tFindSuccReq: kindFindSucc, tFindSuccResp: kindFindSucc,
+	tNeighborsReq: kindNeighbors, tNeighborsResp: kindNeighbors,
+	tNotifyReq: kindNotify, tNotifyResp: kindNotify,
+	tPutReq: kindPut, tPutResp: kindPut,
+	tGetReq: kindGet, tGetResp: kindGet,
+	tRemoveReq: kindRemove, tRemoveResp: kindRemove,
+	tLoadReq: kindLoad, tLoadResp: kindLoad,
+	tSplitReq: kindSplit, tSplitResp: kindSplit,
+	tRangeReq: kindRange, tRangeResp: kindRange,
+	tMultiGetReq: kindMultiGet, tMultiGetResp: kindMultiGet,
+	tFetchRangeReq: kindFetchRange, tFetchRangeResp: kindFetchRange,
+	tPutPtrReq: kindPutPtr, tPutPtrResp: kindPutPtr,
+	tSampleReq: kindSample, tSampleResp: kindSample,
+	tStatsReq: kindStats, tStatsResp: kindStats,
+	tTraceFetchReq: kindTraceFetch, tTraceFetchResp: kindTraceFetch,
+	tErrResp: kindOther,
 }
 
 // payloadBytes returns the block-data bytes a message carries — the
@@ -85,29 +108,29 @@ func kindOf(m Message) rpcKind {
 // transports (the TCP transport additionally counts real wire bytes).
 func payloadBytes(m Message) int64 {
 	switch v := m.(type) {
-	case PutReq:
+	case *PutReq:
 		return int64(len(v.Data))
-	case GetResp:
+	case *GetResp:
 		return int64(len(v.Data))
-	case MultiGetResp:
+	case *MultiGetResp:
 		var n int64
 		for i := range v.Items {
 			n += int64(len(v.Items[i].Data))
 		}
 		return n
-	case FetchRangeResp:
+	case *FetchRangeResp:
 		var n int64
 		for i := range v.Items {
 			n += int64(len(v.Items[i].Data))
 		}
 		return n
-	case RangeResp:
+	case *RangeResp:
 		var n int64
 		for i := range v.Items {
 			n += int64(len(v.Items[i].Data))
 		}
 		return n
-	case StatsResp:
+	case *StatsResp:
 		return int64(len(v.SnapshotJSON))
 	default:
 		return 0
@@ -137,6 +160,10 @@ type RPCMetrics struct {
 	timeouts *obs.Counter
 	wireIn   *obs.Counter
 	wireOut  *obs.Counter
+
+	poolConns *obs.Gauge   // live pooled connections across peers
+	evictions *obs.Counter // idle connections closed by the janitor
+	failfast  *obs.Counter // calls refused during a peer's backoff window
 }
 
 // NewRPCMetrics registers the transport metrics on reg.
@@ -151,6 +178,9 @@ func NewRPCMetrics(reg *obs.Registry) *RPCMetrics {
 		timeouts:  reg.Counter("d2_rpc_timeouts_total"),
 		wireIn:    reg.Counter(`d2_tcp_wire_bytes_total{dir="read"}`),
 		wireOut:   reg.Counter(`d2_tcp_wire_bytes_total{dir="written"}`),
+		poolConns: reg.Gauge("d2_tcp_pool_conns"),
+		evictions: reg.Counter("d2_tcp_pool_evictions_total"),
+		failfast:  reg.Counter("d2_tcp_pool_failfast_total"),
 	}
 	for k := rpcKind(0); k < numKinds; k++ {
 		label := `{rpc="` + kindNames[k] + `"}`
@@ -227,7 +257,8 @@ func (m *RPCMetrics) retried() {
 	}
 }
 
-// wireRead / wireWritten count raw TCP bytes.
+// wireRead / wireWritten count raw TCP bytes. The framing layer reports
+// whole frames (a conn wrapper would defeat writev vectoring).
 func (m *RPCMetrics) wireRead(n int) {
 	if m != nil && n > 0 {
 		m.wireIn.Add(uint64(n))
@@ -237,5 +268,32 @@ func (m *RPCMetrics) wireRead(n int) {
 func (m *RPCMetrics) wireWritten(n int) {
 	if m != nil && n > 0 {
 		m.wireOut.Add(uint64(n))
+	}
+}
+
+// connAdded / connRemoved track the pooled-connection gauge.
+func (m *RPCMetrics) connAdded() {
+	if m != nil {
+		m.poolConns.Add(1)
+	}
+}
+
+func (m *RPCMetrics) connRemoved() {
+	if m != nil {
+		m.poolConns.Add(-1)
+	}
+}
+
+// evicted counts one idle connection closed by the pool janitor.
+func (m *RPCMetrics) evicted() {
+	if m != nil {
+		m.evictions.Inc()
+	}
+}
+
+// failedFast counts one call refused during a peer's dial-backoff window.
+func (m *RPCMetrics) failedFast() {
+	if m != nil {
+		m.failfast.Inc()
 	}
 }

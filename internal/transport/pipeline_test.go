@@ -37,7 +37,7 @@ func TestTCPPipelinesOnOneConnection(t *testing.T) {
 		}
 		arrived <- struct{}{}
 		<-release // hold every request open until all have arrived
-		return PutResp{}, nil
+		return &PutResp{}, nil
 	})
 
 	cli, err := ListenTCP("127.0.0.1:0")
@@ -45,6 +45,9 @@ func TestTCPPipelinesOnOneConnection(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cli.Close()
+	// Pin the peer pool to one stream so every call shares a single
+	// connection — the point under test is pipelining, not pooling.
+	cli.SetPoolConfig(1, 0, 0, 0)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -54,7 +57,7 @@ func TestTCPPipelinesOnOneConnection(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := Expect[PutResp](cli.Call(ctx, srv.Addr(), PutReq{})); err != nil {
+			if _, err := Expect[*PutResp](cli.Call(ctx, srv.Addr(), &PutReq{})); err != nil {
 				errs <- err
 			}
 		}()
@@ -97,8 +100,8 @@ func TestTCPConcurrentMixedSizes(t *testing.T) {
 	}
 	defer srv.Close()
 	srv.Serve(func(_ context.Context, from Addr, req Message) (Message, error) {
-		p := req.(PutReq)
-		return GetResp{Found: true, Data: p.Data}, nil
+		p := req.(*PutReq)
+		return &GetResp{Found: true, Data: p.Data}, nil
 	})
 
 	cli, err := ListenTCP("127.0.0.1:0")
@@ -119,7 +122,7 @@ func TestTCPConcurrentMixedSizes(t *testing.T) {
 			for i := 0; i < 8; i++ {
 				size := sizes[(g+i)%len(sizes)]
 				data := bytes.Repeat([]byte{byte(g*16 + i)}, size)
-				resp, err := Expect[GetResp](cli.Call(ctx, srv.Addr(), PutReq{Data: data}))
+				resp, err := Expect[*GetResp](cli.Call(ctx, srv.Addr(), &PutReq{Data: data}))
 				if err != nil {
 					errs <- err
 					return
@@ -148,10 +151,10 @@ func TestTCPCancelLeavesConnectionUsable(t *testing.T) {
 	defer srv.Close()
 	block := make(chan struct{})
 	srv.Serve(func(_ context.Context, from Addr, req Message) (Message, error) {
-		if r, ok := req.(PutReq); ok && r.TTL == 1 {
+		if r, ok := req.(*PutReq); ok && r.TTL == 1 {
 			<-block
 		}
-		return PutResp{}, nil
+		return &PutResp{}, nil
 	})
 
 	cli, err := ListenTCP("127.0.0.1:0")
@@ -162,14 +165,14 @@ func TestTCPCancelLeavesConnectionUsable(t *testing.T) {
 
 	slowCtx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
-	if _, err := cli.Call(slowCtx, srv.Addr(), PutReq{TTL: 1}); !errors.Is(err, context.DeadlineExceeded) {
+	if _, err := cli.Call(slowCtx, srv.Addr(), &PutReq{TTL: 1}); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("slow call: got %v, want deadline exceeded", err)
 	}
 	close(block)
 
 	ctx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()
-	if _, err := Expect[PutResp](cli.Call(ctx, srv.Addr(), PutReq{})); err != nil {
+	if _, err := Expect[*PutResp](cli.Call(ctx, srv.Addr(), &PutReq{})); err != nil {
 		t.Fatalf("call after cancelled call: %v", err)
 	}
 }
@@ -183,12 +186,12 @@ func TestMemCallHonorsContext(t *testing.T) {
 	var handled atomic.Int64
 	b.Serve(func(_ context.Context, from Addr, req Message) (Message, error) {
 		handled.Add(1)
-		return PingResp{}, nil
+		return &PingResp{}, nil
 	})
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := a.Call(ctx, b.Addr(), PingReq{}); !errors.Is(err, context.Canceled) {
+	if _, err := a.Call(ctx, b.Addr(), &PingReq{}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("pre-cancelled call: got %v, want context.Canceled", err)
 	}
 	if n := handled.Load(); n != 0 {
@@ -197,11 +200,11 @@ func TestMemCallHonorsContext(t *testing.T) {
 
 	slow := NewMemNetwork(time.Hour)
 	c, d := slow.NewEndpoint(), slow.NewEndpoint()
-	d.Serve(func(_ context.Context, from Addr, req Message) (Message, error) { return PingResp{}, nil })
+	d.Serve(func(_ context.Context, from Addr, req Message) (Message, error) { return &PingResp{}, nil })
 	ctx2, cancel2 := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel2()
 	start := time.Now()
-	if _, err := c.Call(ctx2, d.Addr(), PingReq{}); !errors.Is(err, context.DeadlineExceeded) {
+	if _, err := c.Call(ctx2, d.Addr(), &PingReq{}); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("latency call: got %v, want deadline exceeded", err)
 	}
 	if el := time.Since(start); el > 5*time.Second {

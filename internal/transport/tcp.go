@@ -3,58 +3,65 @@ package transport
 import (
 	"bufio"
 	"context"
-	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
 
 	"github.com/defragdht/d2/internal/obs/tracing"
+	"github.com/defragdht/d2/internal/wire"
 )
 
-// envelope is the on-wire unit: a tagged request or response. Tags let
-// many requests share one connection — responses may arrive out of order
-// and are matched back to their callers by tag. Trace and Span carry the
-// caller's trace position for sampled requests (zero otherwise), so spans
-// recorded by the remote handler join the caller's trace; responses leave
-// them zero.
-type envelope struct {
-	Tag   uint64
-	From  Addr
-	Trace uint64
-	Span  uint64
-	Msg   Message
-}
-
-// TCPTransport is a Transport over TCP with pipelined gob streams. All
-// requests to one destination multiplex over a single connection: each
-// call writes a tagged envelope and waits for the response carrying its
-// tag, so batch fan-out never serializes behind earlier in-flight calls
-// (the paper's D2-Store prototype used one request per connection, §7;
-// this is the production version of that path). Encoder and decoder
-// state persist for the life of a connection, which also amortizes gob's
-// type dictionary across calls instead of resending it per frame.
+// TCPTransport is a Transport over TCP speaking the hand-rolled binary
+// frame protocol in codec.go. Requests to one destination spread over a
+// small pool of pipelined connections (pool.go): each call writes a
+// tagged frame on the least-loaded stream and waits for the response
+// carrying its tag, so batch fan-out neither serializes behind earlier
+// in-flight calls nor behind one socket's bandwidth. The serve path is
+// allocation-free at steady state: pooled frame buffers, pooled request
+// structs, reused worker goroutines, and vectored (writev) responses
+// whose block payloads leave the process without a coalescing copy. (The
+// paper's D2-Store prototype used one request per connection, §7; this is
+// the production version of that path.)
 type TCPTransport struct {
 	addr Addr
 	ln   net.Listener
 
 	mu      sync.Mutex
 	handler Handler
-	conns   map[Addr]*clientConn
+	pools   map[Addr]*peerPool
 	serving map[net.Conn]struct{}
 	closed  bool
 	wg      sync.WaitGroup
+	stop    chan struct{}
 
-	// DialTimeout bounds connection establishment.
+	// DialTimeout bounds connection establishment. Set before traffic.
 	DialTimeout time.Duration
+
+	// pool knobs, guarded by mu (SetPoolConfig).
+	poolSize    int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	idleTimeout time.Duration
+
+	crc bool
 
 	metrics *RPCMetrics
 	tracer  *tracing.Tracer
 }
 
+// Pool and framing defaults.
+const (
+	defaultPoolSize    = 4
+	defaultBackoffBase = 50 * time.Millisecond
+	defaultBackoffMax  = 3 * time.Second
+	defaultIdleTimeout = 2 * time.Minute
+)
+
 // UseTracer attaches a request tracer to the endpoint: outbound calls
 // belonging to a sampled trace record an rpc.<kind> send span, and the
-// trace position rides the envelope either way.
+// trace position rides the frame header either way.
 func (t *TCPTransport) UseTracer(tr *tracing.Tracer) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -69,7 +76,7 @@ func (t *TCPTransport) endpointTracer() *tracing.Tracer {
 }
 
 // UseMetrics attaches RPC metrics to the endpoint. Call before traffic
-// starts; connections opened earlier do not count wire bytes.
+// starts; connections opened earlier are not counted.
 func (t *TCPTransport) UseMetrics(m *RPCMetrics) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -83,30 +90,45 @@ func (t *TCPTransport) rpcMetrics() *RPCMetrics {
 	return t.metrics
 }
 
-// countingConn wraps a net.Conn, reporting raw wire bytes to RPCMetrics.
-type countingConn struct {
-	net.Conn
-	m *RPCMetrics
+// UseCRC toggles CRC-32C trailers on outbound frames. Inbound frames are
+// verified whenever they carry the flag, so mixed clusters interoperate.
+func (t *TCPTransport) UseCRC(on bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.crc = on
 }
 
-func (c *countingConn) Read(p []byte) (int, error) {
-	n, err := c.Conn.Read(p)
-	c.m.wireRead(n)
-	return n, err
+func (t *TCPTransport) useCRC() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.crc
 }
 
-func (c *countingConn) Write(p []byte) (int, error) {
-	n, err := c.Conn.Write(p)
-	c.m.wireWritten(n)
-	return n, err
-}
-
-// countConn wraps conn with byte counting when metrics are on.
-func (m *RPCMetrics) countConn(conn net.Conn) net.Conn {
-	if m == nil {
-		return conn
+// SetPoolConfig tunes the per-peer connection pools: size is the stream
+// count per peer, base/max bound the reconnect backoff, idle is the
+// eviction age for unused connections. Zero keeps a knob's default.
+func (t *TCPTransport) SetPoolConfig(size int, base, max, idle time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if size > 0 {
+		t.poolSize = size
 	}
-	return &countingConn{Conn: conn, m: m}
+	if base > 0 {
+		t.backoffBase = base
+	}
+	if max > 0 {
+		t.backoffMax = max
+	}
+	if idle > 0 {
+		t.idleTimeout = idle
+	}
+}
+
+// poolConfig reads the pool knobs consistently.
+func (t *TCPTransport) poolConfig() (size int, base, max, idle time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.poolSize, t.backoffBase, t.backoffMax, t.idleTimeout
 }
 
 var _ Transport = (*TCPTransport)(nil)
@@ -114,7 +136,6 @@ var _ Transport = (*TCPTransport)(nil)
 // ListenTCP starts a TCP endpoint on the given address ("127.0.0.1:0"
 // picks a free port).
 func ListenTCP(bind string) (*TCPTransport, error) {
-	registerMessages()
 	ln, err := net.Listen("tcp", bind)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", bind, err)
@@ -122,12 +143,18 @@ func ListenTCP(bind string) (*TCPTransport, error) {
 	t := &TCPTransport{
 		addr:        Addr(ln.Addr().String()),
 		ln:          ln,
-		conns:       make(map[Addr]*clientConn),
+		pools:       make(map[Addr]*peerPool),
 		serving:     make(map[net.Conn]struct{}),
+		stop:        make(chan struct{}),
 		DialTimeout: 5 * time.Second,
+		poolSize:    defaultPoolSize,
+		backoffBase: defaultBackoffBase,
+		backoffMax:  defaultBackoffMax,
+		idleTimeout: defaultIdleTimeout,
 	}
-	t.wg.Add(1)
+	t.wg.Add(2)
 	go t.acceptLoop()
+	go t.janitor()
 	return t, nil
 }
 
@@ -167,84 +194,174 @@ func (t *TCPTransport) acceptLoop() {
 	}
 }
 
+// serveReq is one decoded inbound request handed to a serve worker.
+// Pooled: the read loop fills one per frame, the worker returns it.
+type serveReq struct {
+	tag   uint64
+	trace uint64
+	span  uint64
+	from  Addr
+	msg   Message
+}
+
+var serveReqPool = sync.Pool{New: func() any { return new(serveReq) }}
+
+// serveState is the per-inbound-connection state shared by the read loop
+// and its workers.
+type serveState struct {
+	t    *TCPTransport
+	conn net.Conn
+	wmu  sync.Mutex // serializes response writes
+	m    *RPCMetrics
+
+	// lastFrom caches the previous frame's sender so repeat senders on a
+	// pipelined stream cost no string allocation.
+	lastFrom Addr
+}
+
 // serveConn answers requests on one inbound connection until it closes.
-// Each request is handled in its own goroutine so a slow handler does not
-// stall the requests pipelined behind it; response writes are serialized.
+// Workers are reused across requests: the read loop hands each request to
+// an idle worker over an unbuffered channel and spawns a new one only
+// when all are busy, so a steady stream of pipelined requests runs on a
+// fixed goroutine set with no per-request spawn.
 func (t *TCPTransport) serveConn(conn net.Conn) {
 	defer conn.Close()
-	m := t.rpcMetrics()
-	counted := m.countConn(conn)
-	dec := gob.NewDecoder(bufio.NewReader(counted))
-	bw := bufio.NewWriter(counted)
-	enc := gob.NewEncoder(bw)
-	var wmu sync.Mutex
+	st := &serveState{t: t, conn: conn, m: t.rpcMetrics()}
+	work := make(chan *serveReq)
+	done := make(chan struct{})
 	var hwg sync.WaitGroup
 	defer hwg.Wait()
+	defer close(done)
+
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var lenb [4]byte
 	for {
-		var env envelope
-		if err := dec.Decode(&env); err != nil {
+		if _, err := io.ReadFull(br, lenb[:]); err != nil {
 			return
 		}
-		t.mu.Lock()
-		h := t.handler
-		t.mu.Unlock()
-		hwg.Add(1)
-		go func(env envelope) {
-			defer hwg.Done()
-			m.serveStart(env.Msg)
-			defer m.serveEnd()
-			var resp Message
-			if h == nil {
-				resp = ToErrResp(fmt.Errorf("node not serving"))
-			} else {
-				hctx := tracing.WithRemote(context.Background(), env.Trace, env.Span)
-				r, herr := h(hctx, env.From, env.Msg)
-				switch {
-				case herr != nil:
-					resp = ToErrResp(herr)
-				case r == nil:
-					resp = ToErrResp(fmt.Errorf("nil response"))
-				default:
-					resp = r
+		n := int(wire.U32(lenb[:], 0))
+		if n < frameHeaderLen-4 || n > maxFrame {
+			return // corrupt stream; no way to resync
+		}
+		f := getFrame(n)
+		if _, err := io.ReadFull(br, f.b); err != nil {
+			return
+		}
+		st.m.wireRead(n + 4)
+		h, err := parseFrame(f.b)
+		if err != nil {
+			return
+		}
+		msg, err := decodeMessage(h.typ, h.body)
+		if err != nil {
+			return
+		}
+		sr := serveReqPool.Get().(*serveReq)
+		sr.tag, sr.trace, sr.span, sr.msg = h.tag, h.trace, h.span, msg
+		// Alloc-free when the sender repeats (the common case: one client
+		// per conn).
+		if string(h.from) != string(st.lastFrom) {
+			st.lastFrom = Addr(h.from)
+		}
+		sr.from = st.lastFrom
+		if !borrows[h.typ] {
+			putFrame(f) // decode copied everything out
+		}
+		select {
+		case work <- sr: // an idle worker picks it up
+		default:
+			hwg.Add(1)
+			go func(sr *serveReq) {
+				defer hwg.Done()
+				for {
+					st.serveOne(sr)
+					select {
+					case sr = <-work:
+					case <-done:
+						return
+					}
 				}
-			}
-			wmu.Lock()
-			if enc.Encode(&envelope{Tag: env.Tag, From: t.addr, Msg: resp}) == nil {
-				_ = bw.Flush()
-			}
-			wmu.Unlock()
-		}(env)
+			}(sr)
+		}
 	}
 }
 
-// clientConn is one multiplexed outbound connection: a write-serialized
-// gob stream out, a reader goroutine matching tagged responses to waiting
-// callers.
+// serveOne runs the handler for one request and writes its response.
+func (st *serveState) serveOne(sr *serveReq) {
+	st.m.serveStart(sr.msg)
+	st.t.mu.Lock()
+	h := st.t.handler
+	st.t.mu.Unlock()
+	var resp Message
+	if h == nil {
+		resp = ToErrResp(fmt.Errorf("node not serving"))
+	} else {
+		// WithRemote returns ctx unchanged for untraced requests, so the
+		// common path allocates no context.
+		hctx := tracing.WithRemote(context.Background(), sr.trace, sr.span)
+		r, herr := h(hctx, sr.from, sr.msg)
+		switch {
+		case herr != nil:
+			resp = ToErrResp(herr)
+		case r == nil:
+			resp = ToErrResp(fmt.Errorf("nil response"))
+		default:
+			resp = r
+		}
+	}
+	st.m.serveEnd()
+
+	enc := getEncoder()
+	if err := enc.encode(sr.tag, 0, 0, st.t.addr, resp, st.t.useCRC()); err == nil {
+		st.wmu.Lock()
+		_, werr := enc.buffers().WriteTo(st.conn)
+		st.wmu.Unlock()
+		if werr != nil {
+			// A half-written frame corrupts the stream for every pipelined
+			// peer request; kill the connection.
+			st.conn.Close()
+		} else {
+			st.m.wireWritten(enc.size())
+		}
+	}
+	putEncoder(enc)
+	// The wire no longer borrows anything: recycle the request struct
+	// (unless the handler echoed it back) and any Acquire-built response.
+	if resp != sr.msg {
+		recycleMessage(sr.msg)
+	}
+	recycleResponse(resp)
+	sr.msg = nil
+	serveReqPool.Put(sr)
+}
+
+// clientConn is one pipelined outbound connection: a write-serialized
+// binary frame stream out, a reader goroutine matching tagged responses
+// to waiting callers. Its load (in-flight calls) steers the pool's
+// least-loaded dispatch.
 type clientConn struct {
 	conn net.Conn
+	m    *RPCMetrics
 
-	wmu sync.Mutex // serializes envelope writes
-	bw  *bufio.Writer
-	enc *gob.Encoder
-	dec *gob.Decoder
+	wmu sync.Mutex // serializes frame writes
 
 	mu      sync.Mutex
-	pending map[uint64]chan envelope
+	pending map[uint64]chan Message
 	nextTag uint64
 	err     error
 	done    chan struct{}
+
+	inflight int64 // guarded by mu; pool reads via load()
+	lastUsed time.Time
 }
 
 func newClientConn(conn net.Conn, m *RPCMetrics) *clientConn {
-	counted := m.countConn(conn)
-	bw := bufio.NewWriter(counted)
 	return &clientConn{
-		conn:    conn,
-		bw:      bw,
-		enc:     gob.NewEncoder(bw),
-		dec:     gob.NewDecoder(bufio.NewReader(counted)),
-		pending: make(map[uint64]chan envelope),
-		done:    make(chan struct{}),
+		conn:     conn,
+		m:        m,
+		pending:  make(map[uint64]chan Message),
+		done:     make(chan struct{}),
+		lastUsed: time.Now(),
 	}
 }
 
@@ -266,6 +383,23 @@ func (cc *clientConn) lastErr() error {
 	return cc.err
 }
 
+// load returns the in-flight call count (least-loaded dispatch).
+func (cc *clientConn) load() int64 {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.inflight
+}
+
+// idleSince reports how long the conn has been idle (zero while loaded).
+func (cc *clientConn) idleSince(now time.Time) time.Duration {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.inflight > 0 {
+		return 0
+	}
+	return now.Sub(cc.lastUsed)
+}
+
 // forget drops a pending tag after a caller stops waiting (cancellation);
 // a late response with that tag is discarded by the read loop.
 func (cc *clientConn) forget(tag uint64) {
@@ -276,25 +410,50 @@ func (cc *clientConn) forget(tag uint64) {
 
 // readLoop dispatches responses to waiting callers until the stream dies.
 func (cc *clientConn) readLoop() {
+	br := bufio.NewReaderSize(cc.conn, 64<<10)
+	var lenb [4]byte
 	for {
-		var env envelope
-		if err := cc.dec.Decode(&env); err != nil {
+		if _, err := io.ReadFull(br, lenb[:]); err != nil {
 			cc.fail(err)
 			return
 		}
+		n := int(wire.U32(lenb[:], 0))
+		if n < frameHeaderLen-4 || n > maxFrame {
+			cc.fail(fmt.Errorf("transport: bad frame length %d", n))
+			return
+		}
+		f := getFrame(n)
+		if _, err := io.ReadFull(br, f.b); err != nil {
+			cc.fail(err)
+			return
+		}
+		cc.m.wireRead(n + 4)
+		h, err := parseFrame(f.b)
+		if err != nil {
+			cc.fail(err)
+			return
+		}
+		msg, err := decodeMessage(h.typ, h.body)
+		if err != nil {
+			cc.fail(err)
+			return
+		}
+		if !borrows[h.typ] {
+			putFrame(f)
+		}
 		cc.mu.Lock()
-		ch := cc.pending[env.Tag]
-		delete(cc.pending, env.Tag)
+		ch := cc.pending[h.tag]
+		delete(cc.pending, h.tag)
 		cc.mu.Unlock()
 		if ch != nil {
-			ch <- env // buffered: never blocks the loop
+			ch <- msg // buffered: never blocks the loop
 		}
 	}
 }
 
 // call sends one tagged request and waits for its response or ctx.
-func (cc *clientConn) call(ctx context.Context, from Addr, req Message) (Message, error) {
-	ch := make(chan envelope, 1)
+func (cc *clientConn) call(ctx context.Context, from Addr, req Message, crc bool) (Message, error) {
+	ch := make(chan Message, 1)
 	cc.mu.Lock()
 	if cc.err != nil {
 		err := cc.err
@@ -304,31 +463,43 @@ func (cc *clientConn) call(ctx context.Context, from Addr, req Message) (Message
 	cc.nextTag++
 	tag := cc.nextTag
 	cc.pending[tag] = ch
+	cc.inflight++
 	cc.mu.Unlock()
+	defer func() {
+		cc.mu.Lock()
+		cc.inflight--
+		cc.lastUsed = time.Now()
+		cc.mu.Unlock()
+	}()
 
-	cc.wmu.Lock()
-	if dl, ok := ctx.Deadline(); ok {
-		_ = cc.conn.SetWriteDeadline(dl)
-	} else {
-		_ = cc.conn.SetWriteDeadline(time.Time{})
-	}
 	trace, span := tracing.WireContext(ctx)
-	err := cc.enc.Encode(&envelope{Tag: tag, From: from, Trace: trace, Span: span, Msg: req})
+	enc := getEncoder()
+	err := enc.encode(tag, trace, span, from, req, crc)
 	if err == nil {
-		err = cc.bw.Flush()
+		cc.wmu.Lock()
+		if dl, ok := ctx.Deadline(); ok {
+			_ = cc.conn.SetWriteDeadline(dl)
+		} else {
+			_ = cc.conn.SetWriteDeadline(time.Time{})
+		}
+		_, err = enc.buffers().WriteTo(cc.conn)
+		cc.wmu.Unlock()
 	}
-	cc.wmu.Unlock()
+	if err == nil {
+		cc.m.wireWritten(enc.size())
+	}
+	putEncoder(enc)
 	if err != nil {
-		// A half-written envelope corrupts the stream for everyone:
-		// kill the connection.
+		// A half-written frame corrupts the stream for everyone: kill the
+		// connection.
 		cc.fail(err)
 		cc.forget(tag)
 		return nil, err
 	}
 
 	select {
-	case env := <-ch:
-		return env.Msg, nil
+	case msg := <-ch:
+		return msg, nil
 	case <-ctx.Done():
 		cc.forget(tag)
 		return nil, ctx.Err()
@@ -337,9 +508,9 @@ func (cc *clientConn) call(ctx context.Context, from Addr, req Message) (Message
 	}
 }
 
-// Call sends the request over the destination's multiplexed connection
-// and waits for the tagged reply. A dead cached connection is replaced
-// and the call retried once (all node RPCs are idempotent).
+// Call sends the request over one of the destination pool's connections
+// and waits for the tagged reply. A dead connection is dropped from the
+// pool and the call retried once (all node RPCs are idempotent).
 func (t *TCPTransport) Call(ctx context.Context, to Addr, req Message) (Message, error) {
 	m := t.rpcMetrics()
 	kind, start := m.startCall(req)
@@ -352,82 +523,76 @@ func (t *TCPTransport) Call(ctx context.Context, to Addr, req Message) (Message,
 
 // doCall is Call's retry loop, without instrumentation.
 func (t *TCPTransport) doCall(ctx context.Context, to Addr, req Message, m *RPCMetrics) (Message, error) {
+	crc := t.useCRC()
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
 		if attempt > 0 {
 			m.retried()
 		}
-		cc, err := t.clientConn(ctx, to)
+		p, err := t.pool(to)
 		if err != nil {
 			return nil, err
 		}
-		resp, err := cc.call(ctx, t.addr, req)
+		cc, err := p.get(ctx)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := cc.call(ctx, t.addr, req, crc)
 		if err == nil {
 			return AsError(resp)
 		}
 		if ctx.Err() != nil {
 			return nil, err
 		}
-		t.dropConn(to, cc)
+		p.drop(cc, err)
 		lastErr = err
 	}
 	return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, to, lastErr)
 }
 
-// clientConn returns the live multiplexed connection to the destination,
-// dialing one if needed.
-func (t *TCPTransport) clientConn(ctx context.Context, to Addr) (*clientConn, error) {
+// pool returns the destination's connection pool, creating it if needed.
+func (t *TCPTransport) pool(to Addr) (*peerPool, error) {
 	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.closed {
-		t.mu.Unlock()
 		return nil, ErrClosed
 	}
-	if cc := t.conns[to]; cc != nil {
-		t.mu.Unlock()
-		return cc, nil
+	p := t.pools[to]
+	if p == nil {
+		p = &peerPool{t: t, to: to}
+		t.pools[to] = p
 	}
-	t.mu.Unlock()
-
-	m := t.rpcMetrics()
-	m.dialed()
-	d := net.Dialer{Timeout: t.DialTimeout}
-	conn, err := d.DialContext(ctx, "tcp", string(to))
-	if err != nil {
-		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
-	}
-	cc := newClientConn(conn, m)
-
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		conn.Close()
-		return nil, ErrClosed
-	}
-	if exist := t.conns[to]; exist != nil {
-		// Lost a dial race; use the established connection.
-		t.mu.Unlock()
-		conn.Close()
-		return exist, nil
-	}
-	t.conns[to] = cc
-	t.wg.Add(1)
-	t.mu.Unlock()
-	go func() {
-		defer t.wg.Done()
-		cc.readLoop()
-		t.dropConn(to, cc)
-	}()
-	return cc, nil
+	return p, nil
 }
 
-// dropConn discards a dead connection so the next call redials.
-func (t *TCPTransport) dropConn(to Addr, cc *clientConn) {
-	t.mu.Lock()
-	if t.conns[to] == cc {
-		delete(t.conns, to)
+// janitor evicts idle pooled connections until the transport closes.
+func (t *TCPTransport) janitor() {
+	defer t.wg.Done()
+	for {
+		_, _, _, idle := t.poolConfig()
+		wait := idle / 4
+		if wait < 10*time.Millisecond {
+			wait = 10 * time.Millisecond
+		}
+		if wait > 5*time.Second {
+			wait = 5 * time.Second
+		}
+		select {
+		case <-t.stop:
+			return
+		case <-time.After(wait):
+		}
+		t.mu.Lock()
+		pools := make([]*peerPool, 0, len(t.pools))
+		for _, p := range t.pools {
+			pools = append(pools, p)
+		}
+		t.mu.Unlock()
+		now := time.Now()
+		for _, p := range pools {
+			p.evictIdle(now, idle)
+		}
 	}
-	t.mu.Unlock()
-	cc.fail(ErrClosed)
 }
 
 // Close shuts the listener and every connection.
@@ -438,16 +603,17 @@ func (t *TCPTransport) Close() error {
 		return nil
 	}
 	t.closed = true
-	conns := t.conns
-	t.conns = make(map[Addr]*clientConn)
+	close(t.stop)
+	pools := t.pools
+	t.pools = make(map[Addr]*peerPool)
 	// Unblock in-flight serveConn reads so Close does not wait forever
 	// on idle inbound connections.
 	for c := range t.serving {
 		c.Close()
 	}
 	t.mu.Unlock()
-	for _, cc := range conns {
-		cc.fail(ErrClosed)
+	for _, p := range pools {
+		p.close()
 	}
 	err := t.ln.Close()
 	t.wg.Wait()

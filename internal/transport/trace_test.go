@@ -18,14 +18,14 @@ func TestTCPTracePropagation(t *testing.T) {
 
 	srv.Serve(func(ctx context.Context, from Addr, req Message) (Message, error) {
 		trID, spID := tracing.WireContext(ctx)
-		return GetResp{Found: true, Data: packIDs(trID, spID)}, nil
+		return &GetResp{Found: true, Data: packIDs(trID, spID)}, nil
 	})
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	cliTracer := cli.endpointTracer()
 	sctx, root := cliTracer.ForceOp(ctx, "test.op")
-	resp, err := Expect[GetResp](cli.Call(sctx, srv.Addr(), GetReq{}))
+	resp, err := Expect[*GetResp](cli.Call(sctx, srv.Addr(), &GetReq{}))
 	root.End()
 	if err != nil {
 		t.Fatal(err)
@@ -53,7 +53,7 @@ func TestTCPTracePropagation(t *testing.T) {
 	}
 
 	// An untraced call must put zero IDs on the wire.
-	resp, err = Expect[GetResp](cli.Call(ctx, srv.Addr(), GetReq{}))
+	resp, err = Expect[*GetResp](cli.Call(ctx, srv.Addr(), &GetReq{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestTCPTraceNoCrossPollination(t *testing.T) {
 
 	srv.Serve(func(ctx context.Context, from Addr, req Message) (Message, error) {
 		trID, spID := tracing.WireContext(ctx)
-		return GetResp{Found: true, Data: packIDs(trID, spID)}, nil
+		return &GetResp{Found: true, Data: packIDs(trID, spID)}, nil
 	})
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -88,7 +88,7 @@ func TestTCPTraceNoCrossPollination(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < callsEach; i++ {
 				sctx, root := cliTracer.ForceOp(ctx, "test.op")
-				resp, err := Expect[GetResp](cli.Call(sctx, srv.Addr(), GetReq{}))
+				resp, err := Expect[*GetResp](cli.Call(sctx, srv.Addr(), &GetReq{}))
 				root.End()
 				if err != nil {
 					errs <- err
@@ -136,13 +136,13 @@ func TestMemTransportTraceParity(t *testing.T) {
 			t.Error("mem handler context inherits caller cancellation")
 		}
 		trID, spID := tracing.WireContext(ctx)
-		return GetResp{Found: true, Data: packIDs(trID, spID)}, nil
+		return &GetResp{Found: true, Data: packIDs(trID, spID)}, nil
 	})
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	sctx, root := tr.ForceOp(ctx, "test.op")
-	resp, err := Expect[GetResp](a.Call(sctx, b.Addr(), GetReq{}))
+	resp, err := Expect[*GetResp](a.Call(sctx, b.Addr(), &GetReq{}))
 	root.End()
 	if err != nil {
 		t.Fatal(err)

@@ -1,14 +1,14 @@
 // Package transport provides the RPC layer for live D2 nodes: a request/
 // response interface with two implementations — an in-memory network for
 // running hundreds or thousands of nodes in one process (the deployment-
-// scale tests), and a TCP implementation (pipelined, tag-multiplexed gob
-// streams) for multi-process clusters. D2-Store used TCP in the paper's
-// prototype (§7).
+// scale tests), and a TCP implementation (pipelined, tag-multiplexed
+// streams of hand-rolled binary frames, pooled per peer) for
+// multi-process clusters. D2-Store used TCP in the paper's prototype
+// (§7).
 package transport
 
 import (
 	"context"
-	"encoding/gob"
 	"errors"
 	"fmt"
 
@@ -40,8 +40,11 @@ type Transport interface {
 	Close() error
 }
 
-// Message is a marker for RPC payloads; all implementations are gob-coded
-// structs registered in this package.
+// Message is a marker for RPC payloads. Every implementation is a
+// *pointer* to one of the request/response structs in this package —
+// pointers keep interface conversions allocation-free on the hot path —
+// and carries a hand-rolled binary marshaler in codec.go (the wire is
+// reflection-free; gob is gone from the module).
 type Message interface{ isMessage() }
 
 // PeerInfo describes a node: its ring position and address.
@@ -192,7 +195,15 @@ type BatchItem struct {
 type MultiGetReq struct{ Keys []keys.Key }
 
 // MultiGetResp returns one item per requested key, in request order.
-type MultiGetResp struct{ Items []BatchItem }
+// Build busy-server responses with AcquireMultiGetResp to reuse the Items
+// scaffolding across RPCs.
+type MultiGetResp struct {
+	Items []BatchItem
+
+	// pooled marks a response built by AcquireMultiGetResp; the TCP
+	// transport recycles it after the frame is written. Never on the wire.
+	pooled bool
+}
 
 // FetchRangeReq reads every data block a node holds in the arc (Lo, Hi],
 // the read-path counterpart of RangeReq: it always ships data and reports
@@ -205,11 +216,17 @@ type FetchRangeReq struct {
 	Limit int
 }
 
-// FetchRangeResp returns the arc's blocks in key order.
+// FetchRangeResp returns the arc's blocks in key order. Build busy-server
+// responses with AcquireFetchRangeResp to reuse the Items scaffolding
+// across RPCs.
 type FetchRangeResp struct {
 	Items []BatchItem
 	// More is set when Limit truncated the scan.
 	More bool
+
+	// pooled marks a response built by AcquireFetchRangeResp; the TCP
+	// transport recycles it after the frame is written. Never on the wire.
+	pooled bool
 }
 
 // PutPtrReq installs a block pointer: the receiver becomes responsible
@@ -267,71 +284,51 @@ type StatsResp struct {
 // ErrResp carries an application-level error back to the caller.
 type ErrResp struct{ Err string }
 
-func (PingReq) isMessage()        {}
-func (PingResp) isMessage()       {}
-func (FindSuccReq) isMessage()    {}
-func (FindSuccResp) isMessage()   {}
-func (NeighborsReq) isMessage()   {}
-func (NeighborsResp) isMessage()  {}
-func (NotifyReq) isMessage()      {}
-func (NotifyResp) isMessage()     {}
-func (PutReq) isMessage()         {}
-func (PutResp) isMessage()        {}
-func (GetReq) isMessage()         {}
-func (GetResp) isMessage()        {}
-func (RemoveReq) isMessage()      {}
-func (RemoveResp) isMessage()     {}
-func (LoadReq) isMessage()        {}
-func (LoadResp) isMessage()       {}
-func (SplitReq) isMessage()       {}
-func (SplitResp) isMessage()      {}
-func (RangeReq) isMessage()       {}
-func (RangeItem) isMessage()      {}
-func (RangeResp) isMessage()      {}
-func (MultiGetReq) isMessage()    {}
-func (MultiGetResp) isMessage()   {}
-func (FetchRangeReq) isMessage()  {}
-func (FetchRangeResp) isMessage() {}
-func (PutPtrReq) isMessage()      {}
-func (PutPtrResp) isMessage()     {}
-func (SampleReq) isMessage()      {}
-func (SampleResp) isMessage()     {}
-func (StatsReq) isMessage()       {}
-func (StatsResp) isMessage()      {}
-func (TraceFetchReq) isMessage()  {}
-func (TraceFetchResp) isMessage() {}
-func (ErrResp) isMessage()        {}
-
-// RegisterMessages registers every protocol message with gob. The TCP
-// transport calls it; tests may too. It is idempotent per process because
-// gob.Register panics only on conflicting registrations.
-func registerMessages() {
-	for _, m := range []Message{
-		PingReq{}, PingResp{}, FindSuccReq{}, FindSuccResp{},
-		NeighborsReq{}, NeighborsResp{}, NotifyReq{}, NotifyResp{},
-		PutReq{}, PutResp{}, GetReq{}, GetResp{},
-		RemoveReq{}, RemoveResp{}, LoadReq{}, LoadResp{},
-		SplitReq{}, SplitResp{}, RangeReq{}, RangeResp{},
-		MultiGetReq{}, MultiGetResp{}, FetchRangeReq{}, FetchRangeResp{},
-		PutPtrReq{}, PutPtrResp{},
-		SampleReq{}, SampleResp{}, StatsReq{}, StatsResp{},
-		TraceFetchReq{}, TraceFetchResp{}, ErrResp{},
-	} {
-		gob.Register(m)
-	}
-}
+func (*PingReq) isMessage()        {}
+func (*PingResp) isMessage()       {}
+func (*FindSuccReq) isMessage()    {}
+func (*FindSuccResp) isMessage()   {}
+func (*NeighborsReq) isMessage()   {}
+func (*NeighborsResp) isMessage()  {}
+func (*NotifyReq) isMessage()      {}
+func (*NotifyResp) isMessage()     {}
+func (*PutReq) isMessage()         {}
+func (*PutResp) isMessage()        {}
+func (*GetReq) isMessage()         {}
+func (*GetResp) isMessage()        {}
+func (*RemoveReq) isMessage()      {}
+func (*RemoveResp) isMessage()     {}
+func (*LoadReq) isMessage()        {}
+func (*LoadResp) isMessage()       {}
+func (*SplitReq) isMessage()       {}
+func (*SplitResp) isMessage()      {}
+func (*RangeReq) isMessage()       {}
+func (*RangeResp) isMessage()      {}
+func (*MultiGetReq) isMessage()    {}
+func (*MultiGetResp) isMessage()   {}
+func (*FetchRangeReq) isMessage()  {}
+func (*FetchRangeResp) isMessage() {}
+func (*PutPtrReq) isMessage()      {}
+func (*PutPtrResp) isMessage()     {}
+func (*SampleReq) isMessage()      {}
+func (*SampleResp) isMessage()     {}
+func (*StatsReq) isMessage()       {}
+func (*StatsResp) isMessage()      {}
+func (*TraceFetchReq) isMessage()  {}
+func (*TraceFetchResp) isMessage() {}
+func (*ErrResp) isMessage()        {}
 
 // AsError converts an ErrResp into a Go error, passing other messages
 // through.
 func AsError(m Message) (Message, error) {
-	if e, ok := m.(ErrResp); ok {
+	if e, ok := m.(*ErrResp); ok {
 		return nil, errors.New(e.Err)
 	}
 	return m, nil
 }
 
 // ToErrResp wraps a handler error for the wire.
-func ToErrResp(err error) Message { return ErrResp{Err: err.Error()} }
+func ToErrResp(err error) Message { return &ErrResp{Err: err.Error()} }
 
 // ErrClosed reports an operation on a closed transport.
 var ErrClosed = errors.New("transport: closed")

@@ -19,9 +19,9 @@ func TestMemCallRoundTrip(t *testing.T) {
 		if from != a.Addr() {
 			t.Errorf("from = %s, want %s", from, a.Addr())
 		}
-		return PingResp{Self: PeerInfo{Addr: b.Addr()}}, nil
+		return &PingResp{Self: PeerInfo{Addr: b.Addr()}}, nil
 	})
-	resp, err := Expect[PingResp](a.Call(context.Background(), b.Addr(), PingReq{}))
+	resp, err := Expect[*PingResp](a.Call(context.Background(), b.Addr(), &PingReq{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,21 +33,21 @@ func TestMemCallRoundTrip(t *testing.T) {
 func TestMemUnreachable(t *testing.T) {
 	net := NewMemNetwork(0)
 	a := net.NewEndpoint()
-	if _, err := a.Call(context.Background(), "mem://nope", PingReq{}); !errors.Is(err, ErrUnreachable) {
+	if _, err := a.Call(context.Background(), "mem://nope", &PingReq{}); !errors.Is(err, ErrUnreachable) {
 		t.Errorf("err = %v, want ErrUnreachable", err)
 	}
 	b := net.NewEndpoint()
-	b.Serve(func(context.Context, Addr, Message) (Message, error) { return PingResp{}, nil })
+	b.Serve(func(context.Context, Addr, Message) (Message, error) { return &PingResp{}, nil })
 	if err := b.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := a.Call(context.Background(), b.Addr(), PingReq{}); !errors.Is(err, ErrUnreachable) {
+	if _, err := a.Call(context.Background(), b.Addr(), &PingReq{}); !errors.Is(err, ErrUnreachable) {
 		t.Errorf("call to closed endpoint: %v, want ErrUnreachable", err)
 	}
 	if err := a.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := a.Call(context.Background(), b.Addr(), PingReq{}); !errors.Is(err, ErrClosed) {
+	if _, err := a.Call(context.Background(), b.Addr(), &PingReq{}); !errors.Is(err, ErrClosed) {
 		t.Errorf("call from closed endpoint: %v, want ErrClosed", err)
 	}
 }
@@ -56,9 +56,9 @@ func TestMemLatency(t *testing.T) {
 	net := NewMemNetwork(20 * time.Millisecond)
 	a := net.NewEndpoint()
 	b := net.NewEndpoint()
-	b.Serve(func(context.Context, Addr, Message) (Message, error) { return PingResp{}, nil })
+	b.Serve(func(context.Context, Addr, Message) (Message, error) { return &PingResp{}, nil })
 	start := time.Now()
-	if _, err := a.Call(context.Background(), b.Addr(), PingReq{}); err != nil {
+	if _, err := a.Call(context.Background(), b.Addr(), &PingReq{}); err != nil {
 		t.Fatal(err)
 	}
 	if rtt := time.Since(start); rtt < 40*time.Millisecond {
@@ -75,14 +75,14 @@ func TestTCPRoundTrip(t *testing.T) {
 	var k keys.Key
 	k[0] = 0xAB
 	srv.Serve(func(_ context.Context, from Addr, req Message) (Message, error) {
-		get, ok := req.(GetReq)
+		get, ok := req.(*GetReq)
 		if !ok {
 			return nil, fmt.Errorf("unexpected %T", req)
 		}
 		if get.Key != k {
-			return GetResp{Found: false}, nil
+			return &GetResp{Found: false}, nil
 		}
-		return GetResp{Found: true, Data: []byte("tcp-data")}, nil
+		return &GetResp{Found: true, Data: []byte("tcp-data")}, nil
 	})
 
 	cli, err := ListenTCP("127.0.0.1:0")
@@ -90,7 +90,7 @@ func TestTCPRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cli.Close()
-	resp, err := Expect[GetResp](cli.Call(context.Background(), srv.Addr(), GetReq{Key: k}))
+	resp, err := Expect[*GetResp](cli.Call(context.Background(), srv.Addr(), &GetReq{Key: k}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestTCPRoundTrip(t *testing.T) {
 		t.Fatalf("resp = %+v", resp)
 	}
 	// Second call reuses the pooled connection.
-	if _, err := Expect[GetResp](cli.Call(context.Background(), srv.Addr(), GetReq{Key: k})); err != nil {
+	if _, err := Expect[*GetResp](cli.Call(context.Background(), srv.Addr(), &GetReq{Key: k})); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -117,7 +117,7 @@ func TestTCPHandlerError(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cli.Close()
-	_, err = Expect[PingResp](cli.Call(context.Background(), srv.Addr(), PingReq{}))
+	_, err = Expect[*PingResp](cli.Call(context.Background(), srv.Addr(), &PingReq{}))
 	if err == nil || err.Error() != "boom" {
 		t.Fatalf("err = %v, want boom", err)
 	}
@@ -145,7 +145,7 @@ func TestTCPConcurrentCalls(t *testing.T) {
 			defer wg.Done()
 			var k keys.Key
 			k[0] = byte(i)
-			resp, err := Expect[GetReq](cli.Call(context.Background(), srv.Addr(), GetReq{Key: k}))
+			resp, err := Expect[*GetReq](cli.Call(context.Background(), srv.Addr(), &GetReq{Key: k}))
 			if err != nil {
 				errs <- err
 				return
@@ -170,7 +170,7 @@ func TestTCPContextTimeout(t *testing.T) {
 	defer srv.Close()
 	srv.Serve(func(context.Context, Addr, Message) (Message, error) {
 		time.Sleep(500 * time.Millisecond)
-		return PingResp{}, nil
+		return &PingResp{}, nil
 	})
 	cli, err := ListenTCP("127.0.0.1:0")
 	if err != nil {
@@ -179,19 +179,19 @@ func TestTCPContextTimeout(t *testing.T) {
 	defer cli.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
-	if _, err := cli.Call(ctx, srv.Addr(), PingReq{}); err == nil {
+	if _, err := cli.Call(ctx, srv.Addr(), &PingReq{}); err == nil {
 		t.Fatal("slow call did not time out")
 	}
 }
 
 func TestExpectWrongType(t *testing.T) {
-	if _, err := Expect[PingResp](NotifyResp{}, nil); err == nil {
+	if _, err := Expect[*PingResp](&NotifyResp{}, nil); err == nil {
 		t.Error("wrong type accepted")
 	}
-	if _, err := Expect[PingResp](nil, errors.New("x")); err == nil {
+	if _, err := Expect[*PingResp](nil, errors.New("x")); err == nil {
 		t.Error("error swallowed")
 	}
-	if _, err := Expect[PingResp](ErrResp{Err: "remote"}, nil); err == nil || err.Error() != "remote" {
+	if _, err := Expect[*PingResp](&ErrResp{Err: "remote"}, nil); err == nil || err.Error() != "remote" {
 		t.Errorf("ErrResp not converted: %v", err)
 	}
 }

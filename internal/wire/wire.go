@@ -1,0 +1,274 @@
+// Package wire holds the binary encoding primitives shared by D2's wire
+// surfaces: the transport RPC codec and the D2-FS block codec. Everything
+// is hand-rolled big-endian append/read code — no reflection, no interface
+// boxing, and decode never panics or allocates proportionally to a
+// length field an attacker controls (counts are validated against the
+// bytes actually present before any allocation).
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Decode errors. ErrTruncated reports a field extending past the input;
+// ErrMalformed reports structurally invalid input (bad magic, impossible
+// counts, trailing garbage).
+var (
+	ErrTruncated = errors.New("wire: truncated input")
+	ErrMalformed = errors.New("wire: malformed input")
+)
+
+// castagnoli is the CRC-32C table used for optional frame checksums
+// (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC-32C of data.
+func Checksum(data []byte) uint32 { return crc32.Checksum(data, castagnoli) }
+
+// ChecksumUpdate folds more data into a running CRC-32C.
+func ChecksumUpdate(sum uint32, data []byte) uint32 {
+	return crc32.Update(sum, castagnoli, data)
+}
+
+// --- append-style encoders ---
+
+// AppendU8 appends one byte.
+func AppendU8(b []byte, v byte) []byte { return append(b, v) }
+
+// AppendU16 appends a big-endian uint16.
+func AppendU16(b []byte, v uint16) []byte {
+	return append(b, byte(v>>8), byte(v))
+}
+
+// AppendU32 appends a big-endian uint32.
+func AppendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// AppendU64 appends a big-endian uint64.
+func AppendU64(b []byte, v uint64) []byte {
+	return append(b,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// AppendI64 appends an int64 (two's-complement big-endian).
+func AppendI64(b []byte, v int64) []byte { return AppendU64(b, uint64(v)) }
+
+// AppendBool appends a bool as one byte (0 or 1).
+func AppendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// AppendBytes appends a u32 length prefix followed by the bytes.
+func AppendBytes(b, v []byte) []byte {
+	b = AppendU32(b, uint32(len(v)))
+	return append(b, v...)
+}
+
+// AppendString appends a u32-length-prefixed string.
+func AppendString(b []byte, s string) []byte {
+	b = AppendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// AppendShortString appends a u16-length-prefixed string (addresses,
+// span names — anything bounded well under 64 KiB). Longer strings are
+// truncated rather than corrupting the frame.
+func AppendShortString(b []byte, s string) []byte {
+	if len(s) > 0xffff {
+		s = s[:0xffff]
+	}
+	b = AppendU16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// PutU32 overwrites b[off:off+4] with a big-endian uint32 (for patching
+// a length field after the body is known). b must have the room.
+func PutU32(b []byte, off int, v uint32) {
+	b[off] = byte(v >> 24)
+	b[off+1] = byte(v >> 16)
+	b[off+2] = byte(v >> 8)
+	b[off+3] = byte(v)
+}
+
+// U32 reads a big-endian uint32 at off without a Reader (frame-length
+// peeks). The caller guarantees len(b) >= off+4.
+func U32(b []byte, off int) uint32 {
+	return uint32(b[off])<<24 | uint32(b[off+1])<<16 | uint32(b[off+2])<<8 | uint32(b[off+3])
+}
+
+// --- bounds-checked reader ---
+
+// Reader consumes a byte slice with sticky-error semantics: after the
+// first failure every subsequent read returns zero values and Err()
+// reports the failure, so decoders read a whole struct and check once.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over b. The Reader borrows b; it never
+// copies or mutates it.
+func NewReader(b []byte) Reader { return Reader{b: b} }
+
+// Err returns the first decode failure (nil while healthy).
+func (r *Reader) Err() error { return r.err }
+
+// Len returns the unread byte count.
+func (r *Reader) Len() int { return len(r.b) - r.off }
+
+// fail records the first error.
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// take consumes n bytes, returning nil (and failing) when they are not
+// all present.
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.Len() < n {
+		r.fail(fmt.Errorf("%w: need %d bytes, have %d", ErrTruncated, n, r.Len()))
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() byte {
+	v := r.take(1)
+	if v == nil {
+		return 0
+	}
+	return v[0]
+}
+
+// U16 reads a big-endian uint16.
+func (r *Reader) U16() uint16 {
+	v := r.take(2)
+	if v == nil {
+		return 0
+	}
+	return uint16(v[0])<<8 | uint16(v[1])
+}
+
+// U32 reads a big-endian uint32.
+func (r *Reader) U32() uint32 {
+	v := r.take(4)
+	if v == nil {
+		return 0
+	}
+	return uint32(v[0])<<24 | uint32(v[1])<<16 | uint32(v[2])<<8 | uint32(v[3])
+}
+
+// U64 reads a big-endian uint64.
+func (r *Reader) U64() uint64 {
+	v := r.take(8)
+	if v == nil {
+		return 0
+	}
+	return uint64(v[0])<<56 | uint64(v[1])<<48 | uint64(v[2])<<40 | uint64(v[3])<<32 |
+		uint64(v[4])<<24 | uint64(v[5])<<16 | uint64(v[6])<<8 | uint64(v[7])
+}
+
+// I64 reads an int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Bool reads one byte as a bool; any value other than 0 or 1 is
+// malformed (canonical encodings keep fuzzing honest).
+func (r *Reader) Bool() bool {
+	v := r.U8()
+	if v > 1 {
+		r.fail(fmt.Errorf("%w: bool byte %d", ErrMalformed, v))
+		return false
+	}
+	return v == 1
+}
+
+// Bytes reads a u32-length-prefixed byte field, borrowing the underlying
+// input (zero copy). Empty fields return nil.
+func (r *Reader) Bytes() []byte {
+	n := r.U32()
+	if n == 0 {
+		return nil
+	}
+	v := r.take(int(n))
+	if v == nil {
+		return nil
+	}
+	return v
+}
+
+// BytesCopy reads a u32-length-prefixed byte field into a fresh slice.
+func (r *Reader) BytesCopy() []byte {
+	v := r.Bytes()
+	if v == nil {
+		return nil
+	}
+	return append([]byte(nil), v...)
+}
+
+// String reads a u32-length-prefixed string (one copy, as any
+// []byte→string conversion).
+func (r *Reader) String() string {
+	v := r.Bytes()
+	if len(v) == 0 {
+		return ""
+	}
+	return string(v)
+}
+
+// ShortString reads a u16-length-prefixed string.
+func (r *Reader) ShortString() string {
+	n := r.U16()
+	if n == 0 {
+		return ""
+	}
+	v := r.take(int(n))
+	if v == nil {
+		return ""
+	}
+	return string(v)
+}
+
+// Take consumes exactly n raw bytes (fixed-width fields: keys, hashes).
+func (r *Reader) Take(n int) []byte { return r.take(n) }
+
+// Count reads a u32 element count and validates it against the bytes
+// remaining: each element needs at least minElem bytes, so a count that
+// could not possibly fit fails before the caller allocates anything.
+func (r *Reader) Count(minElem int) int {
+	n := r.U32()
+	if r.err != nil {
+		return 0
+	}
+	if minElem < 1 {
+		minElem = 1
+	}
+	if int64(n)*int64(minElem) > int64(r.Len()) {
+		r.fail(fmt.Errorf("%w: count %d × ≥%dB exceeds %d remaining bytes",
+			ErrMalformed, n, minElem, r.Len()))
+		return 0
+	}
+	return int(n)
+}
+
+// ExpectEmpty fails unless the input is fully consumed — canonical
+// frames carry no trailing garbage.
+func (r *Reader) ExpectEmpty() {
+	if r.err == nil && r.Len() != 0 {
+		r.fail(fmt.Errorf("%w: %d trailing bytes", ErrMalformed, r.Len()))
+	}
+}

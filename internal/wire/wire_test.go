@@ -1,0 +1,137 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestRoundTripPrimitives(t *testing.T) {
+	var b []byte
+	b = AppendU8(b, 0xAB)
+	b = AppendU16(b, 0xBEEF)
+	b = AppendU32(b, 0xDEADBEEF)
+	b = AppendU64(b, 0x0123456789ABCDEF)
+	b = AppendI64(b, -42)
+	b = AppendBool(b, true)
+	b = AppendBool(b, false)
+	b = AppendBytes(b, []byte("payload"))
+	b = AppendString(b, "hello")
+	b = AppendShortString(b, "addr:1234")
+
+	r := NewReader(b)
+	if got := r.U8(); got != 0xAB {
+		t.Errorf("U8 = %#x", got)
+	}
+	if got := r.U16(); got != 0xBEEF {
+		t.Errorf("U16 = %#x", got)
+	}
+	if got := r.U32(); got != 0xDEADBEEF {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := r.U64(); got != 0x0123456789ABCDEF {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("bool round trip failed")
+	}
+	if got := r.Bytes(); !bytes.Equal(got, []byte("payload")) {
+		t.Errorf("Bytes = %q", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.ShortString(); got != "addr:1234" {
+		t.Errorf("ShortString = %q", got)
+	}
+	r.ExpectEmpty()
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	full := AppendBytes(AppendU32(nil, 7), []byte("0123456789"))
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		r.U32()
+		r.Bytes()
+		r.ExpectEmpty()
+		if r.Err() == nil {
+			t.Errorf("cut at %d: no error", cut)
+		}
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	r := NewReader([]byte{1})
+	r.U32() // fails
+	first := r.Err()
+	if first == nil {
+		t.Fatal("expected truncation error")
+	}
+	r.U64()
+	r.Bytes()
+	if !errors.Is(r.Err(), ErrTruncated) || r.Err() != first {
+		t.Errorf("sticky error lost: %v", r.Err())
+	}
+}
+
+func TestBoolCanonical(t *testing.T) {
+	r := NewReader([]byte{2})
+	r.Bool()
+	if !errors.Is(r.Err(), ErrMalformed) {
+		t.Errorf("non-canonical bool accepted: %v", r.Err())
+	}
+}
+
+// TestCountGuardsAllocation is the no-unbounded-allocation property: a
+// hostile count field larger than the remaining input must fail before
+// the caller would size a slice from it.
+func TestCountGuardsAllocation(t *testing.T) {
+	b := AppendU32(nil, 0xFFFFFFFF)
+	r := NewReader(b)
+	if n := r.Count(8); n != 0 || !errors.Is(r.Err(), ErrMalformed) {
+		t.Errorf("hostile count passed: n=%d err=%v", n, r.Err())
+	}
+
+	// A count that exactly fits is accepted.
+	b = AppendU32(nil, 3)
+	b = append(b, make([]byte, 24)...)
+	r = NewReader(b)
+	if n := r.Count(8); n != 3 || r.Err() != nil {
+		t.Errorf("valid count rejected: n=%d err=%v", n, r.Err())
+	}
+}
+
+func TestTrailingGarbage(t *testing.T) {
+	b := AppendU32(nil, 1)
+	b = append(b, 0xFF)
+	r := NewReader(b)
+	r.U32()
+	r.ExpectEmpty()
+	if !errors.Is(r.Err(), ErrMalformed) {
+		t.Errorf("trailing garbage accepted: %v", r.Err())
+	}
+}
+
+func TestPutU32Patch(t *testing.T) {
+	b := AppendU32(nil, 0) // placeholder
+	b = AppendString(b, "body")
+	PutU32(b, 0, uint32(len(b)-4))
+	if got := U32(b, 0); int(got) != len(b)-4 {
+		t.Errorf("patched len = %d, want %d", got, len(b)-4)
+	}
+}
+
+func TestChecksum(t *testing.T) {
+	data := []byte("the quick brown fox")
+	want := Checksum(data)
+	got := ChecksumUpdate(ChecksumUpdate(0, data[:7]), data[7:])
+	if got != want {
+		t.Errorf("incremental CRC %#x != one-shot %#x", got, want)
+	}
+}

@@ -17,6 +17,12 @@
 #                            cross-node e2e assembly) plus the alloc guard
 #                            proving the unsampled path stays
 #                            zero-allocation
+#   scripts/verify.sh wire   wire tier: the binary-codec golden/malformed
+#                            tests and connection-pool robustness tests
+#                            under -race, a short codec fuzz pass, and the
+#                            alloc guard proving the TCP serve path
+#                            (read→decode→handle→encode→writev) stays
+#                            zero-allocation
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -45,6 +51,21 @@ if [ "${1:-}" = "trace" ]; then
 		./internal/obs/tracing/ | tee /dev/stderr)
 	echo "$out" | grep -q 'BenchmarkStartOpUnsampled.* 0 B/op[[:space:]]*0 allocs/op' || {
 		echo "trace tier: unsampled StartOp allocates" >&2
+		exit 1
+	}
+	exit 0
+fi
+
+if [ "${1:-}" = "wire" ]; then
+	echo "== wire tier: codec + pool tests under -race"
+	go test -race -run 'Codec|Pool|TCP' ./internal/transport/
+	echo "== wire tier: codec fuzz (10s)"
+	go test -run '^$' -fuzz 'FuzzCodecRoundTrip' -fuzztime 10s ./internal/transport/
+	echo "== wire tier: TCP serve-path alloc guard (want 0 allocs/op)"
+	out=$(go test -run '^$' -bench 'BenchmarkTCPServePath' -benchmem \
+		./internal/transport/ | tee /dev/stderr)
+	echo "$out" | grep -q 'BenchmarkTCPServePath.* 0 B/op[[:space:]]*0 allocs/op' || {
+		echo "wire tier: TCP serve path allocates" >&2
 		exit 1
 	}
 	exit 0
