@@ -13,7 +13,9 @@
 // benchmark writes when D2_BENCH_METRICS is set) so a perf record carries
 // its RPC and byte counts, not just wall-clock numbers. The -trace flag
 // likewise embeds the sampled request-trace JSON a benchmark writes when
-// D2_BENCH_TRACE is set (Chrome trace-event form, Perfetto-loadable).
+// D2_BENCH_TRACE is set (Chrome trace-event form, Perfetto-loadable), and
+// -stream embeds the streaming-read report (TTFB, sustained throughput,
+// window trajectory) BenchmarkStreamRead writes when D2_BENCH_STREAM is set.
 package main
 
 import (
@@ -56,6 +58,10 @@ type Report struct {
 	// TraceSnapshot is embedded Chrome trace-event JSON captured during the
 	// run (see -trace).
 	TraceSnapshot json.RawMessage `json:"trace_snapshot,omitempty"`
+	// Stream is the streaming-read report (ttfb_ms, sustained_mbps,
+	// window_trajectory, ...) a benchmark writes when D2_BENCH_STREAM is
+	// set (see -stream).
+	Stream json.RawMessage `json:"stream,omitempty"`
 }
 
 func main() {
@@ -69,6 +75,7 @@ func run() error {
 	before := flag.String("before", "", "baseline `go test -bench` output to diff against")
 	metrics := flag.String("metrics", "", "metrics snapshot JSON to embed in the report")
 	trace := flag.String("trace", "", "request-trace JSON (D2_BENCH_TRACE output) to embed in the report")
+	stream := flag.String("stream", "", "streaming-read report JSON (D2_BENCH_STREAM output) to embed")
 	out := flag.String("o", "", "output JSON path (default stdout)")
 	flag.Parse()
 
@@ -138,6 +145,17 @@ func run() error {
 			return fmt.Errorf("%s: not valid JSON", *trace)
 		}
 		rep.TraceSnapshot = json.RawMessage(raw)
+	}
+
+	if *stream != "" {
+		raw, err := os.ReadFile(*stream)
+		if err != nil {
+			return err
+		}
+		if !json.Valid(raw) {
+			return fmt.Errorf("%s: not valid JSON", *stream)
+		}
+		rep.Stream = json.RawMessage(raw)
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")

@@ -6,6 +6,11 @@
 //	d2ctl -seeds 127.0.0.1:7001 -vol home mkdir /docs
 //	d2ctl -seeds 127.0.0.1:7001 -vol home write /docs/a.txt "hello d2"
 //	d2ctl -seeds 127.0.0.1:7001 -vol home cat /docs/a.txt
+//	d2ctl -seeds 127.0.0.1:7001 -vol home -v cat /big.bin > big.bin
+//
+// cat streams through the windowed-readahead pipeline (bytes flow before
+// the tail is fetched); -v prints TTFB and sustained MB/s to stderr.
+//
 //	d2ctl -seeds 127.0.0.1:7001 -vol home ls /docs
 //	d2ctl -seeds 127.0.0.1:7001 -vol home mv /docs/a.txt /docs/b.txt
 //	d2ctl -seeds 127.0.0.1:7001 -vol home rm /docs/b.txt
@@ -33,8 +38,10 @@ import (
 	"encoding/hex"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
 	d2 "github.com/defragdht/d2"
 )
@@ -50,6 +57,7 @@ func run() error {
 	seeds := flag.String("seeds", "127.0.0.1:7001", "comma-separated node addresses")
 	volName := flag.String("vol", "", "volume name")
 	keyFile := flag.String("keyfile", "d2ctl.key", "volume keypair file")
+	verbose := flag.Bool("v", false, "cat: print TTFB and throughput to stderr")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -140,11 +148,9 @@ func run() error {
 		if len(args) != 2 {
 			return fmt.Errorf("usage: cat <path>")
 		}
-		data, err := vol.ReadFile(ctx, args[1])
-		if err != nil {
+		if err := runCat(ctx, vol, args[1], *verbose); err != nil {
 			return err
 		}
-		fmt.Println(string(data))
 	case "ls":
 		if len(args) != 2 {
 			return fmt.Errorf("usage: ls <path>")
@@ -187,6 +193,29 @@ func run() error {
 		return fmt.Errorf("unknown command %q", cmd)
 	}
 	return vol.Sync(ctx)
+}
+
+// runCat streams a file to stdout through the windowed-readahead read
+// path, so the first bytes print before the tail is fetched. With -v the
+// pipeline's stats (TTFB, sustained throughput, window trajectory) go to
+// stderr where they cannot corrupt piped output.
+func runCat(ctx context.Context, vol *d2.Volume, path string, verbose bool) error {
+	r, err := vol.ReadStream(ctx, path)
+	if err != nil {
+		return err
+	}
+	_, cerr := io.Copy(os.Stdout, r)
+	if err := r.Close(); cerr == nil {
+		cerr = err
+	}
+	if verbose {
+		if st, ok := r.(d2.StatStream); ok {
+			s := st.Stats()
+			fmt.Fprintf(os.Stderr, "d2ctl: %d bytes, ttfb %s, %.2f MB/s, stalls %d, window %v\n",
+				s.Bytes, s.TTFB.Round(time.Microsecond), s.MBps(), s.Stalls, s.WindowTrajectory)
+		}
+	}
+	return cerr
 }
 
 // loadVolume opens a volume with the keypair saved by mkvol.

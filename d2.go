@@ -366,6 +366,21 @@ func (c *Client) GetMany(ctx context.Context, ks []Key) (map[Key][]byte, error) 
 	return c.inner.GetMany(ctx, ks)
 }
 
+// GetSegment fetches a streaming-read segment: GetMany's owner-grouped
+// batching plus per-key not-found retries tuned for consumers racing
+// churn (a mid-stream node kill re-resolves the moved keys instead of
+// dropping the stream). Volume.ReadStream uses it automatically.
+func (c *Client) GetSegment(ctx context.Context, ks []Key) (map[Key][]byte, error) {
+	return c.inner.GetSegment(ctx, ks)
+}
+
+// StreamStats reports a stream's TTFB, delivered bytes, stalls, and
+// adaptive-window trajectory; ReadStream's reader implements StatStream.
+type StreamStats = fs.StreamStats
+
+// StatStream is the interface ReadStream's io.ReadCloser also satisfies.
+type StatStream = fs.StatStream
+
 // RangeEntry is one block returned by ReadRange, in key order.
 type RangeEntry = node.RangeEntry
 
@@ -469,3 +484,4 @@ func (c *Client) OpenVolume(ctx context.Context, name string, pub ed25519.Public
 
 var _ fs.BlockService = (*Client)(nil)
 var _ fs.BatchBlockService = (*Client)(nil)
+var _ fs.SegmentBlockService = (*Client)(nil)

@@ -1,0 +1,46 @@
+package fs
+
+import (
+	"context"
+	"io"
+	"testing"
+)
+
+// BenchmarkStreamConsume measures the steady-state consume path over an
+// in-memory block service: open, stream 8 MB through the windowed
+// pipeline, close. The interesting number is B/op — pooled segment
+// buffers must recycle, so allocated bytes per pass stay far below the
+// 8 MB streamed (scripts/verify.sh stream gates on it; a broken pool
+// shows up as ≥ one segment buffer per segment, the full file size).
+func BenchmarkStreamConsume(b *testing.B) {
+	ctx := context.Background()
+	svc := newBatchMemService()
+	v, err := Create(ctx, svc, "streamvol", testKey, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := randBytes(64 * SegmentBytes)
+	if err := v.WriteFile(ctx, "/bench.bin", want); err != nil {
+		b.Fatal(err)
+	}
+	if err := v.Sync(ctx); err != nil {
+		b.Fatal(err)
+	}
+	v.dropReadCacheForTest()
+	b.SetBytes(int64(len(want)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := v.ReadStream(ctx, "/bench.bin")
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := io.Copy(io.Discard, r)
+		if cerr := r.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil || n != int64(len(want)) {
+			b.Fatalf("stream = (%d, %v)", n, err)
+		}
+	}
+}

@@ -46,6 +46,11 @@ type Options struct {
 	// fresh registry (the live client passes its own so one scrape covers
 	// fs and DHT activity together).
 	Metrics *obs.Registry
+	// ReadCacheBytes caps the read cache's retained bytes (default
+	// 32 MiB). Streaming reads bypass the cache entirely, so a multi-GB
+	// stream cannot evict the hot metadata working set; this cap bounds
+	// what the whole-file read path can accumulate.
+	ReadCacheBytes int64
 }
 
 func (o *Options) applyDefaults() {
@@ -54,6 +59,9 @@ func (o *Options) applyDefaults() {
 	}
 	if o.Metrics == nil {
 		o.Metrics = obs.New()
+	}
+	if o.ReadCacheBytes == 0 {
+		o.ReadCacheBytes = 32 << 20
 	}
 }
 
@@ -77,6 +85,9 @@ type Volume struct {
 	pending map[keys.Key][]byte
 	removes []keys.Key
 	rcache  map[keys.Key]cachedBlock
+	// rcacheBytes tracks the read cache's retained payload, enforced
+	// against opts.ReadCacheBytes by pruneCacheLocked.
+	rcacheBytes int64
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -85,26 +96,46 @@ type Volume struct {
 }
 
 // volumeMetrics counts the volume's block IO against the DHT and its
-// write-back caches.
+// write-back caches, plus the streaming pipeline's health counters.
 type volumeMetrics struct {
-	blocksRead    *obs.Counter // blocks fetched from the DHT
-	blocksWritten *obs.Counter // blocks buffered for write-back
-	bytesRead     *obs.Counter
-	bytesWritten  *obs.Counter
-	cacheHits     *obs.Counter // reads served by pending writes or read cache
-	removes       *obs.Counter // delayed removals queued (§3)
-	syncs         *obs.Counter // Sync rounds run
+	blocksRead     *obs.Counter // blocks fetched from the DHT
+	blocksWritten  *obs.Counter // blocks buffered for write-back
+	bytesRead      *obs.Counter
+	bytesWritten   *obs.Counter
+	cacheHits      *obs.Counter // reads served by pending writes or read cache
+	cacheEvictions *obs.Counter // read-cache entries evicted by the byte cap
+	removes        *obs.Counter // delayed removals queued (§3)
+	syncs          *obs.Counter // Sync rounds run
+
+	// Streaming (ReadStream) pipeline metrics.
+	streamOpens    *obs.Counter   // streams opened
+	streamSegments *obs.Counter   // prefetch segments issued
+	streamBytes    *obs.Counter   // bytes delivered to stream consumers
+	streamStalls   *obs.Counter   // reads that blocked on an in-flight segment
+	streamWaste    *obs.Counter   // prefetched blocks never consumed
+	streamTTFB     *obs.Histogram // open-to-first-byte latency
+	streamWindow   *obs.Histogram // adaptive window sizes observed
+	streamBps      *obs.Gauge     // last stream's sustained bytes/s
 }
 
 func newVolumeMetrics(reg *obs.Registry) volumeMetrics {
 	return volumeMetrics{
-		blocksRead:    reg.Counter("d2_fs_blocks_read_total"),
-		blocksWritten: reg.Counter("d2_fs_blocks_written_total"),
-		bytesRead:     reg.Counter(`d2_fs_bytes_total{dir="read"}`),
-		bytesWritten:  reg.Counter(`d2_fs_bytes_total{dir="written"}`),
-		cacheHits:     reg.Counter("d2_fs_cache_hits_total"),
-		removes:       reg.Counter("d2_fs_removes_total"),
-		syncs:         reg.Counter("d2_fs_syncs_total"),
+		blocksRead:     reg.Counter("d2_fs_blocks_read_total"),
+		blocksWritten:  reg.Counter("d2_fs_blocks_written_total"),
+		bytesRead:      reg.Counter(`d2_fs_bytes_total{dir="read"}`),
+		bytesWritten:   reg.Counter(`d2_fs_bytes_total{dir="written"}`),
+		cacheHits:      reg.Counter("d2_fs_cache_hits_total"),
+		cacheEvictions: reg.Counter("d2_fs_cache_evictions_total"),
+		removes:        reg.Counter("d2_fs_removes_total"),
+		syncs:          reg.Counter("d2_fs_syncs_total"),
+		streamOpens:    reg.Counter("d2_stream_opens_total"),
+		streamSegments: reg.Counter("d2_stream_segments_total"),
+		streamBytes:    reg.Counter("d2_stream_bytes_total"),
+		streamStalls:   reg.Counter("d2_stream_stalls_total"),
+		streamWaste:    reg.Counter("d2_stream_prefetch_waste_total"),
+		streamTTFB:     reg.Histogram("d2_stream_ttfb_ns", obs.LatencyBuckets),
+		streamWindow:   reg.Histogram("d2_stream_window", obs.CountBuckets),
+		streamBps:      reg.Gauge("d2_stream_throughput_bps"),
 	}
 }
 
@@ -298,19 +329,55 @@ func (v *Volume) cachedRead(k keys.Key) ([]byte, bool) {
 func (v *Volume) cacheRead(k keys.Key, data []byte) {
 	v.cmu.Lock()
 	defer v.cmu.Unlock()
-	v.rcache[k] = cachedBlock{data: data, at: time.Now()}
-	if len(v.rcache) > 4096 {
+	v.cacheStoreLocked(k, data)
+	if len(v.rcache) > 4096 || v.rcacheBytes > v.opts.ReadCacheBytes {
 		v.pruneCacheLocked()
 	}
 }
 
-// pruneCacheLocked evicts expired read-cache entries.
+// cacheStoreLocked inserts or replaces a read-cache entry, keeping the
+// byte accounting exact across replacements.
+func (v *Volume) cacheStoreLocked(k keys.Key, data []byte) {
+	if prev, ok := v.rcache[k]; ok {
+		v.rcacheBytes -= int64(len(prev.data))
+	}
+	v.rcache[k] = cachedBlock{data: data, at: time.Now()}
+	v.rcacheBytes += int64(len(data))
+}
+
+// pruneCacheLocked evicts expired read-cache entries, then — if the
+// cache still exceeds its byte cap — the oldest live entries until it
+// fits in 3/4 of the cap (hysteresis so a hot cache is not pruned on
+// every insert).
 func (v *Volume) pruneCacheLocked() {
 	cutoff := time.Now().Add(-v.opts.WriteBackDelay)
 	for k, c := range v.rcache {
 		if c.at.Before(cutoff) {
+			v.rcacheBytes -= int64(len(c.data))
+			v.metrics.cacheEvictions.Inc()
 			delete(v.rcache, k)
 		}
+	}
+	if v.rcacheBytes <= v.opts.ReadCacheBytes {
+		return
+	}
+	type aged struct {
+		k  keys.Key
+		at time.Time
+	}
+	order := make([]aged, 0, len(v.rcache))
+	for k, c := range v.rcache {
+		order = append(order, aged{k: k, at: c.at})
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].at.Before(order[j].at) })
+	target := v.opts.ReadCacheBytes * 3 / 4
+	for _, a := range order {
+		if v.rcacheBytes <= target {
+			break
+		}
+		v.rcacheBytes -= int64(len(v.rcache[a.k].data))
+		v.metrics.cacheEvictions.Inc()
+		delete(v.rcache, a.k)
 	}
 }
 
@@ -321,7 +388,7 @@ func (v *Volume) writeBlock(k keys.Key, data []byte) {
 	v.cmu.Lock()
 	defer v.cmu.Unlock()
 	v.pending[k] = data
-	v.rcache[k] = cachedBlock{data: data, at: time.Now()}
+	v.cacheStoreLocked(k, data)
 }
 
 // removeBlock queues a delayed removal (issued at the Sync after the

@@ -16,6 +16,13 @@ import (
 // ReadRange issues.
 const batchFanout = 8
 
+// maxBatchKeys caps the keys in one MultiGet RPC. With D2's contiguous
+// file keys a whole file often resolves to ONE owner, so an uncapped
+// batch for a 64 MB file would ask for a 64 MB response — past the
+// transport's frame cap. 1024 full blocks ≈ 8 MB per response, an 8×
+// margin, and the chunks pipeline across the fan-out semaphore anyway.
+const maxBatchKeys = 1024
+
 // maxRangeParts bounds the owners one ReadRange may visit (a full ring
 // walk on a pathological cache would otherwise loop).
 const maxRangeParts = 1024
@@ -74,6 +81,17 @@ func (c *Client) getMany(ctx context.Context, ks []keys.Key) (map[keys.Key][]byt
 		return nil, err
 	}
 	c.fanout.Observe(int64(len(groups)))
+	// Split oversized groups into frame-safe chunks (see maxBatchKeys);
+	// each chunk is its own RPC, running under the same fan-out bound.
+	var chunked []ownerGroup
+	for _, g := range groups {
+		for len(g.keys) > maxBatchKeys {
+			chunked = append(chunked, ownerGroup{owner: g.owner, keys: g.keys[:maxBatchKeys]})
+			g.keys = g.keys[maxBatchKeys:]
+		}
+		chunked = append(chunked, g)
+	}
+	groups = chunked
 
 	var (
 		mu       sync.Mutex

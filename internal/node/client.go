@@ -43,6 +43,8 @@ type Client struct {
 	fanout     *obs.Histogram // owner groups per GetMany
 	nfRetries  *obs.Counter   // not-found retries in Get (§8.1 transients)
 	lookupHops *obs.Histogram // hops per fresh lookup
+	segments   *obs.Counter   // GetSegment calls (streaming read path)
+	segRetries *obs.Counter   // per-key segment re-resolves under churn
 }
 
 // ClientConfig parameterizes a client.
@@ -95,6 +97,8 @@ func NewClient(tr transport.Transport, cfg ClientConfig) (*Client, error) {
 		fanout:     reg.Histogram("d2_client_getmany_fanout", obs.CountBuckets),
 		nfRetries:  reg.Counter("d2_client_notfound_retries_total"),
 		lookupHops: reg.Histogram("d2_client_lookup_hops", obs.CountBuckets),
+		segments:   reg.Counter("d2_client_segments_total"),
+		segRetries: reg.Counter("d2_client_segment_retries_total"),
 	}
 	if cfg.Tracer != nil {
 		if ut, ok := tr.(interface{ UseTracer(*tracing.Tracer) }); ok {

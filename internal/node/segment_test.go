@@ -1,0 +1,118 @@
+package node
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/defragdht/d2/internal/keys"
+	"github.com/defragdht/d2/internal/transport"
+)
+
+func putSegmentKeys(t *testing.T, c *Client, n int) ([]keys.Key, [][]byte) {
+	t.Helper()
+	ctx := context.Background()
+	ks := make([]keys.Key, n)
+	vals := make([][]byte, n)
+	for i := range ks {
+		ks[i] = keys.HashString(fmt.Sprintf("seg-%03d", i))
+		vals[i] = []byte(fmt.Sprintf("segment block %03d", i))
+		if err := c.Put(ctx, ks[i], vals[i]); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	return ks, vals
+}
+
+func TestGetSegmentStreamComplete(t *testing.T) {
+	net := transport.NewMemNetwork(0)
+	nodes := startRing(t, net, 5, nil)
+	defer closeAll(t, nodes)
+	c := newClient(t, net, nodes)
+	defer c.Close()
+
+	ks, vals := putSegmentKeys(t, c, 32)
+	got, err := c.GetSegment(context.Background(), ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ks) {
+		t.Fatalf("GetSegment returned %d of %d keys", len(got), len(ks))
+	}
+	for i, k := range ks {
+		if !bytes.Equal(got[k], vals[i]) {
+			t.Fatalf("key %d payload mismatch", i)
+		}
+	}
+}
+
+func TestGetSegmentStreamRetriesMissing(t *testing.T) {
+	net := transport.NewMemNetwork(0)
+	nodes := startRing(t, net, 4, nil)
+	defer closeAll(t, nodes)
+	c := newClient(t, net, nodes)
+	defer c.Close()
+
+	ks, _ := putSegmentKeys(t, c, 8)
+	// Two keys that were never stored: the segment path must burn its
+	// retry budget on them, then return the partial result rather than
+	// failing the whole segment.
+	req := append(append([]keys.Key{}, ks...),
+		keys.HashString("segment-hole-a"), keys.HashString("segment-hole-b"))
+	start := time.Now()
+	got, err := c.GetSegment(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ks) {
+		t.Fatalf("GetSegment returned %d keys, want the %d stored", len(got), len(ks))
+	}
+	if elapsed := time.Since(start); elapsed < segmentRetryBackoff/2 {
+		t.Errorf("segment with holes returned in %v; retry rounds did not run", elapsed)
+	}
+	if c.segRetries.Value() == 0 {
+		t.Error("d2_client_segment_retries_total not incremented for missing keys")
+	}
+}
+
+func TestGetSegmentStreamSurvivesNodeKill(t *testing.T) {
+	net := transport.NewMemNetwork(0)
+	nodes := startRing(t, net, 6, nil)
+	defer func() {
+		for _, n := range nodes {
+			if n != nil {
+				n.Close()
+			}
+		}
+	}()
+	c := newClient(t, net, nodes)
+	defer c.Close()
+
+	ks, vals := putSegmentKeys(t, c, 48)
+	// Let the repair loop finish replicating before the failure.
+	time.Sleep(300 * time.Millisecond)
+	// Warm the client's range cache so the kill invalidates real state.
+	if _, err := c.GetSegment(context.Background(), ks); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[3].Close(); err != nil {
+		t.Fatal(err)
+	}
+	nodes[3] = nil
+	// Immediately after the kill — before the ring restabilizes — the
+	// segment must still assemble from replicas via the retry path.
+	got, err := c.GetSegment(context.Background(), ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ks) {
+		t.Fatalf("post-kill GetSegment returned %d of %d keys", len(got), len(ks))
+	}
+	for i, k := range ks {
+		if !bytes.Equal(got[k], vals[i]) {
+			t.Fatalf("key %d payload mismatch after node kill", i)
+		}
+	}
+}

@@ -312,7 +312,15 @@ func (st *serveState) serveOne(sr *serveReq) {
 	st.m.serveEnd()
 
 	enc := getEncoder()
-	if err := enc.encode(sr.tag, 0, 0, st.t.addr, resp, st.t.useCRC()); err == nil {
+	err := enc.encode(sr.tag, 0, 0, st.t.addr, resp, st.t.useCRC())
+	if err != nil {
+		// An unencodable response (typically one that overflows the frame
+		// cap) must still answer the call: silently dropping the reply
+		// leaves the client blocked on its tag forever. encode resets the
+		// encoder at entry, so reusing it for the error reply is safe.
+		err = enc.encode(sr.tag, 0, 0, st.t.addr, ToErrResp(err), st.t.useCRC())
+	}
+	if err == nil {
 		st.wmu.Lock()
 		_, werr := enc.buffers().WriteTo(st.conn)
 		st.wmu.Unlock()

@@ -23,6 +23,12 @@
 #                            alloc guard proving the TCP serve path
 #                            (read→decode→handle→encode→writev) stays
 #                            zero-allocation
+#   scripts/verify.sh stream stream tier: the windowed-readahead pipeline
+#                            tests under -race (backpressure, adaptive
+#                            window, cancellation, the mid-stream
+#                            node-kill e2e) plus the alloc gate proving
+#                            segment buffers recycle through the pool
+#                            (< 4 MB allocated per 8 MB streamed)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -68,6 +74,23 @@ if [ "${1:-}" = "wire" ]; then
 		echo "wire tier: TCP serve path allocates" >&2
 		exit 1
 	}
+	exit 0
+fi
+
+if [ "${1:-}" = "stream" ]; then
+	echo "== stream tier: streaming pipeline tests under -race"
+	go test -race -run 'Stream|ReadCacheByteCap' ./internal/fs/ ./internal/node/ .
+	echo "== stream tier: consume-path alloc gate (want < 4 MB/op for an 8 MB stream)"
+	out=$(go test -run '^$' -bench 'BenchmarkStreamConsume' -benchmem \
+		./internal/fs/ | tee /dev/stderr)
+	echo "$out" | awk '
+		/BenchmarkStreamConsume/ { for (i = 2; i <= NF; i++) if ($i == "B/op") bytes = $(i-1) }
+		END {
+			if (bytes == "" || bytes + 0 >= 4194304) {
+				print "stream tier: consume path allocated " bytes " B/op (segment pool regression?)" > "/dev/stderr"
+				exit 1
+			}
+		}'
 	exit 0
 fi
 

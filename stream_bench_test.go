@@ -1,0 +1,236 @@
+package d2_test
+
+// BenchmarkStreamRead measures the streaming read path end to end over
+// real TCP sockets: a 9-node ring serves a 64 MB file to three readers —
+// the windowed-readahead stream, the batched whole-file read it must not
+// fall behind, and a single-segment read whose latency bounds the
+// stream's time to first byte.
+//
+// With D2_BENCH_STREAM=<file> the run writes a JSON report ({ttfb_ms,
+// sustained_mbps, wholefile_mbps, single_segment_ms, window_trajectory,
+// stalls}) for `d2bench -stream` to embed in BENCH_5.json.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"os"
+	"sort"
+	"strconv"
+	"testing"
+	"time"
+
+	d2 "github.com/defragdht/d2"
+)
+
+const oneSegmentBytes = 128 << 10 // SegmentBlocks * BlockSize
+
+// streamBenchMB is the benchmark file size (the acceptance run uses the
+// 64 MB default; D2_BENCH_STREAM_MB overrides for quick iteration).
+func streamBenchMB() int {
+	if s := os.Getenv("D2_BENCH_STREAM_MB"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 64
+}
+
+// streamBenchReport is the D2_BENCH_STREAM JSON document.
+type streamBenchReport struct {
+	FileMB           int     `json:"file_mb"`
+	TTFBMs           float64 `json:"ttfb_ms"`
+	SustainedMBps    float64 `json:"sustained_mbps"`
+	WholeFileMBps    float64 `json:"wholefile_mbps"`
+	SingleSegmentMs  float64 `json:"single_segment_ms"`
+	Stalls           int     `json:"stalls"`
+	WastedBlocks     int     `json:"wasted_blocks"`
+	WindowTrajectory []int   `json:"window_trajectory"`
+}
+
+func BenchmarkStreamRead(b *testing.B) {
+	ctx := context.Background()
+	opts := d2.NodeOptions{
+		Replicas:          3,
+		StabilizeInterval: 20 * time.Millisecond,
+		// Quiet repair: the bench kills no nodes, and a busy repair
+		// sweep over 3 replicas of the payload is pure timing noise.
+		RepairInterval: 10 * time.Second,
+	}
+	var nodes []*d2.Node
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	for i := 0; i < 9; i++ {
+		seed := ""
+		if i > 0 {
+			seed = nodes[0].Addr()
+		}
+		n, err := d2.StartNode(ctx, "127.0.0.1:0", seed, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	time.Sleep(500 * time.Millisecond) // let the ring stabilize
+
+	client, err := d2.ConnectTCP([]string{nodes[0].Addr(), nodes[8].Addr()}, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	_, priv, err := d2.GenerateKey()
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A one-byte read-cache cap forces every mode onto the network, so
+	// the comparison is transfer paths, not cache hits.
+	vol, err := client.CreateVolume(ctx, "streambench", priv, d2.VolumeOptions{
+		ReadCacheBytes: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	sizeMB := streamBenchMB()
+	sizeBytes := int64(sizeMB) << 20
+	payload := make([]byte, sizeBytes)
+	rng := rand.New(rand.NewPCG(3, 5))
+	for i := range payload {
+		payload[i] = byte(rng.Uint64())
+	}
+	w, err := vol.WriteStream(ctx, "/big.bin")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if err := vol.WriteFile(ctx, "/seg.bin", payload[:oneSegmentBytes]); err != nil {
+		b.Fatal(err)
+	}
+	if err := vol.Sync(ctx); err != nil {
+		b.Fatal(err)
+	}
+
+	// Warm pass: one open-and-taste plus one segment read, so the timed
+	// modes measure the transfer paths with warm lookup caches, not the
+	// first-contact metadata walk.
+	{
+		r, err := vol.ReadStream(ctx, "/big.bin")
+		if err != nil {
+			b.Fatal(err)
+		}
+		one := make([]byte, 1)
+		if _, err := r.Read(one); err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := vol.ReadFile(ctx, "/seg.bin"); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	var rep streamBenchReport
+	rep.FileMB = sizeMB
+
+	b.Run("mode=stream", func(b *testing.B) {
+		b.SetBytes(sizeBytes)
+		for i := 0; i < b.N; i++ {
+			r, err := vol.ReadStream(ctx, "/big.bin")
+			if err != nil {
+				b.Fatal(err)
+			}
+			n, err := io.Copy(io.Discard, r)
+			if cerr := r.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil || n != sizeBytes {
+				b.Fatalf("stream read = (%d, %v)", n, err)
+			}
+			st := r.(d2.StatStream).Stats()
+			rep.SustainedMBps = st.MBps()
+			rep.Stalls = st.Stalls
+			rep.WastedBlocks = st.WastedBlocks
+			rep.WindowTrajectory = st.WindowTrajectory
+		}
+		b.StopTimer()
+		// TTFB is its own experiment: the median over several
+		// open→first-byte→close cycles, like mode=segment's median.
+		var ttfbs []time.Duration
+		one := make([]byte, 1)
+		for j := 0; j < 9; j++ {
+			r, err := vol.ReadStream(ctx, "/big.bin")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := r.Read(one); err != nil {
+				b.Fatal(err)
+			}
+			if err := r.Close(); err != nil {
+				b.Fatal(err)
+			}
+			ttfbs = append(ttfbs, r.(d2.StatStream).Stats().TTFB)
+		}
+		sort.Slice(ttfbs, func(i, j int) bool { return ttfbs[i] < ttfbs[j] })
+		rep.TTFBMs = float64(ttfbs[len(ttfbs)/2]) / float64(time.Millisecond)
+		b.StartTimer()
+		b.ReportMetric(rep.TTFBMs, "ttfb-ms")
+		b.ReportMetric(rep.SustainedMBps, "stream-MB/s")
+	})
+
+	b.Run("mode=wholefile", func(b *testing.B) {
+		b.SetBytes(sizeBytes)
+		var elapsed time.Duration
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			data, err := vol.ReadFile(ctx, "/big.bin")
+			elapsed = time.Since(start)
+			if err != nil || int64(len(data)) != sizeBytes {
+				b.Fatalf("whole-file read = (%d, %v)", len(data), err)
+			}
+		}
+		rep.WholeFileMBps = float64(sizeMB) / elapsed.Seconds()
+		b.ReportMetric(rep.WholeFileMBps, "wholefile-MB/s")
+	})
+
+	b.Run("mode=segment", func(b *testing.B) {
+		// Median of a fixed sample set per iteration: a single read's
+		// latency is too noisy to serve as the TTFB acceptance bound.
+		var samples []time.Duration
+		for i := 0; i < b.N; i++ {
+			samples = samples[:0]
+			for j := 0; j < 16; j++ {
+				start := time.Now()
+				data, err := vol.ReadFile(ctx, "/seg.bin")
+				samples = append(samples, time.Since(start))
+				if err != nil || len(data) != oneSegmentBytes {
+					b.Fatalf("segment read = (%d, %v)", len(data), err)
+				}
+			}
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		rep.SingleSegmentMs = float64(samples[len(samples)/2]) / float64(time.Millisecond)
+		b.ReportMetric(rep.SingleSegmentMs, "segment-ms")
+	})
+
+	if path := os.Getenv("D2_BENCH_STREAM"); path != "" {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "stream report written to %s\n", path)
+	}
+}

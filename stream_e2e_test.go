@@ -1,0 +1,122 @@
+package d2_test
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	d2 "github.com/defragdht/d2"
+)
+
+// TestStreamSurvivesMidStreamNodeKill streams a multi-megabyte file
+// while the node holding the most of it is killed partway through. The
+// segment retry path must re-resolve ownership and assemble the rest
+// from replicas without surfacing an error.
+func TestStreamSurvivesMidStreamNodeKill(t *testing.T) {
+	ctx := context.Background()
+	cluster, err := d2.NewCluster(ctx, 9, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	writer, err := cluster.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer writer.Close()
+
+	pub, priv, err := d2.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol, err := writer.CreateVolume(ctx, "media", priv, d2.VolumeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 4 << 20 // 512 blocks, 32 segments
+	want := make([]byte, size)
+	rng := rand.New(rand.NewPCG(11, 13))
+	for i := range want {
+		want[i] = byte(rng.Uint64())
+	}
+	w, err := vol.WriteStream(ctx, "/movie.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := vol.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Let the repair loop replicate the fresh blocks before the kill.
+	time.Sleep(500 * time.Millisecond)
+
+	// Stream through a second client so the writer's caches cannot mask
+	// network fetches.
+	reader, err := cluster.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reader.Close()
+	rvol, err := reader.OpenVolume(ctx, "media", pub, nil, d2.VolumeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := rvol.ReadStream(ctx, "/movie.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	got := make([]byte, 0, size)
+	buf := make([]byte, 1<<20)
+	n, err := io.ReadFull(r, buf)
+	if err != nil {
+		t.Fatalf("first MB: %v", err)
+	}
+	got = append(got, buf[:n]...)
+
+	// Kill the most-loaded node (the file's locality-preserving keys
+	// concentrate there) while the stream is mid-flight.
+	victim, most := 1, int64(-1)
+	for i, b := range cluster.StoredBytes() {
+		if i == 0 {
+			continue // keep the clients' seed up
+		}
+		if b > most {
+			victim, most = i, b
+		}
+	}
+	if err := cluster.CloseNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("killed node %d holding %d bytes mid-stream", victim, most)
+
+	for {
+		n, err := r.Read(buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("read after node kill: %v", err)
+		}
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("streamed content corrupt after node kill (%d bytes, want %d)", len(got), len(want))
+	}
+	st := r.(d2.StatStream).Stats()
+	if st.Bytes != size {
+		t.Errorf("Stats.Bytes = %d, want %d", st.Bytes, size)
+	}
+	if st.TTFB <= 0 {
+		t.Errorf("Stats.TTFB = %v, want > 0", st.TTFB)
+	}
+}
