@@ -62,8 +62,26 @@ func TestAdminPlane(t *testing.T) {
 			return resp.StatusCode, string(body)
 		}
 
-		if code, body := get("/healthz"); code != 200 || !strings.HasPrefix(body, "ok ") {
+		code, body := get("/healthz")
+		if code != 200 {
 			t.Fatalf("node %d /healthz: code=%d body=%q", i, code, body)
+		}
+		var health struct {
+			Node   string `json:"node"`
+			State  string `json:"state"`
+			Checks []struct {
+				Name  string `json:"name"`
+				State string `json:"state"`
+			} `json:"checks"`
+		}
+		if err := json.Unmarshal([]byte(body), &health); err != nil {
+			t.Fatalf("node %d /healthz not JSON: %v (%q)", i, err, body)
+		}
+		if health.Node != nd.Addr() || health.State == "" || len(health.Checks) == 0 {
+			t.Fatalf("node %d /healthz incomplete: %+v", i, health)
+		}
+		if code, body := get("/historyz?view=rates"); code != 200 || !json.Valid([]byte(body)) {
+			t.Fatalf("node %d /historyz: code=%d body=%q", i, code, body)
 		}
 		if code, body := get("/metrics"); code != 200 ||
 			!strings.Contains(body, "d2_node_store_bytes") ||
@@ -73,7 +91,7 @@ func TestAdminPlane(t *testing.T) {
 		if code, body := get("/statsz"); code != 200 || !json.Valid([]byte(body)) {
 			t.Fatalf("node %d /statsz: code=%d valid=%v", i, code, json.Valid([]byte(body)))
 		}
-		code, body := get("/ringz")
+		code, body = get("/ringz")
 		if code != 200 {
 			t.Fatalf("node %d /ringz: code=%d", i, code)
 		}

@@ -15,7 +15,9 @@
 // likewise embeds the sampled request-trace JSON a benchmark writes when
 // D2_BENCH_TRACE is set (Chrome trace-event form, Perfetto-loadable), and
 // -stream embeds the streaming-read report (TTFB, sustained throughput,
-// window trajectory) BenchmarkStreamRead writes when D2_BENCH_STREAM is set.
+// window trajectory) BenchmarkStreamRead writes when D2_BENCH_STREAM is
+// set, and -health embeds the final cluster-health summary a benchmark
+// writes when D2_BENCH_HEALTH is set.
 package main
 
 import (
@@ -62,6 +64,10 @@ type Report struct {
 	// window_trajectory, ...) a benchmark writes when D2_BENCH_STREAM is
 	// set (see -stream).
 	Stream json.RawMessage `json:"stream,omitempty"`
+	// Health is the final cluster-health summary (history.Status plus
+	// derived rates) a benchmark writes when D2_BENCH_HEALTH is set (see
+	// -health).
+	Health json.RawMessage `json:"health,omitempty"`
 }
 
 func main() {
@@ -76,6 +82,7 @@ func run() error {
 	metrics := flag.String("metrics", "", "metrics snapshot JSON to embed in the report")
 	trace := flag.String("trace", "", "request-trace JSON (D2_BENCH_TRACE output) to embed in the report")
 	stream := flag.String("stream", "", "streaming-read report JSON (D2_BENCH_STREAM output) to embed")
+	health := flag.String("health", "", "cluster-health summary JSON (D2_BENCH_HEALTH output) to embed")
 	out := flag.String("o", "", "output JSON path (default stdout)")
 	flag.Parse()
 
@@ -156,6 +163,17 @@ func run() error {
 			return fmt.Errorf("%s: not valid JSON", *stream)
 		}
 		rep.Stream = json.RawMessage(raw)
+	}
+
+	if *health != "" {
+		raw, err := os.ReadFile(*health)
+		if err != nil {
+			return err
+		}
+		if !json.Valid(raw) {
+			return fmt.Errorf("%s: not valid JSON", *health)
+		}
+		rep.Health = json.RawMessage(raw)
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")

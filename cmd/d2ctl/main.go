@@ -24,6 +24,14 @@
 //	d2ctl -seeds 127.0.0.1:7001 -vol home stats
 //	d2ctl -seeds 127.0.0.1:7001 top
 //
+// Cluster health (scrapes every ring member's health engine; watch shows
+// true per-second rates derived from each node's metric history, doctor
+// prints a one-shot report naming the failing node and check):
+//
+//	d2ctl -seeds 127.0.0.1:7001 watch
+//	d2ctl -seeds 127.0.0.1:7001 -interval 5s -n 3 watch
+//	d2ctl -seeds 127.0.0.1:7001 doctor
+//
 // Request tracing (reads the file under a forced trace, scrapes every
 // ring member for its spans, and prints the assembled cross-node tree;
 // the optional second argument exports Perfetto-loadable JSON):
@@ -58,10 +66,12 @@ func run() error {
 	volName := flag.String("vol", "", "volume name")
 	keyFile := flag.String("keyfile", "d2ctl.key", "volume keypair file")
 	verbose := flag.Bool("v", false, "cat: print TTFB and throughput to stderr")
+	interval := flag.Duration("interval", 2*time.Second, "watch: refresh period")
+	count := flag.Int("n", 0, "watch: number of refreshes (0 = until interrupted)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("usage: d2ctl [flags] mkvol|mkdir|write|cat|ls|stat|mv|rm|trace|stats|top ...")
+		return fmt.Errorf("usage: d2ctl [flags] mkvol|mkdir|write|cat|ls|stat|mv|rm|trace|stats|top|watch|doctor ...")
 	}
 
 	client, err := d2.ConnectTCP(strings.Split(*seeds, ","), 3)
@@ -89,6 +99,10 @@ func run() error {
 			return runStats(ctx, client)
 		}
 		return runTop(ctx, client)
+	case "doctor":
+		return runDoctor(ctx, client)
+	case "watch":
+		return runWatch(ctx, client, *interval, *count)
 	}
 	if cmd == "mkvol" {
 		if len(args) != 2 {

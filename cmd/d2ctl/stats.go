@@ -52,6 +52,9 @@ func runStats(ctx context.Context, client *d2.Client) error {
 
 	printCounterGroup(merged, "d2_rpc_server_total", "rpcs served")
 	printCounterGroup(merged, "d2_node_", "node activity")
+	printCounterGroup(merged, "d2_tcp_", "tcp transport")
+	printCounterGroup(merged, "d2_stream_", "streaming reads")
+	printGaugeGroup(merged, "connection pools / streams", "d2_tcp_pool_", "d2_stream_")
 	printLatencies(merged)
 	return nil
 }
@@ -67,8 +70,8 @@ func runTop(ctx context.Context, client *d2.Client) error {
 	}
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i].RespBytes > nodes[j].RespBytes })
 
-	fmt.Printf("%-22s %-10s %8s %10s %10s %10s %10s\n",
-		"ADDR", "ID", "BLOCKS", "STORED", "PRIMARY", "SERVED", "REDIRECTS")
+	fmt.Printf("%-22s %-10s %8s %10s %10s %10s %10s %6s %9s\n",
+		"ADDR", "ID", "BLOCKS", "STORED", "PRIMARY", "SERVED", "REDIRECTS", "POOL", "FAILFAST")
 	for _, n := range nodes {
 		var served uint64
 		for name, v := range n.Snapshot.Counters {
@@ -76,10 +79,12 @@ func runTop(ctx context.Context, client *d2.Client) error {
 				served += v
 			}
 		}
-		fmt.Printf("%-22s %-10s %8d %10s %10s %10d %10d\n",
+		fmt.Printf("%-22s %-10s %8d %10s %10s %10d %10d %6d %9d\n",
 			n.Self.Addr, n.Self.ID.Short(), n.Blocks,
 			fmtBytes(n.StoredBytes), fmtBytes(n.RespBytes),
-			served, n.Snapshot.Counters["d2_node_ptr_redirects_total"])
+			served, n.Snapshot.Counters["d2_node_ptr_redirects_total"],
+			n.Snapshot.Gauges["d2_tcp_pool_conns"],
+			n.Snapshot.Counters["d2_tcp_pool_failfast_total"])
 	}
 	return nil
 }
@@ -106,12 +111,43 @@ func printCounterGroup(s obs.Snapshot, prefix, title string) {
 	}
 }
 
+// printGaugeGroup prints the non-zero gauges matching any of the name
+// prefixes (pool occupancy, stream throughput — values that a counter
+// group can't carry).
+func printGaugeGroup(s obs.Snapshot, title string, prefixes ...string) {
+	type kv struct {
+		name string
+		v    int64
+	}
+	var rows []kv
+	for name, v := range s.Gauges {
+		if v == 0 {
+			continue
+		}
+		for _, p := range prefixes {
+			if strings.HasPrefix(name, p) {
+				rows = append(rows, kv{name, v})
+				break
+			}
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	fmt.Printf("%s:\n", title)
+	for _, r := range rows {
+		fmt.Printf("  %-48s %12d\n", r.name, r.v)
+	}
+}
+
 // printLatencies prints p50/p95/p99 for every per-RPC latency histogram
-// with observations.
+// with observations, plus the streaming-read TTFB histogram.
 func printLatencies(s obs.Snapshot) {
 	var names []string
 	for name := range s.Histograms {
-		if strings.HasPrefix(name, "d2_rpc_client_latency_ns") && s.Histograms[name].Count() > 0 {
+		if (strings.HasPrefix(name, "d2_rpc_client_latency_ns") ||
+			name == "d2_stream_ttfb_ns") && s.Histograms[name].Count() > 0 {
 			names = append(names, name)
 		}
 	}
@@ -119,12 +155,15 @@ func printLatencies(s obs.Snapshot) {
 		return
 	}
 	sort.Strings(names)
-	fmt.Println("rpc latency (client-observed):")
+	fmt.Println("latency (client-observed):")
 	for _, name := range names {
 		h := s.Histograms[name]
-		rpc := strings.TrimSuffix(strings.TrimPrefix(name, `d2_rpc_client_latency_ns{rpc="`), `"}`)
+		label := strings.TrimSuffix(strings.TrimPrefix(name, `d2_rpc_client_latency_ns{rpc="`), `"}`)
+		if name == "d2_stream_ttfb_ns" {
+			label = "stream_ttfb"
+		}
 		fmt.Printf("  %-12s n=%-8d p50=%-10s p95=%-10s p99=%s\n",
-			rpc, h.Count(),
+			label, h.Count(),
 			fmtNanos(h.Quantile(0.50)), fmtNanos(h.Quantile(0.95)), fmtNanos(h.Quantile(0.99)))
 	}
 }

@@ -6,11 +6,16 @@
 //	d2node -bind 127.0.0.1:7003 -seed 127.0.0.1:7001 -balance 10m
 //
 // The -admin address serves the observability plane: /metrics (Prometheus
-// text), /statsz (JSON), /eventz, /tracez, /healthz, /ringz, and
-// /debug/pprof/. Pass -trace-sample / -trace-slow to retain request
-// traces; "d2ctl trace <file>" assembles them across nodes.
-// Use cmd/d2ctl to read and write blocks and volumes ("d2ctl stats" and
-// "d2ctl top" build cluster-wide views from every node's metrics).
+// text), /statsz (JSON), /eventz, /tracez, /healthz (the health engine's
+// status document), /historyz (retained metric samples and derived
+// rates), /ringz, and /debug/pprof/. Pass -trace-sample / -trace-slow to
+// retain request traces; "d2ctl trace <file>" assembles them across
+// nodes. Pass -flight-dir to enable the flight recorder: on a health
+// transition, a slow request, or a peer death the node dumps a JSON
+// diagnostic bundle (health, rates, recent events, triggering spans)
+// there. Use cmd/d2ctl to read and write blocks and volumes ("d2ctl
+// stats"/"top" build cluster-wide metric views; "d2ctl watch"/"doctor"
+// build cluster-wide health views).
 package main
 
 import (
@@ -45,6 +50,8 @@ func run() error {
 	admin := flag.String("admin", "", "admin/debug HTTP address (empty = off); serves /metrics, /statsz, /eventz, /tracez, /healthz, /ringz, /debug/pprof/")
 	traceSample := flag.Int("trace-sample", 0, "keep 1 in N request traces (0 = off; forced traces always work)")
 	traceSlow := flag.Duration("trace-slow", 0, "always keep traces of requests at least this slow (0 = off)")
+	historyIv := flag.Duration("history-interval", 0, "health-engine sampling interval (0 = default 2s)")
+	flightDir := flag.String("flight-dir", "", "directory for flight-recorder diagnostic bundles (empty = off)")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -55,6 +62,8 @@ func run() error {
 		RemoveDelay:          *removeDelay,
 		TraceSampleEvery:     *traceSample,
 		TraceSlowThreshold:   *traceSlow,
+		HistoryInterval:      *historyIv,
+		FlightDir:            *flightDir,
 	})
 	if err != nil {
 		return err

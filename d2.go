@@ -32,6 +32,7 @@ import (
 	"github.com/defragdht/d2/internal/keys"
 	"github.com/defragdht/d2/internal/node"
 	"github.com/defragdht/d2/internal/obs"
+	"github.com/defragdht/d2/internal/obs/history"
 	"github.com/defragdht/d2/internal/obs/tracing"
 	"github.com/defragdht/d2/internal/transport"
 )
@@ -88,6 +89,16 @@ type NodeOptions struct {
 	// this slow, regardless of sampling (0 disables). Setting it makes
 	// every operation provisionally traced, which costs allocations.
 	TraceSlowThreshold time.Duration
+	// HistoryInterval is the health engine's sampling period (default
+	// 2 s). The engine always runs on TCP nodes; the interval only tunes
+	// its resolution.
+	HistoryInterval time.Duration
+	// FlightDir enables the flight recorder: on health transitions, slow
+	// requests, and peer deaths the node dumps a JSON diagnostic bundle
+	// there. Empty disables dumps.
+	FlightDir string
+	// FlightMinGap rate-limits flight-recorder dumps (default 10 s).
+	FlightMinGap time.Duration
 }
 
 // tracer builds the per-node (or per-client) request tracer. Every node
@@ -233,6 +244,7 @@ type Node struct {
 	tr     *transport.TCPTransport
 	reg    *obs.Registry
 	events *obs.EventLog
+	engine *history.Engine
 }
 
 // StartNode boots a TCP node bound to bind ("127.0.0.1:0" for an
@@ -246,19 +258,49 @@ func StartNode(ctx context.Context, bind, seed string, opts NodeOptions) (*Node,
 	// (StatsReq or the admin HTTP page) sees both layers.
 	reg := obs.New()
 	events := obs.NewEventLog(1024)
+	events.CountDrops(reg.Counter("d2_events_dropped_total"))
 	tr.UseMetrics(transport.NewRPCMetrics(reg))
 	cfg := opts.toConfig(0)
 	cfg.Metrics = reg
 	cfg.Events = events
 	cfg.Tracer = opts.tracer(string(tr.Addr()))
+
+	// The health engine samples the shared registry and answers HealthReq
+	// and /healthz. The node itself can't depend on the engine's
+	// lifecycle, so the wiring lives here.
+	engine := history.New(history.Config{
+		Registry:     reg,
+		Events:       events,
+		Sink:         cfg.Tracer.Sink(),
+		Node:         string(tr.Addr()),
+		Interval:     opts.HistoryInterval,
+		FlightDir:    opts.FlightDir,
+		FlightMinGap: opts.FlightMinGap,
+	})
+	cfg.Health = engine
+	// Flight-recorder triggers ride the event stream: the node logs
+	// slow.request (with the trace when sampled) and ring.drop_succ as
+	// they happen, and health.transition comes from the engine itself
+	// (Tick triggers directly, so no hook needed for it here).
+	events.Notify(func(ev obs.Event) {
+		switch ev.Name {
+		case "slow.request":
+			engine.Trigger("slow_request", ev.Fields, ev.Trace)
+		case "ring.drop_succ":
+			engine.Trigger("peer_dead", ev.Fields, ev.Trace)
+		}
+	})
+
 	nd := node.Start(tr, cfg)
+	engine.Start()
 	if seed != "" {
 		if err := nd.Join(ctx, transport.Addr(seed)); err != nil {
+			engine.Close()
 			_ = nd.Close()
 			return nil, fmt.Errorf("d2: join %s: %w", seed, err)
 		}
 	}
-	return &Node{inner: nd, tr: tr, reg: reg, events: events}, nil
+	return &Node{inner: nd, tr: tr, reg: reg, events: events, engine: engine}, nil
 }
 
 // Addr returns the node's listen address.
@@ -271,18 +313,45 @@ func (n *Node) ID() Key { return n.inner.Self().ID }
 func (n *Node) StoredBytes() int64 { return n.inner.StoredBytes() }
 
 // Close stops the node (crash-style; replicas regenerate elsewhere).
-func (n *Node) Close() error { return n.inner.Close() }
+func (n *Node) Close() error {
+	if n.engine != nil {
+		n.engine.Close()
+	}
+	return n.inner.Close()
+}
+
+// Health returns the node's current overall health state ("ok",
+// "degraded", "failing").
+func (n *Node) Health() string { return n.engine.State().String() }
 
 // AdminHandler returns the node's admin/debug plane: Prometheus /metrics,
 // /statsz (JSON snapshot), /eventz (structured event log), /tracez
-// (retained request traces), /healthz, /ringz (the node's ring view), and
-// net/http/pprof under /debug/pprof/. Serve it on a loopback or
-// otherwise-protected port; it is unauthenticated.
+// (retained request traces), /healthz (the health engine's status
+// document), /historyz (the retained sample ring and derived rates),
+// /ringz (the node's ring view), and net/http/pprof under /debug/pprof/.
+// Serve it on a loopback or otherwise-protected port; it is
+// unauthenticated.
 func (n *Node) AdminHandler() http.Handler {
 	mux := obs.NewMux(n.reg, n.events, n.inner.Tracer().Sink())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintf(w, "ok %s %s\n", n.inner.Self().ID.Short(), n.Addr())
+		st := n.engine.Status()
+		w.Header().Set("Content-Type", "application/json")
+		if st.State == "failing" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
+	})
+	mux.HandleFunc("/historyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if r.URL.Query().Get("view") == "rates" {
+			_ = enc.Encode(n.engine.Rates())
+			return
+		}
+		_ = enc.Encode(n.engine.DumpHistory(0))
 	})
 	mux.HandleFunc("/ringz", func(w http.ResponseWriter, r *http.Request) {
 		pred, succs := n.inner.Neighbors()
@@ -458,6 +527,25 @@ func (c *Client) WalkRing(ctx context.Context) ([]RingMember, error) {
 // accounting (the d2ctl stats/top data source).
 func (c *Client) ClusterStats(ctx context.Context) ([]NodeStats, error) {
 	return c.inner.ClusterStats(ctx)
+}
+
+// NodeHealth is one ring member's scraped health state.
+type NodeHealth = node.NodeHealth
+
+// ClusterReport is the doctor's cluster-level health document.
+type ClusterReport = history.ClusterReport
+
+// ClusterHealth scrapes every ring member's health verdict, status, and
+// derived rates (the d2ctl watch data source).
+func (c *Client) ClusterHealth(ctx context.Context) ([]NodeHealth, error) {
+	return c.inner.ClusterHealth(ctx)
+}
+
+// ClusterDoctor gathers cluster health and evaluates cluster-level
+// checks — §10 load imbalance plus every member's failing or degraded
+// check, naming the node responsible (the d2ctl doctor data source).
+func (c *Client) ClusterDoctor(ctx context.Context) (ClusterReport, error) {
+	return c.inner.ClusterReport(ctx)
 }
 
 // Close releases the client.

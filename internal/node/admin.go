@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"github.com/defragdht/d2/internal/obs"
+	"github.com/defragdht/d2/internal/obs/history"
 	"github.com/defragdht/d2/internal/obs/tracing"
 	"github.com/defragdht/d2/internal/transport"
 )
@@ -125,6 +126,75 @@ func (c *Client) ClusterStats(ctx context.Context) ([]NodeStats, error) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Self.ID.Less(out[j].Self.ID) })
 	return out, nil
+}
+
+// NodeHealth is one ring member's scraped health state.
+type NodeHealth struct {
+	Self        transport.PeerInfo
+	Pred        transport.PeerInfo
+	RespBytes   int64
+	StoredBytes int64
+	Blocks      int64
+	// State is the node's own verdict ("unknown" for engine-less nodes).
+	State string
+	// Status and Rates are the node's history documents (nil without an
+	// engine).
+	Status *history.Status
+	Rates  *history.Rates
+}
+
+// ClusterHealth scrapes every ring member's health via the HealthReq
+// RPC, returning per-node health in ID order. Unreachable members are
+// skipped — the doctor detects their absence through the survivors'
+// replica-deficit checks, not through the walk itself.
+func (c *Client) ClusterHealth(ctx context.Context) ([]NodeHealth, error) {
+	members, err := c.WalkRing(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var out []NodeHealth
+	for _, m := range members {
+		resp, err := transport.Expect[*transport.HealthResp](
+			c.call(ctx, m.Self.Addr, &transport.HealthReq{}))
+		if err != nil {
+			continue
+		}
+		out = append(out, NodeHealth{
+			Self:        resp.Self,
+			Pred:        resp.Pred,
+			RespBytes:   resp.RespBytes,
+			StoredBytes: resp.StoredBytes,
+			Blocks:      resp.Blocks,
+			State:       resp.State,
+			Status:      history.ParseStatus(resp.StatusJSON),
+			Rates:       history.ParseRates(resp.RatesJSON),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Self.ID.Less(out[j].Self.ID) })
+	return out, nil
+}
+
+// ClusterReport gathers ClusterHealth and evaluates cluster-level checks
+// (§10 load imbalance, worst member state, per-node problems) — the
+// document behind `d2ctl doctor`.
+func (c *Client) ClusterReport(ctx context.Context) (history.ClusterReport, error) {
+	nodes, err := c.ClusterHealth(ctx)
+	if err != nil {
+		return history.ClusterReport{}, err
+	}
+	members := make([]history.ClusterNode, 0, len(nodes))
+	for _, n := range nodes {
+		members = append(members, history.ClusterNode{
+			Addr:        string(n.Self.Addr),
+			State:       n.State,
+			RespBytes:   n.RespBytes,
+			StoredBytes: n.StoredBytes,
+			Blocks:      n.Blocks,
+			Status:      n.Status,
+			Rates:       n.Rates,
+		})
+	}
+	return history.BuildClusterReport(members), nil
 }
 
 // FetchClusterTrace scrapes every ring member's span sink for one trace

@@ -10,6 +10,7 @@ import (
 
 	"github.com/defragdht/d2/internal/keys"
 	"github.com/defragdht/d2/internal/obs"
+	"github.com/defragdht/d2/internal/obs/history"
 	"github.com/defragdht/d2/internal/obs/tracing"
 	"github.com/defragdht/d2/internal/transport"
 )
@@ -43,6 +44,7 @@ func BenchmarkBatchedRead(b *testing.B) {
 		snaps = append(snaps, c.Metrics().Snapshot())
 	})
 	var traceSink *tracing.Sink
+	var healthEngine *history.Engine
 	b.Run("transport=tcp", func(b *testing.B) {
 		nodes, cleanup := startTCPRing(b, 16)
 		defer cleanup()
@@ -53,6 +55,14 @@ func BenchmarkBatchedRead(b *testing.B) {
 		// idle, which is the zero-alloc path the bench numbers must hold on.
 		if os.Getenv("D2_BENCH_TRACE") != "" {
 			c.Tracer().SetSampleEvery(64)
+		}
+		// D2_BENCH_HEALTH brackets the TCP run with health-engine samples,
+		// so the final summary carries true per-second rates over the run.
+		if os.Getenv("D2_BENCH_HEALTH") != "" {
+			healthEngine = history.New(history.Config{
+				Registry: c.Metrics(), Node: "bench-tcp-client",
+			})
+			healthEngine.Tick(time.Now())
 		}
 		benchPlacements(b, c, blocks)
 		snaps = append(snaps, c.Metrics().Snapshot())
@@ -83,6 +93,23 @@ func BenchmarkBatchedRead(b *testing.B) {
 		}
 		if err != nil {
 			b.Errorf("write trace spans: %v", err)
+		}
+	}
+	// D2_BENCH_HEALTH names a file to receive the final cluster-health
+	// summary (status document + derived run rates); d2bench -health embeds
+	// it in BENCH_<n>.json next to the metrics snapshot.
+	if path := os.Getenv("D2_BENCH_HEALTH"); path != "" && healthEngine != nil {
+		healthEngine.Tick(time.Now())
+		doc := struct {
+			Status history.Status `json:"status"`
+			Rates  history.Rates  `json:"rates"`
+		}{healthEngine.Status(), healthEngine.Rates()}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err == nil {
+			err = os.WriteFile(path, data, 0o644)
+		}
+		if err != nil {
+			b.Errorf("write health summary: %v", err)
 		}
 	}
 }

@@ -18,6 +18,7 @@ import (
 
 	"github.com/defragdht/d2/internal/keys"
 	"github.com/defragdht/d2/internal/obs"
+	"github.com/defragdht/d2/internal/obs/history"
 	"github.com/defragdht/d2/internal/obs/tracing"
 	"github.com/defragdht/d2/internal/store"
 	"github.com/defragdht/d2/internal/transport"
@@ -65,6 +66,10 @@ type Config struct {
 	// tracing (the tracing API is nil-safe). Start also attaches it to
 	// the transport when the transport supports per-endpoint tracers.
 	Tracer *tracing.Tracer
+	// Health is the node's cluster-health engine; when set, HealthReq
+	// RPCs answer with its status and rates documents (nil nodes answer
+	// State "unknown"). The engine's lifecycle belongs to the caller.
+	Health *history.Engine
 }
 
 func (c *Config) applyDefaults() {

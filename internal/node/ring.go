@@ -52,6 +52,8 @@ func (n *Node) dispatch(ctx context.Context, from transport.Addr, req transport.
 		return n.handleSample(ctx, r), nil
 	case *transport.StatsReq:
 		return n.handleStats(), nil
+	case *transport.HealthReq:
+		return n.handleHealth(), nil
 	case *transport.TraceFetchReq:
 		return n.handleTraceFetch(r), nil
 	default:
@@ -74,6 +76,27 @@ func (n *Node) handleStats() transport.Message {
 		Blocks:       int64(n.st.Len()),
 		SnapshotJSON: snap,
 	}
+}
+
+// handleHealth answers the health engine's scrape: the node's verdict
+// and derived-rate documents plus the load summary the doctor needs for
+// the cluster-level §10 imbalance check. Nodes without an engine (bare
+// test clusters) answer "unknown" with nil documents.
+func (n *Node) handleHealth() transport.Message {
+	resp := &transport.HealthResp{
+		Self:        n.Self(),
+		Pred:        n.Predecessor(),
+		RespBytes:   n.RespBytes(),
+		StoredBytes: n.StoredBytes(),
+		Blocks:      int64(n.st.Len()),
+		State:       "unknown",
+	}
+	if e := n.cfg.Health; e != nil {
+		resp.State = e.State().String()
+		resp.StatusJSON = e.StatusJSON()
+		resp.RatesJSON = e.RatesJSON()
+	}
+	return resp
 }
 
 // owns reports whether this node owns key k: k ∈ (pred, self]. A node

@@ -232,15 +232,28 @@ func (n *Node) repair() {
 		return
 	}
 
-	// (1) Primary-range replication to successors.
+	// (1) Primary-range replication to successors. Track the replica
+	// deficit while pushing: slots with no successor to fill them (ring
+	// smaller than the replication target, e.g. after churn) plus blocks
+	// we could not confirm on a successor this round. The gauge feeds the
+	// health engine's replica_deficit check.
 	primary := n.st.Arc(pred.ID, self.ID)
-	replicas := n.cfg.Replicas - 1
+	primaryData := 0
+	for _, it := range primary {
+		if !it.Block.IsPointer() && !n.doomed(it.Key) {
+			primaryData++
+		}
+	}
+	desired := n.cfg.Replicas - 1
+	replicas := desired
 	if replicas > len(succs) {
 		replicas = len(succs)
 	}
+	deficit := int64(desired-replicas) * int64(primaryData)
 	for i := 0; i < replicas; i++ {
-		n.pushMissing(ctx, succs[i], pred.ID, self.ID, primary)
+		deficit += n.pushMissing(ctx, succs[i], pred.ID, self.ID, primary)
 	}
+	n.metrics.replicaDeficit.Set(deficit)
 
 	// (2) Hand off blocks we should not hold. Our responsibility reaches
 	// back r-1 predecessors; walk the pred chain to find the boundary.
@@ -251,20 +264,33 @@ func (n *Node) repair() {
 	n.handOffOutside(ctx, lo, self.ID)
 }
 
-// pushMissing ships the primary blocks the target lacks in (lo, hi].
-func (n *Node) pushMissing(ctx context.Context, target transport.PeerInfo, lo, hi keys.Key, items []storeItem) {
+// pushMissing ships the primary blocks the target lacks in (lo, hi]. It
+// returns the number of data blocks it could not confirm on the target
+// this round (unreachable target counts every block: the replica may be
+// gone), feeding repair's deficit gauge.
+func (n *Node) pushMissing(ctx context.Context, target transport.PeerInfo, lo, hi keys.Key, items []storeItem) int64 {
 	if target.Addr == n.tr.Addr() {
-		return
+		return 0
+	}
+	countData := func() int64 {
+		var c int64
+		for _, it := range items {
+			if !it.Block.IsPointer() && !n.doomed(it.Key) {
+				c++
+			}
+		}
+		return c
 	}
 	resp, err := transport.Expect[*transport.RangeResp](
 		n.call(ctx, target.Addr, &transport.RangeReq{Lo: lo, Hi: hi}))
 	if err != nil {
-		return
+		return countData()
 	}
 	have := make(map[keys.Key]bool, len(resp.Items))
 	for _, it := range resp.Items {
 		have[it.Key] = true
 	}
+	var missing int64
 	for _, it := range items {
 		if it.Block.IsPointer() || have[it.Key] || n.doomed(it.Key) {
 			continue
@@ -273,8 +299,11 @@ func (n *Node) pushMissing(ctx context.Context, target transport.PeerInfo, lo, h
 			Key: it.Key, Data: it.Block.Data,
 		})); err == nil {
 			n.metrics.repairPushes.Inc()
+		} else {
+			missing++
 		}
 	}
+	return missing
 }
 
 // storeItem aliases the store scan item for signatures here.

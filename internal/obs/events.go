@@ -54,6 +54,12 @@ type EventLog struct {
 	buf  []Event
 	next int
 	n    int // total events ever logged
+	// dropped, when set, counts ring overwrites of unread entries
+	// (d2_events_dropped_total) so silent overflow is visible.
+	dropped *Counter
+	// notify, when set, observes every appended event (flight-recorder
+	// triggers). Called outside the log's lock, on the logging goroutine.
+	notify func(Event)
 }
 
 // NewEventLog creates a log keeping the last capacity events
@@ -95,9 +101,42 @@ func (l *EventLog) log(trace uint64, level, name string, kv ...any) {
 	}
 	e := Event{Time: time.Now(), Level: level, Name: name, Fields: b.String(), Trace: trace}
 	l.mu.Lock()
+	if l.n >= len(l.buf) && l.dropped != nil {
+		l.dropped.Inc() // the slot being overwritten still held an event
+	}
 	l.buf[l.next] = e
 	l.next = (l.next + 1) % len(l.buf)
 	l.n++
+	notify := l.notify
+	l.mu.Unlock()
+	if notify != nil {
+		notify(e)
+	}
+}
+
+// CountDrops attaches a counter incremented each time the ring
+// overwrites a retained entry — the event log's data-loss signal
+// (conventionally registered as d2_events_dropped_total). Safe on a nil
+// receiver.
+func (l *EventLog) CountDrops(c *Counter) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.dropped = c
+	l.mu.Unlock()
+}
+
+// Notify installs a hook observing every appended event. The hook runs
+// on the logging goroutine, outside the log's lock (it may log further
+// events, though each triggers the hook again). One hook; later calls
+// replace earlier ones. Safe on a nil receiver.
+func (l *EventLog) Notify(fn func(Event)) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.notify = fn
 	l.mu.Unlock()
 }
 

@@ -87,6 +87,24 @@ func (h *Histogram) Count() uint64 {
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
 
+// NumBuckets returns the bucket count including the overflow bucket.
+func (h *Histogram) NumBuckets() int { return len(h.counts) }
+
+// NumBounds returns the number of finite upper bounds (NumBuckets - 1).
+func (h *Histogram) NumBounds() int { return len(h.bounds) }
+
+// Bound returns the i-th finite upper bound.
+func (h *Histogram) Bound(i int) int64 { return h.bounds[i] }
+
+// ReadCounts copies the current per-bucket counts into dst, which must
+// hold NumBuckets entries. Allocation-free: history samplers read whole
+// histograms on every tick through it.
+func (h *Histogram) ReadCounts(dst []uint64) {
+	for i := range h.counts {
+		dst[i] = h.counts[i].Load()
+	}
+}
+
 // Common bucket sets. Bounds are upper bounds in the metric's unit.
 var (
 	// LatencyBuckets spans 50µs to 10s, in nanoseconds.
@@ -112,6 +130,7 @@ var (
 // second registration of the same name returns the existing metric.
 type Registry struct {
 	mu         sync.Mutex
+	version    uint64
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	gaugeFuncs map[string]func() int64
@@ -142,6 +161,7 @@ func (r *Registry) Counter(name string) *Counter {
 	if !ok {
 		c = &Counter{}
 		r.counters[name] = c
+		r.version++
 	}
 	return c
 }
@@ -154,6 +174,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if !ok {
 		g = &Gauge{}
 		r.gauges[name] = g
+		r.version++
 	}
 	return g
 }
@@ -165,6 +186,7 @@ func (r *Registry) GaugeFunc(name string, fn func() int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.gaugeFuncs[name] = fn
+	r.version++
 }
 
 // Histogram returns the named histogram, creating it with the given
@@ -176,8 +198,57 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 	if !ok {
 		h = NewHistogram(bounds)
 		r.hists[name] = h
+		r.version++
 	}
 	return h
+}
+
+// Version returns a counter bumped by every registration. History
+// samplers cache enumerated metric handles keyed on it, rebuilding only
+// when the registry actually grew, so the steady-state sampling tick
+// never touches the registry maps.
+func (r *Registry) Version() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.version
+}
+
+// VisitCounters calls fn for every registered counter (unordered). fn
+// must not re-enter the registry.
+func (r *Registry) VisitCounters(fn func(name string, c *Counter)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		fn(name, c)
+	}
+}
+
+// VisitGauges calls fn for every registered gauge (unordered).
+func (r *Registry) VisitGauges(fn func(name string, g *Gauge)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, g := range r.gauges {
+		fn(name, g)
+	}
+}
+
+// VisitGaugeFuncs calls fn for every registered gauge function
+// (unordered). The visited functions are evaluated later, by the caller.
+func (r *Registry) VisitGaugeFuncs(fn func(name string, f func() int64)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, f := range r.gaugeFuncs {
+		fn(name, f)
+	}
+}
+
+// VisitHistograms calls fn for every registered histogram (unordered).
+func (r *Registry) VisitHistograms(fn func(name string, h *Histogram)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, h := range r.hists {
+		fn(name, h)
+	}
 }
 
 // sortedKeys returns map keys in sorted order, for deterministic export.

@@ -107,6 +107,8 @@ const (
 	tTraceFetchReq
 	tTraceFetchResp
 	tErrResp
+	tHealthReq
+	tHealthResp
 	numWireTypes
 )
 
@@ -179,6 +181,10 @@ func wireType(m Message) byte {
 		return tTraceFetchResp
 	case *ErrResp:
 		return tErrResp
+	case *HealthReq:
+		return tHealthReq
+	case *HealthResp:
+		return tHealthResp
 	default:
 		return tInvalid
 	}
@@ -196,6 +202,7 @@ var borrows = [numWireTypes]bool{
 	tFetchRangeResp: true,
 	tRangeResp:      true,
 	tStatsResp:      true,
+	tHealthResp:     true,
 }
 
 // --- message struct pools ---
@@ -238,6 +245,8 @@ var msgPools = [numWireTypes]*sync.Pool{
 	tTraceFetchReq:  {New: func() any { return new(TraceFetchReq) }},
 	tTraceFetchResp: {New: func() any { return new(TraceFetchResp) }},
 	tErrResp:        {New: func() any { return new(ErrResp) }},
+	tHealthReq:      {New: func() any { return new(HealthReq) }},
+	tHealthResp:     {New: func() any { return new(HealthResp) }},
 }
 
 // recycleMessage returns a decoded message struct to its type pool. Safe
@@ -451,7 +460,7 @@ func (e *frameEncoder) body(typ byte, m Message) {
 	b := e.buf
 	switch typ {
 	case tPingReq, tNeighborsReq, tNotifyResp, tPutResp, tRemoveResp,
-		tLoadReq, tSplitReq, tPutPtrResp, tStatsReq:
+		tLoadReq, tSplitReq, tPutPtrResp, tStatsReq, tHealthReq:
 		return // empty bodies
 	case tPingResp:
 		v := m.(*PingResp)
@@ -618,6 +627,18 @@ func (e *frameEncoder) body(typ byte, m Message) {
 		v := m.(*ErrResp)
 		e.buf = wire.AppendString(b, v.Err)
 		return
+	case tHealthResp:
+		v := m.(*HealthResp)
+		e.peer(&v.Self)
+		e.peer(&v.Pred)
+		b = wire.AppendI64(e.buf, v.RespBytes)
+		b = wire.AppendI64(b, v.StoredBytes)
+		b = wire.AppendI64(b, v.Blocks)
+		b = wire.AppendShortString(b, v.State)
+		e.buf = b
+		e.blob(v.StatusJSON)
+		e.blob(v.RatesJSON)
+		return
 	}
 }
 
@@ -727,7 +748,7 @@ func decodeBody(typ byte, r *wire.Reader) Message {
 	m := msgPools[typ].Get().(Message)
 	switch typ {
 	case tPingReq, tNeighborsReq, tNotifyResp, tPutResp, tRemoveResp,
-		tLoadReq, tSplitReq, tPutPtrResp, tStatsReq:
+		tLoadReq, tSplitReq, tPutPtrResp, tStatsReq, tHealthReq:
 		return m
 	case tPingResp:
 		v := m.(*PingResp)
@@ -862,6 +883,16 @@ func decodeBody(typ byte, r *wire.Reader) Message {
 	case tErrResp:
 		v := m.(*ErrResp)
 		v.Err = r.String()
+	case tHealthResp:
+		v := m.(*HealthResp)
+		readPeer(r, &v.Self)
+		readPeer(r, &v.Pred)
+		v.RespBytes = r.I64()
+		v.StoredBytes = r.I64()
+		v.Blocks = r.I64()
+		v.State = r.ShortString()
+		v.StatusJSON = r.Bytes()
+		v.RatesJSON = r.Bytes()
 	}
 	return m
 }

@@ -30,6 +30,7 @@ const (
 	kindSample
 	kindStats
 	kindTraceFetch
+	kindHealth
 	kindOther
 	numKinds
 )
@@ -37,7 +38,7 @@ const (
 var kindNames = [numKinds]string{
 	"ping", "find_succ", "neighbors", "notify", "put", "get",
 	"multi_get", "fetch_range", "remove", "load", "split", "range",
-	"put_ptr", "sample", "stats", "trace_fetch", "other",
+	"put_ptr", "sample", "stats", "trace_fetch", "health", "other",
 }
 
 // kindOf classifies a request message.
@@ -75,6 +76,8 @@ func kindOf(m Message) rpcKind {
 		return kindStats
 	case *TraceFetchReq:
 		return kindTraceFetch
+	case *HealthReq:
+		return kindHealth
 	default:
 		return kindOther
 	}
@@ -100,6 +103,7 @@ var wireKinds = [numWireTypes]rpcKind{
 	tSampleReq: kindSample, tSampleResp: kindSample,
 	tStatsReq: kindStats, tStatsResp: kindStats,
 	tTraceFetchReq: kindTraceFetch, tTraceFetchResp: kindTraceFetch,
+	tHealthReq: kindHealth, tHealthResp: kindHealth,
 	tErrResp: kindOther,
 }
 
@@ -132,6 +136,8 @@ func payloadBytes(m Message) int64 {
 		return n
 	case *StatsResp:
 		return int64(len(v.SnapshotJSON))
+	case *HealthResp:
+		return int64(len(v.StatusJSON) + len(v.RatesJSON))
 	default:
 		return 0
 	}

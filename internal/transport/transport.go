@@ -281,6 +281,29 @@ type StatsResp struct {
 	SnapshotJSON []byte
 }
 
+// HealthReq asks a node for its health verdict and derived rates — the
+// cluster health engine's scrape RPC, used by d2ctl watch/doctor to
+// build ring-wide health views without an HTTP round trip.
+type HealthReq struct{}
+
+// HealthResp carries one node's health state.
+type HealthResp struct {
+	Self PeerInfo
+	Pred PeerInfo
+	// RespBytes/StoredBytes/Blocks mirror StatsResp so the doctor can
+	// evaluate §10 load imbalance from the same walk.
+	RespBytes   int64
+	StoredBytes int64
+	Blocks      int64
+	// State is the overall verdict ("ok", "degraded", "failing", or
+	// "unknown" for nodes without a health engine).
+	State string
+	// StatusJSON is the node's history.Status document and RatesJSON its
+	// history.Rates document, both JSON-encoded; nil without an engine.
+	StatusJSON []byte
+	RatesJSON  []byte
+}
+
 // ErrResp carries an application-level error back to the caller.
 type ErrResp struct{ Err string }
 
@@ -317,6 +340,8 @@ func (*StatsResp) isMessage()      {}
 func (*TraceFetchReq) isMessage()  {}
 func (*TraceFetchResp) isMessage() {}
 func (*ErrResp) isMessage()        {}
+func (*HealthReq) isMessage()      {}
+func (*HealthResp) isMessage()     {}
 
 // AsError converts an ErrResp into a Go error, passing other messages
 // through.

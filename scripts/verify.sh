@@ -29,6 +29,11 @@
 #                            node-kill e2e) plus the alloc gate proving
 #                            segment buffers recycle through the pool
 #                            (< 4 MB allocated per 8 MB streamed)
+#   scripts/verify.sh obs    obs tier: the history/health/flight tests and
+#                            the doctor + flight e2e under -race, a 10 s
+#                            concurrent sampler soak, and the alloc gates
+#                            proving the sampling tick and the health
+#                            evaluation both stay zero-allocation
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -91,6 +96,26 @@ if [ "${1:-}" = "stream" ]; then
 				exit 1
 			}
 		}'
+	exit 0
+fi
+
+if [ "${1:-}" = "obs" ]; then
+	echo "== obs tier: history/health/flight tests under -race"
+	go test -race ./internal/obs/history/
+	go test -race -run 'Health|Doctor|Flight|ExpositionStrict|AdminPlane' .
+	echo "== obs tier: 10s concurrent sampler soak under -race"
+	D2_HISTORY_SOAK=10s go test -race -run 'TestSamplerSoak' ./internal/obs/history/
+	echo "== obs tier: tick + evaluation alloc gates (want 0 allocs/op)"
+	out=$(go test -run '^$' -bench 'BenchmarkSamplerTick|BenchmarkHealthEvaluate' -benchmem \
+		./internal/obs/history/ | tee /dev/stderr)
+	echo "$out" | grep -q 'BenchmarkSamplerTick.* 0 B/op[[:space:]]*0 allocs/op' || {
+		echo "obs tier: sampling tick allocates" >&2
+		exit 1
+	}
+	echo "$out" | grep -q 'BenchmarkHealthEvaluate.* 0 B/op[[:space:]]*0 allocs/op' || {
+		echo "obs tier: health evaluation allocates" >&2
+		exit 1
+	}
 	exit 0
 fi
 
