@@ -54,7 +54,9 @@ func runStats(ctx context.Context, client *d2.Client) error {
 	printCounterGroup(merged, "d2_node_", "node activity")
 	printCounterGroup(merged, "d2_tcp_", "tcp transport")
 	printCounterGroup(merged, "d2_stream_", "streaming reads")
+	printCounterGroup(merged, "d2_store_", "durable store")
 	printGaugeGroup(merged, "connection pools / streams", "d2_tcp_pool_", "d2_stream_")
+	printGaugeGroup(merged, "durable store", "d2_store_")
 	printLatencies(merged)
 	return nil
 }
@@ -70,8 +72,8 @@ func runTop(ctx context.Context, client *d2.Client) error {
 	}
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i].RespBytes > nodes[j].RespBytes })
 
-	fmt.Printf("%-22s %-10s %8s %10s %10s %10s %10s %6s %9s\n",
-		"ADDR", "ID", "BLOCKS", "STORED", "PRIMARY", "SERVED", "REDIRECTS", "POOL", "FAILFAST")
+	fmt.Printf("%-22s %-10s %8s %10s %10s %10s %10s %6s %9s %9s\n",
+		"ADDR", "ID", "BLOCKS", "STORED", "PRIMARY", "SERVED", "REDIRECTS", "POOL", "FAILFAST", "WAL")
 	for _, n := range nodes {
 		var served uint64
 		for name, v := range n.Snapshot.Counters {
@@ -79,12 +81,15 @@ func runTop(ctx context.Context, client *d2.Client) error {
 				served += v
 			}
 		}
-		fmt.Printf("%-22s %-10s %8d %10s %10s %10d %10d %6d %9d\n",
+		// In-memory nodes carry no d2_store_ series; the column reads 0B.
+		wal := fmtBytes(n.Snapshot.Gauges["d2_store_wal_size_bytes"])
+		fmt.Printf("%-22s %-10s %8d %10s %10s %10d %10d %6d %9d %9s\n",
 			n.Self.Addr, n.Self.ID.Short(), n.Blocks,
 			fmtBytes(n.StoredBytes), fmtBytes(n.RespBytes),
 			served, n.Snapshot.Counters["d2_node_ptr_redirects_total"],
 			n.Snapshot.Gauges["d2_tcp_pool_conns"],
-			n.Snapshot.Counters["d2_tcp_pool_failfast_total"])
+			n.Snapshot.Counters["d2_tcp_pool_failfast_total"],
+			wal)
 	}
 	return nil
 }
@@ -147,7 +152,8 @@ func printLatencies(s obs.Snapshot) {
 	var names []string
 	for name := range s.Histograms {
 		if (strings.HasPrefix(name, "d2_rpc_client_latency_ns") ||
-			name == "d2_stream_ttfb_ns") && s.Histograms[name].Count() > 0 {
+			name == "d2_stream_ttfb_ns" ||
+			name == "d2_store_wal_fsync_ns") && s.Histograms[name].Count() > 0 {
 			names = append(names, name)
 		}
 	}
@@ -159,8 +165,11 @@ func printLatencies(s obs.Snapshot) {
 	for _, name := range names {
 		h := s.Histograms[name]
 		label := strings.TrimSuffix(strings.TrimPrefix(name, `d2_rpc_client_latency_ns{rpc="`), `"}`)
-		if name == "d2_stream_ttfb_ns" {
+		switch name {
+		case "d2_stream_ttfb_ns":
 			label = "stream_ttfb"
+		case "d2_store_wal_fsync_ns":
+			label = "wal_fsync"
 		}
 		fmt.Printf("  %-12s n=%-8d p50=%-10s p95=%-10s p99=%s\n",
 			label, h.Count(),

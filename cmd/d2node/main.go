@@ -52,6 +52,10 @@ func run() error {
 	traceSlow := flag.Duration("trace-slow", 0, "always keep traces of requests at least this slow (0 = off)")
 	historyIv := flag.Duration("history-interval", 0, "health-engine sampling interval (0 = default 2s)")
 	flightDir := flag.String("flight-dir", "", "directory for flight-recorder diagnostic bundles (empty = off)")
+	dataDir := flag.String("data-dir", "", "durable storage directory (empty = in-memory; blocks and ring identity survive restarts)")
+	fsync := flag.String("fsync", "always", "fsync policy with -data-dir: always (group commit), interval, never")
+	fsyncIv := flag.Duration("fsync-interval", 0, "fsync timer period under -fsync interval (0 = default 100ms)")
+	ckptBytes := flag.Int64("checkpoint-bytes", 0, "WAL size triggering background compaction (0 = default 64MiB)")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -64,11 +68,20 @@ func run() error {
 		TraceSlowThreshold:   *traceSlow,
 		HistoryInterval:      *historyIv,
 		FlightDir:            *flightDir,
+		DataDir:              *dataDir,
+		Fsync:                *fsync,
+		FsyncInterval:        *fsyncIv,
+		CheckpointBytes:      *ckptBytes,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("d2node listening on %s (id %s)\n", nd.Addr(), nd.ID().Short())
+	if *dataDir != "" {
+		rec := nd.Recovery()
+		fmt.Printf("recovered %d blocks, %d pointers from %s (%d records replayed, %d torn)\n",
+			rec.Blocks, rec.Pointers, *dataDir, rec.Records, rec.TornRecords)
+	}
 
 	if *admin != "" {
 		ln, err := net.Listen("tcp", *admin)
@@ -101,6 +114,12 @@ func run() error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	close(stopStats)
+	if *dataDir != "" {
+		// A durable node keeps its arc: flush, close, and let the restart
+		// rejoin at the same ring position with its blocks intact.
+		fmt.Println("flushing and shutting down (data kept in", *dataDir+")...")
+		return nd.Close()
+	}
 	fmt.Println("leaving ring...")
 	leaveCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
 	defer cancel()

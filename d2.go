@@ -34,6 +34,7 @@ import (
 	"github.com/defragdht/d2/internal/obs"
 	"github.com/defragdht/d2/internal/obs/history"
 	"github.com/defragdht/d2/internal/obs/tracing"
+	"github.com/defragdht/d2/internal/store/disk"
 	"github.com/defragdht/d2/internal/transport"
 )
 
@@ -99,6 +100,23 @@ type NodeOptions struct {
 	FlightDir string
 	// FlightMinGap rate-limits flight-recorder dumps (default 10 s).
 	FlightMinGap time.Duration
+	// DataDir enables the durable on-disk store: blocks are written to a
+	// WAL and compacted into segment files there, and the node's ring
+	// identity persists so a restart rejoins with its old arc and every
+	// block it held. Empty keeps the in-memory store (a crash loses local
+	// state; replicas regenerate it).
+	DataDir string
+	// Fsync selects when acknowledged writes reach stable storage:
+	// "always" (group-committed fsync per write, the default),
+	// "interval" (timer-driven), or "never" (OS-paced; Flush/Close still
+	// sync). Ignored without DataDir.
+	Fsync string
+	// FsyncInterval is the timer period under Fsync "interval" (default
+	// 100 ms).
+	FsyncInterval time.Duration
+	// CheckpointBytes is the WAL size that triggers background
+	// compaction into a segment file (default 64 MiB).
+	CheckpointBytes int64
 }
 
 // tracer builds the per-node (or per-client) request tracer. Every node
@@ -245,6 +263,7 @@ type Node struct {
 	reg    *obs.Registry
 	events *obs.EventLog
 	engine *history.Engine
+	store  *disk.Store // nil when running in-memory
 }
 
 // StartNode boots a TCP node bound to bind ("127.0.0.1:0" for an
@@ -264,6 +283,29 @@ func StartNode(ctx context.Context, bind, seed string, opts NodeOptions) (*Node,
 	cfg.Metrics = reg
 	cfg.Events = events
 	cfg.Tracer = opts.tracer(string(tr.Addr()))
+
+	// With a data directory the node runs on the durable engine: WAL +
+	// segment files + persistent ring identity, scraped through the same
+	// registry as everything else.
+	var ds *disk.Store
+	if opts.DataDir != "" {
+		policy, err := disk.ParseFsyncPolicy(opts.Fsync)
+		if err != nil {
+			_ = tr.Close()
+			return nil, fmt.Errorf("d2: start node: %w", err)
+		}
+		ds, err = disk.Open(opts.DataDir, disk.Options{
+			Fsync:           policy,
+			FsyncInterval:   opts.FsyncInterval,
+			CheckpointBytes: opts.CheckpointBytes,
+			Metrics:         reg,
+		})
+		if err != nil {
+			_ = tr.Close()
+			return nil, fmt.Errorf("d2: start node: %w", err)
+		}
+		cfg.Store = ds
+	}
 
 	// The health engine samples the shared registry and answers HealthReq
 	// and /healthz. The node itself can't depend on the engine's
@@ -297,10 +339,13 @@ func StartNode(ctx context.Context, bind, seed string, opts NodeOptions) (*Node,
 		if err := nd.Join(ctx, transport.Addr(seed)); err != nil {
 			engine.Close()
 			_ = nd.Close()
+			if ds != nil {
+				_ = ds.Close()
+			}
 			return nil, fmt.Errorf("d2: join %s: %w", seed, err)
 		}
 	}
-	return &Node{inner: nd, tr: tr, reg: reg, events: events, engine: engine}, nil
+	return &Node{inner: nd, tr: tr, reg: reg, events: events, engine: engine, store: ds}, nil
 }
 
 // Addr returns the node's listen address.
@@ -312,12 +357,48 @@ func (n *Node) ID() Key { return n.inner.Self().ID }
 // StoredBytes returns the node's stored data volume.
 func (n *Node) StoredBytes() int64 { return n.inner.StoredBytes() }
 
-// Close stops the node (crash-style; replicas regenerate elsewhere).
+// Close stops the node. On a durable engine every acknowledged write is
+// flushed and the store closed, so the next start recovers cleanly; on
+// the in-memory store this is crash-style (replicas regenerate
+// elsewhere).
 func (n *Node) Close() error {
 	if n.engine != nil {
 		n.engine.Close()
 	}
-	return n.inner.Close()
+	err := n.inner.Close()
+	if n.store != nil {
+		if serr := n.store.Close(); err == nil {
+			err = serr
+		}
+	}
+	return err
+}
+
+// RecoveryStats describes what a durable node rebuilt from its data
+// directory at startup.
+type RecoveryStats struct {
+	// Blocks and Pointers are the live entries recovered.
+	Blocks, Pointers int
+	// Records is the total log records replayed.
+	Records int
+	// TornRecords counts records discarded for failing checksum or
+	// structural checks (a torn WAL tail after a crash).
+	TornRecords int
+}
+
+// Recovery reports what the node recovered from its data directory
+// (zero value when running in-memory).
+func (n *Node) Recovery() RecoveryStats {
+	if n.store == nil {
+		return RecoveryStats{}
+	}
+	r := n.store.Recovery()
+	return RecoveryStats{
+		Blocks:      r.Blocks,
+		Pointers:    r.Pointers,
+		Records:     r.Records,
+		TornRecords: r.TornRecords,
+	}
 }
 
 // Health returns the node's current overall health state ("ok",
@@ -383,7 +464,20 @@ type ringView struct {
 }
 
 // Leave departs gracefully, handing blocks to their new owners first.
-func (n *Node) Leave(ctx context.Context) error { return n.inner.Leave(ctx) }
+// A durable node that means to come back should Close instead: Leave
+// gives the arc away, Close keeps it on disk for the restart.
+func (n *Node) Leave(ctx context.Context) error {
+	if n.engine != nil {
+		n.engine.Close()
+	}
+	err := n.inner.Leave(ctx)
+	if n.store != nil {
+		if serr := n.store.Close(); err == nil {
+			err = serr
+		}
+	}
+	return err
+}
 
 // ConnectTCP creates a client for a TCP cluster.
 func ConnectTCP(seeds []string, replicas int) (*Client, error) {

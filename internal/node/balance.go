@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/defragdht/d2/internal/obs"
+	"github.com/defragdht/d2/internal/store"
 	"github.com/defragdht/d2/internal/transport"
 )
 
@@ -124,6 +125,12 @@ func (n *Node) moveTo(ctx context.Context, a transport.PeerInfo) {
 	n.trimSuccsLocked()
 	newSelf := n.self
 	n.mu.Unlock()
+
+	// The ring position changed; a durable engine must remember the new
+	// one or a restart would rejoin on the pre-move arc.
+	if is, ok := n.st.(store.IdentityStore); ok {
+		_ = is.SaveIdentity(newSelf.ID)
+	}
 
 	n.metrics.balanceMoves.Inc()
 	n.events.Log(obs.LevelInfo, "balance.move",

@@ -70,6 +70,13 @@ type Config struct {
 	// RPCs answer with its status and rates documents (nil nodes answer
 	// State "unknown"). The engine's lifecycle belongs to the caller.
 	Health *history.Engine
+	// Store is the node's block store; nil creates an in-memory one. The
+	// engine's lifecycle belongs to the caller (Close flushes but does
+	// not close it). An engine that also implements store.IdentityStore
+	// gives the node a persistent ring identity: a persisted ID is
+	// preferred over a random one, so a restarted node rejoins with its
+	// old arc intact, and the ID is re-persisted after balance moves.
+	Store store.Engine
 }
 
 func (c *Config) applyDefaults() {
@@ -106,7 +113,7 @@ func (c *Config) applyDefaults() {
 type Node struct {
 	cfg Config
 	tr  transport.Transport
-	st  *store.Store
+	st  store.Engine
 
 	mu    sync.Mutex
 	self  transport.PeerInfo
@@ -146,9 +153,26 @@ func Start(tr transport.Transport, cfg Config) *Node {
 		}
 	}
 	rng := rand.New(rand.NewPCG(seed, 0x4e4f4445)) // "NODE"
+	st := cfg.Store
+	if st == nil {
+		st = store.New()
+	}
 	id := cfg.ID
 	if id.IsZero() {
+		// A durable engine may hold the identity of the node's previous
+		// life; adopting it lets the node rejoin the ring on its old arc,
+		// with every block it recovered still primary where it was.
+		if is, ok := st.(store.IdentityStore); ok {
+			if saved, found := is.LoadIdentity(); found {
+				id = saved
+			}
+		}
+	}
+	if id.IsZero() {
 		id = keys.Random(rng)
+	}
+	if is, ok := st.(store.IdentityStore); ok {
+		_ = is.SaveIdentity(id)
 	}
 	reg := cfg.Metrics
 	if reg == nil {
@@ -157,7 +181,7 @@ func Start(tr transport.Transport, cfg Config) *Node {
 	n := &Node{
 		cfg:          cfg,
 		tr:           tr,
-		st:           store.New(),
+		st:           st,
 		self:         transport.PeerInfo{ID: id, Addr: tr.Addr()},
 		rng:          rng,
 		stop:         make(chan struct{}),
@@ -232,7 +256,7 @@ func (n *Node) Successor() transport.PeerInfo {
 }
 
 // Store exposes the local block store (read-mostly, for tests and tools).
-func (n *Node) Store() *store.Store { return n.st }
+func (n *Node) Store() store.Engine { return n.st }
 
 // Neighbors returns the node's ring view: predecessor and a copy of the
 // successor list (for the admin plane's /ringz).
@@ -277,6 +301,22 @@ func (n *Node) Join(ctx context.Context, seed transport.Addr) error {
 	if err != nil {
 		return fmt.Errorf("node: join via %s: %w", seed, err)
 	}
+	if owner.Addr == n.tr.Addr() {
+		// The lookup terminated on ourselves: a durable node restarting
+		// before the ring forgot its previous incarnation is reachable
+		// at its old address with its old ID, so stale links route the
+		// join lookup straight back to the joiner — which, as a
+		// singleton, claims its own key. Adopting that answer would
+		// leave us a one-node ring forever. Link via the seed instead;
+		// stabilization walks us to our true position within a few
+		// rounds.
+		resp, perr := transport.Expect[*transport.PingResp](
+			n.call(ctx, seed, &transport.PingReq{}))
+		if perr != nil {
+			return fmt.Errorf("node: join via %s: %w", seed, perr)
+		}
+		owner, pred = resp.Self, transport.PeerInfo{}
+	}
 	n.mu.Lock()
 	n.pred = pred
 	if owner.Addr != n.self.Addr {
@@ -309,6 +349,11 @@ func (n *Node) Close() error {
 	n.mu.Unlock()
 	err := n.tr.Close()
 	n.wg.Wait()
+	// Clean-shutdown barrier: every acknowledged write reaches stable
+	// storage before the process may exit (no-op for volatile engines).
+	if ferr := n.st.Flush(); err == nil {
+		err = ferr
+	}
 	return err
 }
 

@@ -382,3 +382,153 @@ func TestHundredNodeRing(t *testing.T) {
 		}
 	}
 }
+
+// TestRejoinWithStaleSelfEntry reproduces the durable-restart hole: a
+// node that comes back on its old address with its persisted identity is
+// reachable exactly where the ring remembers its previous incarnation,
+// so a stale link routes the join lookup straight back to the joiner —
+// which, as a freshly started singleton, claims its own key. Join must
+// not adopt itself as its own successor; it falls back to linking via
+// the seed and stabilization walks it to its true position.
+func TestRejoinWithStaleSelfEntry(t *testing.T) {
+	net := transport.NewMemNetwork(0)
+	nodes := startRing(t, net, 4, func(i int, c *Config) {
+		// Live-operation default: the ring keeps the dead incarnation's
+		// entries far longer than the restart takes.
+		c.RemoveDelay = 30 * time.Second
+	})
+	defer closeAll(t, nodes)
+
+	// Ring order: pick the victim v and join via the survivor w that is
+	// neither v's predecessor nor v's successor. After the kill, v's arc
+	// is absorbed by its successor, so w neither owns v's ID nor has it
+	// in its immediate-successor range — w must route the lookup, and
+	// the stale link (at exactly the looked-up ID) wins the greedy hop.
+	byAddr := func(a transport.Addr) int {
+		for i, n := range nodes {
+			if n.Self().Addr == a {
+				return i
+			}
+		}
+		t.Fatalf("address %s not found among nodes", a)
+		return -1
+	}
+	vi := byAddr(nodes[0].Successor().Addr)
+	ui := byAddr(nodes[vi].Successor().Addr)
+	wi := byAddr(nodes[ui].Successor().Addr)
+	seedNode := nodes[wi]
+	old := nodes[vi]
+	id := old.Self().ID
+	addr := old.Self().Addr
+	if err := old.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the survivors heal (as a real cluster does in the minutes
+	// before an operator restarts the dead node).
+	survivors := make([]*Node, 0, 3)
+	for i, n := range nodes {
+		if i != vi {
+			survivors = append(survivors, n)
+		}
+	}
+	waitConverged(t, survivors, 10*time.Second)
+
+	// Restart on the same address with the same identity. The new
+	// incarnation answers pings for the old one, so the stale reference
+	// injected below never gets purged — exactly the live condition,
+	// where the survivors' link tables still name the dead node's
+	// address and keep it because the restarted listener responds.
+	cfg := testConfig(0)
+	cfg.ID = id
+	cfg.RemoveDelay = 30 * time.Second
+	nb := Start(net.NewEndpointAt(addr), cfg)
+	nodes[vi] = nb
+	seedNode.learnLink(transport.PeerInfo{ID: id, Addr: addr})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := nb.Join(ctx, seedNode.Self().Addr); err != nil {
+		t.Fatalf("rejoin: %v", err)
+	}
+	if nb.Successor().Addr == addr {
+		t.Fatalf("rejoined node adopted itself as successor (singleton ring)")
+	}
+	waitConverged(t, nodes, 10*time.Second)
+}
+
+// TestReplicaCountConvergesAndHolds pins the replica-responsibility
+// bound in replicaRangeStart: every data block must settle on exactly r
+// nodes and stay there. With the bound one predecessor short, the
+// farthest owner's last replica treats its legitimate copies as stale
+// and hands them off, the owner's repair pushes them back, and the
+// cluster oscillates between r-1 and r copies forever — silently
+// degraded redundancy plus a permanent handoff/repair ping-pong that a
+// durable store pays for in WAL growth.
+func TestReplicaCountConvergesAndHolds(t *testing.T) {
+	net := transport.NewMemNetwork(0)
+	nodes := startRing(t, net, 6, nil)
+	defer closeAll(t, nodes)
+	c := newClient(t, net, nodes)
+	defer c.Close()
+
+	ctx := context.Background()
+	var ks []keys.Key
+	for i := 0; i < 24; i++ {
+		k := keys.HashString(fmt.Sprintf("replica-%d", i))
+		if err := c.Put(ctx, k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		ks = append(ks, k)
+	}
+
+	copies := func(k keys.Key) int {
+		held := 0
+		for _, nd := range nodes {
+			if b, ok := nd.Store().Get(k); ok && !b.IsPointer() {
+				held++
+			}
+		}
+		return held
+	}
+
+	// Converge: every key reaches r copies.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		short := -1
+		for i, k := range ks {
+			if copies(k) < 3 {
+				short = i
+				break
+			}
+		}
+		if short < 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("key %d stuck at %d copies, want 3", short, copies(ks[short]))
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// Hold: with the ring stable and every replica in place, repair must
+	// go quiet. Any handoff now means a holder is misjudging its own
+	// responsibility range (the ping-pong).
+	before := uint64(0)
+	for _, nd := range nodes {
+		before += nd.metrics.handoffs.Value()
+	}
+	time.Sleep(10 * testConfig(0).RepairInterval)
+	after := uint64(0)
+	for _, nd := range nodes {
+		after += nd.metrics.handoffs.Value()
+	}
+	if after != before {
+		t.Fatalf("%d handoffs during steady state (replica ping-pong)", after-before)
+	}
+	for _, k := range ks {
+		if got := copies(k); got < 3 {
+			t.Fatalf("key dropped to %d copies in steady state", got)
+		}
+	}
+}

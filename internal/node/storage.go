@@ -310,17 +310,32 @@ func (n *Node) pushMissing(ctx context.Context, target transport.PeerInfo, lo, h
 type storeItem = store.Item
 
 // replicaRangeStart returns the lower bound of the keys this node should
-// hold: the ID of its (r-1)-th predecessor.
+// hold. We replicate for any owner among our r-1 predecessors, and an
+// owner's range starts at ITS predecessor — so the bound is the r-th
+// predecessor's ID, one hop past the farthest owner. Stopping a hop
+// short (the farthest owner's own ID) excludes that owner's entire
+// primary range: its second successor then hands those replicas off,
+// the owner's repair pushes them back, and the pair ping-pongs the
+// blocks forever while the cluster silently keeps r-1 copies.
 func (n *Node) replicaRangeStart(ctx context.Context) (keys.Key, bool) {
 	cur := n.Predecessor()
 	if cur.IsZero() {
 		return keys.Key{}, false
 	}
-	for i := 1; i < n.cfg.Replicas-1; i++ {
+	if cur.Addr == n.tr.Addr() {
+		return n.Self().ID, true // alone: every key is ours
+	}
+	for i := 1; i < n.cfg.Replicas; i++ {
 		resp, err := transport.Expect[*transport.NeighborsResp](
 			n.call(ctx, cur.Addr, &transport.NeighborsReq{}))
-		if err != nil || resp.Pred.IsZero() || resp.Pred.Addr == n.tr.Addr() {
+		if err != nil || resp.Pred.IsZero() {
 			return cur.ID, true
+		}
+		if resp.Pred.Addr == n.tr.Addr() {
+			// The pred chain wrapped back to us within r hops: the ring
+			// has at most r nodes, so we replicate every key. (lo == hi
+			// is the whole-ring interval.)
+			return n.Self().ID, true
 		}
 		cur = resp.Pred
 	}

@@ -197,6 +197,10 @@ func (v *View) DeltaQuantile(name string, q float64) float64 {
 //   - events_dropped: event-log ring overwrites per second — the
 //     diagnostic window is being lost while something is wrong.
 //   - rpc_errors: client-side RPC errors per second across all kinds.
+//   - wal_stall: durable-store commits per second that waited longer
+//     than the stall threshold for their group fsync — the device can't
+//     keep up with the write load (0 on in-memory nodes, which never
+//     carry the series).
 //
 // §10 load imbalance is a cluster-level property and is evaluated by
 // BuildClusterReport over per-node loads, not here.
@@ -243,6 +247,13 @@ func DefaultChecks() []Check {
 			Value:    func(v *View) float64 { return v.RatePrefix("d2_rpc_client_errors_total") },
 			Warn:     2,
 			Fail:     100,
+		},
+		{
+			Name:     "wal_stall",
+			Describe: "durable-store commits stalled on their group fsync, per second",
+			Value:    func(v *View) float64 { return v.Rate("d2_store_wal_stalls_total") },
+			Warn:     1,
+			Fail:     50,
 		},
 	}
 }

@@ -1,0 +1,877 @@
+// Package disk is D2's durable local block store: a write-ahead log with
+// group-commit fsync, immutable segment files produced by checkpointing,
+// and an in-memory ordered index (the shared B-tree, holding file
+// offsets instead of payloads) so the range scans migration and load
+// balancing depend on stay fast. It implements store.Engine; the paper's
+// D2-Store sat on BerkeleyDB, this plays that role natively.
+//
+// Every mutation is appended to the active WAL before it is applied to
+// the index; a put's payload is thereafter served straight from the log
+// file by offset (pread), so the write path costs one sequential write
+// plus a shared fsync, and the memory footprint is index metadata only —
+// volumes larger than RAM fit. When the WAL exceeds a threshold a
+// checkpoint streams the live entries, in key order, into a fresh
+// segment file and truncates the log; recovery replays the newest
+// segment and then the WAL layered over it, verifying every record's
+// CRC-32C and discarding a torn tail. The node's ring identity persists
+// alongside the blocks (IDENTITY), so a restarted node rejoins with its
+// old arc intact.
+package disk
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/defragdht/d2/internal/btree"
+	"github.com/defragdht/d2/internal/keys"
+	"github.com/defragdht/d2/internal/obs"
+	"github.com/defragdht/d2/internal/store"
+	"github.com/defragdht/d2/internal/transport"
+	"github.com/defragdht/d2/internal/wire"
+)
+
+// Options tunes the engine; zero values take production defaults.
+type Options struct {
+	// Fsync selects the durability policy (default FsyncAlways:
+	// group-committed fsync per acknowledged write).
+	Fsync FsyncPolicy
+	// FsyncInterval is the timer period under FsyncInterval (default
+	// 100 ms).
+	FsyncInterval time.Duration
+	// CheckpointBytes is the WAL size that triggers a background
+	// checkpoint (default 64 MiB).
+	CheckpointBytes int64
+	// StallThreshold is how long a commit may wait for its fsync before
+	// it counts as a WAL stall (default 100 ms) — the signal behind the
+	// wal_stall health check.
+	StallThreshold time.Duration
+	// Metrics receives the d2_store_* series (nil = private registry).
+	Metrics *obs.Registry
+}
+
+func (o *Options) applyDefaults() {
+	if o.FsyncInterval == 0 {
+		o.FsyncInterval = 100 * time.Millisecond
+	}
+	if o.CheckpointBytes == 0 {
+		o.CheckpointBytes = 64 << 20
+	}
+	if o.StallThreshold == 0 {
+		o.StallThreshold = 100 * time.Millisecond
+	}
+}
+
+// entry is one index slot: where a block's payload lives on disk plus
+// the metadata range scans and expiry need without touching the disk.
+type entry struct {
+	file   uint64 // seq of the WAL/segment file holding the payload
+	off    int64  // payload offset within that file
+	length uint32 // payload length
+	size   int64  // logical size (pointers: the pointed-to size)
+
+	expires  int64          // TTL deadline, unixnano (0 = none)
+	ptr      transport.Addr // non-empty = pointer entry, no payload
+	ptrSince int64          // unixnano
+}
+
+func (e *entry) isPointer() bool { return e.ptr != "" }
+
+// RecoveryStats describes what Open rebuilt from disk.
+type RecoveryStats struct {
+	// Blocks and Pointers are the live entries after replay.
+	Blocks, Pointers int
+	// Records is the total log records replayed (including superseded
+	// and deleted ones).
+	Records int
+	// TornRecords counts records discarded for failing length, CRC, or
+	// structural checks.
+	TornRecords int
+	// Segments and WALs are the files replayed.
+	Segments, WALs int
+}
+
+// Store is the durable engine. It is safe for concurrent use.
+type Store struct {
+	dir string
+	opt Options
+
+	mu    sync.RWMutex
+	tree  btree.Tree[*entry]
+	bytes int64
+	ttls  int
+	ptrs  int
+
+	files    map[uint64]*os.File // open handles: segment + WAL files
+	man      manifest            // current durable manifest
+	segBytes int64
+	w        *walWriter
+	seq      uint64 // last allocated file sequence number
+	closed   bool
+
+	ckptMu      sync.Mutex // serializes checkpoints
+	ckptRunning atomic.Bool
+
+	m   *metrics
+	rec RecoveryStats
+
+	// encBuf recycles record encode buffers across mutations.
+	encPool sync.Pool
+}
+
+var _ store.Engine = (*Store)(nil)
+var _ store.IdentityStore = (*Store)(nil)
+
+// Open loads (or initializes) the engine at dir: read the MANIFEST,
+// delete orphans from interrupted checkpoints, replay the newest segment
+// and the WALs over it verifying checksums, truncate any torn tail off
+// the active WAL, and resume appending.
+func Open(dir string, opt Options) (*Store, error) {
+	opt.applyDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("disk: open %s: %w", dir, err)
+	}
+	s := &Store{
+		dir:   dir,
+		opt:   opt,
+		files: map[uint64]*os.File{},
+	}
+	s.m = newMetrics(opt.Metrics, s)
+
+	man, ok, err := readManifest(dir)
+	if err != nil {
+		return nil, fmt.Errorf("disk: open %s: %w", dir, err)
+	}
+	if !ok {
+		// Fresh directory: WAL 1, no segment.
+		man = manifest{walSeqs: []uint64{1}}
+		if _, err := createLogFile(dir, walName(1), magicWAL, 1); err != nil {
+			return nil, fmt.Errorf("disk: open %s: %w", dir, err)
+		}
+		if err := writeManifest(dir, man); err != nil {
+			return nil, fmt.Errorf("disk: open %s: %w", dir, err)
+		}
+	}
+	s.man = man
+	if err := s.removeOrphans(); err != nil {
+		s.closeFiles()
+		return nil, fmt.Errorf("disk: open %s: %w", dir, err)
+	}
+
+	// Replay: segment first, then the WALs layered over it, oldest
+	// first. The active WAL (last) gets its torn tail truncated so new
+	// appends start on a clean record boundary.
+	if man.segSeq != 0 {
+		if _, err := s.replayFile(man.segSeq, segName(man.segSeq), magicSeg, false); err != nil {
+			s.closeFiles()
+			return nil, fmt.Errorf("disk: open %s: %w", dir, err)
+		}
+		s.rec.Segments++
+		if f := s.files[man.segSeq]; f != nil {
+			if st, err := f.Stat(); err == nil {
+				s.segBytes = st.Size()
+			}
+		}
+	}
+	var walEnd int64
+	for i, seq := range man.walSeqs {
+		active := i == len(man.walSeqs)-1
+		end, err := s.replayFile(seq, walName(seq), magicWAL, active)
+		if err != nil {
+			s.closeFiles()
+			return nil, fmt.Errorf("disk: open %s: %w", dir, err)
+		}
+		s.rec.WALs++
+		if active {
+			walEnd = end
+		}
+	}
+	for _, seq := range man.walSeqs {
+		if seq > s.seq {
+			s.seq = seq
+		}
+	}
+	if man.segSeq > s.seq {
+		s.seq = man.segSeq
+	}
+
+	// Count the live state recovery produced.
+	s.tree.AscendRange(keys.Zero, keys.MaxKey, func(_ keys.Key, e *entry) bool {
+		if e.isPointer() {
+			s.rec.Pointers++
+		} else {
+			s.rec.Blocks++
+		}
+		return true
+	})
+
+	activeSeq := man.walSeqs[len(man.walSeqs)-1]
+	activeFile := s.files[activeSeq]
+	if _, err := activeFile.Seek(walEnd, 0); err != nil {
+		s.closeFiles()
+		return nil, fmt.Errorf("disk: open %s: %w", dir, err)
+	}
+	s.w = newWALWriter(activeFile, activeSeq, walEnd,
+		opt.Fsync, opt.FsyncInterval, opt.StallThreshold, s.m)
+	return s, nil
+}
+
+// createLogFile creates a WAL or segment file with its header written
+// and synced, returning the open handle.
+func createLogFile(dir, name string, magic [8]byte, seq uint64) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, name), os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hdr := appendHeader(make([]byte, 0, headerSize), magic, seq)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// removeOrphans deletes wal-/seg- files the manifest does not reference
+// (leftovers of a checkpoint interrupted by a crash) and stray temp
+// files.
+func (s *Store) removeOrphans() error {
+	referenced := map[string]bool{manifestName: true, identityName: true}
+	for _, seq := range s.man.walSeqs {
+		referenced[walName(seq)] = true
+	}
+	if s.man.segSeq != 0 {
+		referenced[segName(s.man.segSeq)] = true
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, de := range entries {
+		name := de.Name()
+		if referenced[name] {
+			continue
+		}
+		if strings.HasSuffix(name, ".tmp") ||
+			strings.HasPrefix(name, "wal-") || strings.HasPrefix(name, "seg-") {
+			if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// replayFile opens and replays one log file into the index, verifying
+// each record's CRC. It stops at the first bad record; when truncate is
+// set (the active WAL) the torn tail is cut off so appends resume
+// cleanly. Returns the end offset of the valid prefix.
+func (s *Store) replayFile(seq uint64, name string, magic [8]byte, truncate bool) (int64, error) {
+	f, err := os.OpenFile(filepath.Join(s.dir, name), os.O_RDWR, 0)
+	if err != nil {
+		return 0, err
+	}
+	s.files[seq] = f
+
+	var hdr [headerSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		// A header shorter than headerSize is a file torn at creation:
+		// recoverable for the active WAL (rewrite the header), fatal for
+		// a segment (it was synced before the manifest named it).
+		if !truncate {
+			return 0, fmt.Errorf("replay %s: header: %w", name, err)
+		}
+		if err := f.Truncate(0); err != nil {
+			return 0, err
+		}
+		h := appendHeader(make([]byte, 0, headerSize), magic, seq)
+		if _, err := f.WriteAt(h, 0); err != nil {
+			return 0, err
+		}
+		s.m.torn.Inc()
+		s.rec.TornRecords++
+		return headerSize, nil
+	}
+	if [8]byte(hdr[:8]) != magic {
+		return 0, fmt.Errorf("replay %s: bad magic", name)
+	}
+
+	off := int64(headerSize)
+	head := make([]byte, recHeadSize)
+	var body []byte
+	for {
+		if _, err := f.ReadAt(head, off); err != nil {
+			break // clean EOF or torn length field: stop
+		}
+		bodyLen := int(uint32(head[0])<<24 | uint32(head[1])<<16 | uint32(head[2])<<8 | uint32(head[3]))
+		sum := uint32(head[4])<<24 | uint32(head[5])<<16 | uint32(head[6])<<8 | uint32(head[7])
+		if bodyLen == 0 || bodyLen > maxBody {
+			s.m.torn.Inc()
+			s.rec.TornRecords++
+			break
+		}
+		if cap(body) < bodyLen {
+			body = make([]byte, bodyLen)
+		}
+		body = body[:bodyLen]
+		if _, err := f.ReadAt(body, off+recHeadSize); err != nil {
+			s.m.torn.Inc()
+			s.rec.TornRecords++
+			break
+		}
+		if crc(body) != sum {
+			s.m.torn.Inc()
+			s.rec.TornRecords++
+			break
+		}
+		rec, err := decodeBody(body)
+		if err != nil {
+			s.m.torn.Inc()
+			s.rec.TornRecords++
+			break
+		}
+		s.applyRecord(seq, off, rec)
+		s.m.replayed.Inc()
+		s.rec.Records++
+		off += recHeadSize + int64(bodyLen)
+	}
+	if truncate {
+		if st, err := f.Stat(); err == nil && st.Size() > off {
+			if err := f.Truncate(off); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return off, nil
+}
+
+// applyRecord replays one decoded record into the index. Records were
+// logged only when they applied live, so replay applies them
+// unconditionally, in order.
+func (s *Store) applyRecord(file uint64, recOff int64, rec record) {
+	switch rec.op {
+	case opPut:
+		e := &entry{
+			file:    file,
+			off:     recOff + recHeadSize + int64(rec.payloadOff),
+			length:  uint32(rec.payloadLen),
+			size:    int64(rec.payloadLen),
+			expires: rec.expires,
+		}
+		s.setEntry(rec.key, e)
+	case opPointer:
+		e := &entry{size: rec.size, ptr: rec.addr, ptrSince: rec.since}
+		s.setEntry(rec.key, e)
+	case opDelete:
+		if prev, ok := s.tree.Delete(rec.key); ok {
+			s.dropCounts(prev)
+		}
+	case opRefresh:
+		if e, ok := s.tree.Get(rec.key); ok {
+			s.retime(e, rec.expires)
+		}
+	}
+}
+
+// setEntry installs e under k, maintaining the accounting counters.
+// Callers hold the write lock (or have exclusive access during replay).
+func (s *Store) setEntry(k keys.Key, e *entry) {
+	if prev, had := s.tree.Set(k, e); had {
+		s.dropCounts(prev)
+	}
+	if e.isPointer() {
+		s.ptrs++
+	} else {
+		s.bytes += e.size
+	}
+	if e.expires != 0 {
+		s.ttls++
+	}
+}
+
+// dropCounts reverses setEntry's accounting for a removed entry.
+func (s *Store) dropCounts(e *entry) {
+	if e.isPointer() {
+		s.ptrs--
+	} else {
+		s.bytes -= e.size
+	}
+	if e.expires != 0 {
+		s.ttls--
+	}
+}
+
+// retime changes an entry's TTL deadline, maintaining the ttls counter.
+func (s *Store) retime(e *entry, expires int64) {
+	if (e.expires != 0) != (expires != 0) {
+		if expires != 0 {
+			s.ttls++
+		} else {
+			s.ttls--
+		}
+	}
+	e.expires = expires
+}
+
+// crc is a local alias so replay reads naturally.
+func crc(b []byte) uint32 { return wire.Checksum(b) }
+
+// Dir returns the engine's data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Recovery returns what Open rebuilt from disk.
+func (s *Store) Recovery() RecoveryStats { return s.rec }
+
+// --- store.Engine: mutations -------------------------------------------
+
+// getBuf borrows a record encode buffer.
+func (s *Store) getBuf() []byte {
+	if b, ok := s.encPool.Get().(*[]byte); ok {
+		return (*b)[:0]
+	}
+	return make([]byte, 0, 512)
+}
+
+func (s *Store) putBuf(b []byte) {
+	if cap(b) > 1<<20 {
+		return // don't pin huge payload buffers
+	}
+	s.encPool.Put(&b)
+}
+
+// Put stores block data, replacing any previous entry. The record is in
+// the WAL — and, under FsyncAlways, fsynced — before Put returns.
+func (s *Store) Put(k keys.Key, data []byte, ttl time.Duration, now time.Time) {
+	var expires int64
+	if ttl > 0 {
+		expires = now.Add(ttl).UnixNano()
+	}
+	buf := appendPut(s.getBuf(), k, expires, data)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.putBuf(buf)
+		return
+	}
+	start, seq, err := s.w.append(buf)
+	if err != nil {
+		s.m.walErrors.Inc()
+		s.mu.Unlock()
+		s.putBuf(buf)
+		return
+	}
+	s.setEntry(k, &entry{
+		file:    s.w.seq,
+		off:     start + putPayloadOff,
+		length:  uint32(len(data)),
+		size:    int64(len(data)),
+		expires: expires,
+	})
+	w := s.w
+	walSize := w.off
+	s.mu.Unlock()
+	s.putBuf(buf)
+	_ = w.wait(seq)
+	s.maybeCheckpoint(walSize)
+}
+
+// PutPointer installs a pointer entry unless data is already present.
+func (s *Store) PutPointer(k keys.Key, target transport.Addr, size int64, now time.Time) {
+	buf := appendPointer(s.getBuf(), k, target, size, now.UnixNano())
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.putBuf(buf)
+		return
+	}
+	if prev, ok := s.tree.Get(k); ok && !prev.isPointer() {
+		s.mu.Unlock()
+		s.putBuf(buf)
+		return // real data wins over a pointer
+	}
+	_, seq, err := s.w.append(buf)
+	if err != nil {
+		s.m.walErrors.Inc()
+		s.mu.Unlock()
+		s.putBuf(buf)
+		return
+	}
+	s.setEntry(k, &entry{size: size, ptr: target, ptrSince: now.UnixNano()})
+	w := s.w
+	s.mu.Unlock()
+	s.putBuf(buf)
+	_ = w.wait(seq)
+}
+
+// Delete removes the entry under k immediately. The deletion is applied
+// to the index even if logging it fails (the node treats deletes as
+// infallible); a WAL error is surfaced through d2_store_wal_errors_total.
+func (s *Store) Delete(k keys.Key) bool {
+	buf := appendDelete(s.getBuf(), k)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.putBuf(buf)
+		return false
+	}
+	prev, ok := s.tree.Delete(k)
+	if !ok {
+		s.mu.Unlock()
+		s.putBuf(buf)
+		return false
+	}
+	s.dropCounts(prev)
+	_, seq, err := s.w.append(buf)
+	if err != nil {
+		s.m.walErrors.Inc()
+		s.mu.Unlock()
+		s.putBuf(buf)
+		return true
+	}
+	w := s.w
+	s.mu.Unlock()
+	s.putBuf(buf)
+	_ = w.wait(seq)
+	return true
+}
+
+// Refresh extends a block's TTL (zero ttl clears it).
+func (s *Store) Refresh(k keys.Key, ttl time.Duration, now time.Time) bool {
+	var expires int64
+	if ttl > 0 {
+		expires = now.Add(ttl).UnixNano()
+	}
+	buf := appendRefresh(s.getBuf(), k, expires)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.putBuf(buf)
+		return false
+	}
+	e, ok := s.tree.Get(k)
+	if !ok {
+		s.mu.Unlock()
+		s.putBuf(buf)
+		return false
+	}
+	_, seq, err := s.w.append(buf)
+	if err != nil {
+		s.m.walErrors.Inc()
+		s.mu.Unlock()
+		s.putBuf(buf)
+		return true
+	}
+	s.retime(e, expires)
+	w := s.w
+	s.mu.Unlock()
+	s.putBuf(buf)
+	_ = w.wait(seq)
+	return true
+}
+
+// SweepExpired removes entries whose TTL passed, returning the count.
+// The whole sweep shares one group-commit wait. When no live entry
+// carries a TTL the scan is skipped entirely.
+func (s *Store) SweepExpired(now time.Time) int {
+	nowNano := now.UnixNano()
+	s.mu.Lock()
+	if s.closed || s.ttls == 0 {
+		s.mu.Unlock()
+		return 0
+	}
+	var dead []keys.Key
+	s.tree.AscendRange(keys.Zero, keys.MaxKey, func(k keys.Key, e *entry) bool {
+		if e.expires != 0 && e.expires < nowNano {
+			dead = append(dead, k)
+		}
+		return true
+	})
+	var w *walWriter
+	var lastSeq uint64
+	buf := s.getBuf()
+	for _, k := range dead {
+		prev, ok := s.tree.Delete(k)
+		if !ok {
+			continue
+		}
+		s.dropCounts(prev)
+		buf = appendDelete(buf[:0], k)
+		if _, seq, err := s.w.append(buf); err != nil {
+			s.m.walErrors.Inc()
+		} else {
+			w, lastSeq = s.w, seq
+		}
+	}
+	s.mu.Unlock()
+	s.putBuf(buf)
+	if w != nil {
+		_ = w.wait(lastSeq)
+	}
+	return len(dead)
+}
+
+// --- store.Engine: reads -----------------------------------------------
+
+// blockFor materializes a store.Block for e, reading the payload from
+// its log file. Callers hold at least the read lock.
+func (s *Store) blockFor(e *entry) (*store.Block, bool) {
+	b := &store.Block{Size: e.size}
+	if e.expires != 0 {
+		b.Expires = time.Unix(0, e.expires)
+	}
+	if e.isPointer() {
+		b.Pointer = e.ptr
+		b.PointerSince = time.Unix(0, e.ptrSince)
+		return b, true
+	}
+	data := make([]byte, e.length)
+	if e.length > 0 {
+		f := s.files[e.file]
+		if f == nil {
+			s.m.readErrors.Inc()
+			return nil, false
+		}
+		if _, err := f.ReadAt(data, e.off); err != nil {
+			s.m.readErrors.Inc()
+			return nil, false
+		}
+	}
+	b.Data = data
+	return b, true
+}
+
+// Get returns the entry under k, reading the payload from disk.
+func (s *Store) Get(k keys.Key) (*store.Block, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.tree.Get(k)
+	if !ok {
+		return nil, false
+	}
+	return s.blockFor(e)
+}
+
+// ReadInto copies the payload of the data entry under k into buf,
+// returning the payload length. It is the allocation-free indexed read
+// path: the index lookup and the pread reuse the caller's buffer. ok is
+// false when k is absent, a pointer entry, or buf is too small (the
+// returned length then tells the caller how much room it needs).
+func (s *Store) ReadInto(k keys.Key, buf []byte) (int, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.tree.Get(k)
+	if !ok || e.isPointer() {
+		return 0, false
+	}
+	n := int(e.length)
+	if n > len(buf) {
+		return n, false
+	}
+	if n > 0 {
+		f := s.files[e.file]
+		if f == nil {
+			s.m.readErrors.Inc()
+			return 0, false
+		}
+		if _, err := f.ReadAt(buf[:n], e.off); err != nil {
+			s.m.readErrors.Inc()
+			return 0, false
+		}
+	}
+	return n, true
+}
+
+// GetBatch returns the entries for a batch of keys (nil for absent ones)
+// under a single lock acquisition.
+func (s *Store) GetBatch(ks []keys.Key) []*store.Block {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*store.Block, len(ks))
+	for i, k := range ks {
+		if e, ok := s.tree.Get(k); ok {
+			if b, ok := s.blockFor(e); ok {
+				out[i] = b
+			}
+		}
+	}
+	return out
+}
+
+// Arc returns the entries in the circular arc (lo, hi], in key order,
+// payloads included.
+func (s *Store) Arc(lo, hi keys.Key) []store.Item {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []store.Item
+	s.tree.AscendArc(lo, hi, func(k keys.Key, e *entry) bool {
+		if b, ok := s.blockFor(e); ok {
+			out = append(out, store.Item{Key: k, Block: b})
+		}
+		return true
+	})
+	return out
+}
+
+// ArcLimit returns up to limit entries of the circular arc (lo, hi] in
+// key order, reporting whether the scan was truncated.
+func (s *Store) ArcLimit(lo, hi keys.Key, limit int) (items []store.Item, more bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.tree.AscendArc(lo, hi, func(k keys.Key, e *entry) bool {
+		if limit > 0 && len(items) == limit {
+			more = true
+			return false
+		}
+		if b, ok := s.blockFor(e); ok {
+			items = append(items, store.Item{Key: k, Block: b})
+		}
+		return true
+	})
+	return items, more
+}
+
+// ArcBytes returns the byte volume in the arc (lo, hi] — index metadata
+// only, no disk reads.
+func (s *Store) ArcBytes(lo, hi keys.Key) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total int64
+	s.tree.AscendArc(lo, hi, func(_ keys.Key, e *entry) bool {
+		total += e.size
+		return true
+	})
+	return total
+}
+
+// MedianKey returns the key splitting the arc (lo, hi] into two
+// byte-balanced halves — index metadata only.
+func (s *Store) MedianKey(lo, hi keys.Key) (keys.Key, bool) {
+	total := s.ArcBytes(lo, hi)
+	if total == 0 {
+		return keys.Key{}, false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var acc int64
+	var split keys.Key
+	found := false
+	s.tree.AscendArc(lo, hi, func(k keys.Key, e *entry) bool {
+		acc += e.size
+		if acc >= total/2 {
+			split = k
+			found = true
+			return false
+		}
+		return true
+	})
+	return split, found
+}
+
+// StalePointers returns pointers installed before the deadline. When no
+// pointer entries exist the scan is skipped entirely.
+func (s *Store) StalePointers(deadline time.Time) []store.Item {
+	dl := deadline.UnixNano()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.ptrs == 0 {
+		return nil
+	}
+	var out []store.Item
+	s.tree.AscendRange(keys.Zero, keys.MaxKey, func(k keys.Key, e *entry) bool {
+		if e.isPointer() && e.ptrSince < dl {
+			b := &store.Block{Size: e.size, Pointer: e.ptr, PointerSince: time.Unix(0, e.ptrSince)}
+			out = append(out, store.Item{Key: k, Block: b})
+		}
+		return true
+	})
+	return out
+}
+
+// Keys returns every stored key (snapshot).
+func (s *Store) Keys() []keys.Key {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]keys.Key, 0, s.tree.Len())
+	s.tree.AscendRange(keys.Zero, keys.MaxKey, func(k keys.Key, _ *entry) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// Len returns the number of entries (data and pointers).
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.Len()
+}
+
+// Bytes returns the stored data volume (pointers excluded).
+func (s *Store) Bytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytes
+}
+
+// Flush blocks until every acknowledged write is on stable storage — the
+// clean-shutdown barrier, and the only fsync under FsyncNever.
+func (s *Store) Flush() error {
+	s.mu.RLock()
+	w := s.w
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed || w == nil {
+		return nil
+	}
+	return w.flush()
+}
+
+// Close flushes and releases the engine. The store must not be used
+// afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	w := s.w
+	s.mu.Unlock()
+
+	// Wait out any in-flight checkpoint before tearing files down.
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+
+	var err error
+	if w != nil {
+		err = w.close()
+	}
+	s.mu.Lock()
+	s.closeFiles()
+	s.mu.Unlock()
+	return err
+}
+
+// closeFiles closes every open file handle. Callers hold the write lock
+// or have exclusive access.
+func (s *Store) closeFiles() {
+	for seq, f := range s.files {
+		f.Close()
+		delete(s.files, seq)
+	}
+}

@@ -1,0 +1,79 @@
+package disk
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// FuzzWALReplay feeds arbitrary bytes to the recovery path as the active
+// WAL's contents. The invariants: Open never panics, never returns a
+// block whose record did not carry a valid CRC (no torn-record
+// resurrection), and always leaves a store that accepts new writes and
+// survives a clean reopen.
+func FuzzWALReplay(f *testing.F) {
+	// Seed with a well-formed WAL (header + two records), plus truncated
+	// and bit-flipped variants so the corpus starts on the interesting
+	// boundaries.
+	valid := appendHeader(nil, magicWAL, 1)
+	valid = appendPut(valid, k(1), 0, []byte("seed-payload"))
+	valid = appendPointer(valid, k(2), "peer:1", 64, t0.UnixNano())
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])
+	flipped := bytes.Clone(valid)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add(valid[:headerSize])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		// Install the fuzz input as the active WAL of a 1-WAL manifest.
+		if err := os.WriteFile(filepath.Join(dir, walName(1)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := writeManifest(dir, manifest{walSeqs: []uint64{1}}); err != nil {
+			t.Fatal(err)
+		}
+
+		s, err := Open(dir, Options{Fsync: FsyncNever})
+		if err != nil {
+			return // structurally rejected (e.g. bad magic) — fine
+		}
+		// Whatever replay produced must be internally consistent: every
+		// readable block's bytes come from a CRC-verified record, so
+		// reading them all must succeed.
+		for _, key := range s.Keys() {
+			if b, ok := s.Get(key); ok && b.Data == nil && !b.IsPointer() {
+				t.Fatalf("key %s: block with neither data nor pointer", key.Short())
+			}
+		}
+		// The store must remain writable on the truncated boundary...
+		s.Put(k(9999), []byte("post-fuzz"), 0, time.Unix(2000, 0))
+		if b, ok := s.Get(k(9999)); !ok || string(b.Data) != "post-fuzz" {
+			t.Fatal("store not writable after fuzzed replay")
+		}
+		before := s.Len()
+		if err := s.Close(); err != nil {
+			t.Fatalf("Close after fuzzed replay: %v", err)
+		}
+		// ...and a clean reopen must see the same state (replay is
+		// deterministic and the repaired WAL is well-formed).
+		r, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("reopen after fuzzed replay: %v", err)
+		}
+		defer r.Close()
+		if r.Recovery().TornRecords != 0 {
+			t.Fatalf("repaired WAL still torn on reopen: %+v", r.Recovery())
+		}
+		if r.Len() != before {
+			t.Fatalf("reopen changed entry count: %d != %d", r.Len(), before)
+		}
+		if b, ok := r.Get(k(9999)); !ok || string(b.Data) != "post-fuzz" {
+			t.Fatal("post-fuzz write lost on reopen")
+		}
+	})
+}

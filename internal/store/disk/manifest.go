@@ -1,0 +1,166 @@
+package disk
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/defragdht/d2/internal/keys"
+	"github.com/defragdht/d2/internal/wire"
+)
+
+// The MANIFEST names the files recovery must replay: the newest durable
+// segment (0 = none) and the WAL files layered over it, oldest first
+// (the last one is the active WAL). It is rewritten atomically
+// (tmp + fsync + rename + dir fsync) at every WAL rotation and
+// checkpoint commit, so a crash leaves either the old or the new
+// manifest — never a torn one. Any wal-/seg- file the manifest does not
+// reference is an orphan from an interrupted checkpoint and is deleted
+// at open.
+//
+//	manifest := magic(8) | u64 segSeq | u32 nWALs | u64 walSeq* | u32 crc
+const (
+	manifestName = "MANIFEST"
+	identityName = "IDENTITY"
+)
+
+var (
+	magicManifest = [8]byte{'D', '2', 'M', 'A', 'N', 'v', '0', '1'}
+	magicIdentity = [8]byte{'D', '2', 'I', 'D', 'v', '0', '0', '1'}
+)
+
+// manifest is the parsed MANIFEST content.
+type manifest struct {
+	segSeq  uint64
+	walSeqs []uint64
+}
+
+func encodeManifest(m manifest) []byte {
+	b := make([]byte, 0, 8+8+4+8*len(m.walSeqs)+4)
+	b = append(b, magicManifest[:]...)
+	b = wire.AppendU64(b, m.segSeq)
+	b = wire.AppendU32(b, uint32(len(m.walSeqs)))
+	for _, s := range m.walSeqs {
+		b = wire.AppendU64(b, s)
+	}
+	return wire.AppendU32(b, wire.Checksum(b))
+}
+
+func decodeManifest(b []byte) (manifest, error) {
+	var m manifest
+	if len(b) < 8+8+4+4 {
+		return m, fmt.Errorf("disk: %w: manifest too short", wire.ErrTruncated)
+	}
+	body, sum := b[:len(b)-4], wire.U32(b, len(b)-4)
+	if wire.Checksum(body) != sum {
+		return m, fmt.Errorf("disk: %w: manifest checksum", wire.ErrMalformed)
+	}
+	r := wire.NewReader(body)
+	magic := r.Take(8)
+	if magic == nil || [8]byte(magic) != magicManifest {
+		return m, fmt.Errorf("disk: %w: manifest magic", wire.ErrMalformed)
+	}
+	m.segSeq = r.U64()
+	n := r.Count(8)
+	for i := 0; i < n; i++ {
+		m.walSeqs = append(m.walSeqs, r.U64())
+	}
+	r.ExpectEmpty()
+	if err := r.Err(); err != nil {
+		return m, fmt.Errorf("disk: manifest: %w", err)
+	}
+	if len(m.walSeqs) == 0 {
+		return m, fmt.Errorf("disk: %w: manifest names no WAL", wire.ErrMalformed)
+	}
+	return m, nil
+}
+
+// writeFileAtomic durably replaces dir/name with data: write a temp
+// file, fsync it, rename over the target, fsync the directory.
+func writeFileAtomic(dir, name string, data []byte) error {
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames and creations in it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeManifest persists m.
+func writeManifest(dir string, m manifest) error {
+	return writeFileAtomic(dir, manifestName, encodeManifest(m))
+}
+
+// readManifest loads the MANIFEST; ok is false when none exists yet.
+func readManifest(dir string) (manifest, bool, error) {
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return manifest{}, false, nil
+	}
+	if err != nil {
+		return manifest{}, false, err
+	}
+	m, err := decodeManifest(b)
+	if err != nil {
+		return manifest{}, false, err
+	}
+	return m, true, nil
+}
+
+// LoadIdentity returns the node ID persisted in the data directory, if
+// any (a corrupt identity file is treated as absent: the node picks a
+// fresh ID rather than adopting a damaged one).
+func (s *Store) LoadIdentity() (keys.Key, bool) {
+	var id keys.Key
+	b, err := os.ReadFile(filepath.Join(s.dir, identityName))
+	if err != nil || len(b) != 8+keys.Size+4 {
+		return id, false
+	}
+	body, sum := b[:len(b)-4], wire.U32(b, len(b)-4)
+	if wire.Checksum(body) != sum || [8]byte(body[:8]) != magicIdentity {
+		return id, false
+	}
+	copy(id[:], body[8:])
+	return id, true
+}
+
+// SaveIdentity durably records the node's ring ID so a restart rejoins
+// with its old arc.
+func (s *Store) SaveIdentity(id keys.Key) error {
+	b := make([]byte, 0, 8+keys.Size+4)
+	b = append(b, magicIdentity[:]...)
+	b = append(b, id[:]...)
+	b = wire.AppendU32(b, wire.Checksum(b))
+	return writeFileAtomic(s.dir, identityName, b)
+}
+
+// walName / segName build the on-disk file names.
+func walName(seq uint64) string { return fmt.Sprintf("wal-%016d.log", seq) }
+func segName(seq uint64) string { return fmt.Sprintf("seg-%016d.seg", seq) }

@@ -1,9 +1,11 @@
 // Package store is the local block store of a live D2 node (the paper's
-// D2-Store used BerkeleyDB; this is a pure-Go ordered in-memory store).
-// Beyond put/get/remove it supports the two operations defragmentation
-// needs: ordered range scans (for migration and replica repair) and block
-// pointers — lightweight entries that record where a block's data actually
-// lives while a load-balance move is pending (§6).
+// D2-Store used BerkeleyDB). It defines the Engine interface every block
+// store implements — the in-memory B-tree store here, and the durable
+// WAL+segment engine in store/disk — plus the two operations
+// defragmentation needs beyond put/get/remove: ordered range scans (for
+// migration and replica repair) and block pointers — lightweight entries
+// that record where a block's data actually lives while a load-balance
+// move is pending (§6).
 package store
 
 import (
@@ -35,12 +37,93 @@ type Block struct {
 // IsPointer reports whether this entry is a block pointer.
 func (b *Block) IsPointer() bool { return b.Pointer != "" }
 
-// Store is a thread-safe ordered block store.
+// Item pairs a key with its entry in scan results.
+type Item struct {
+	Key   keys.Key
+	Block *Block
+}
+
+// Engine is the block-store contract a D2 node runs against. Two
+// implementations exist: the in-memory Store below (fast, volatile) and
+// the durable disk engine in store/disk (WAL + segment files + crash
+// recovery). All methods are safe for concurrent use.
+//
+// Mutating methods carry no error returns by design: the node treats its
+// local store as infallible and relies on replication for durability
+// beyond the engine's own guarantees. A durable engine surfaces IO
+// failures through its metrics and health checks instead.
+type Engine interface {
+	// Put stores block data, replacing any previous entry (including a
+	// pointer: the data has arrived). A zero ttl means no expiry.
+	Put(k keys.Key, data []byte, ttl time.Duration, now time.Time)
+	// PutPointer installs a pointer entry unless data is already present.
+	PutPointer(k keys.Key, target transport.Addr, size int64, now time.Time)
+	// Get returns the entry under k.
+	Get(k keys.Key) (*Block, bool)
+	// GetBatch returns the entries for a batch of keys (nil for absent
+	// ones), serving MultiGet without paying per-key lock traffic.
+	GetBatch(ks []keys.Key) []*Block
+	// Delete removes the entry under k immediately.
+	Delete(k keys.Key) bool
+	// Refresh extends a block's TTL (zero ttl clears it).
+	Refresh(k keys.Key, ttl time.Duration, now time.Time) bool
+	// SweepExpired removes entries whose TTL passed, returning the count.
+	SweepExpired(now time.Time) int
+	// Arc returns the entries in the circular arc (lo, hi], in key order.
+	Arc(lo, hi keys.Key) []Item
+	// ArcLimit returns up to limit entries of the arc (lo, hi] in key
+	// order, reporting whether the scan was truncated (the caller resumes
+	// from the last returned key). limit ≤ 0 means no cap.
+	ArcLimit(lo, hi keys.Key, limit int) (items []Item, more bool)
+	// ArcBytes returns the byte volume (data plus pointer sizes) in the
+	// arc (lo, hi] — the primary-responsibility load the balancer
+	// compares (§6).
+	ArcBytes(lo, hi keys.Key) int64
+	// MedianKey returns the key splitting the arc (lo, hi] into two
+	// byte-balanced halves (false when the arc is empty).
+	MedianKey(lo, hi keys.Key) (keys.Key, bool)
+	// StalePointers returns pointers installed before the deadline, due
+	// for stabilization (§6).
+	StalePointers(deadline time.Time) []Item
+	// Keys returns every stored key (snapshot).
+	Keys() []keys.Key
+	// Len returns the number of entries (data and pointers).
+	Len() int
+	// Bytes returns the stored data volume (pointers excluded).
+	Bytes() int64
+	// Flush blocks until every previously acknowledged write is durable
+	// (a clean-shutdown barrier; no-op for volatile engines).
+	Flush() error
+	// Close releases the engine's resources. A durable engine flushes
+	// first; the engine must not be used afterwards.
+	Close() error
+}
+
+// IdentityStore is implemented by engines that can persist the node's
+// ring identity alongside its blocks, so a restarted node rejoins with
+// its old arc intact. The node saves its ID at startup and after every
+// balance move, and adopts a persisted ID in preference to a random one.
+type IdentityStore interface {
+	// LoadIdentity returns the persisted node ID, if any.
+	LoadIdentity() (keys.Key, bool)
+	// SaveIdentity durably records the node ID.
+	SaveIdentity(id keys.Key) error
+}
+
+// Store is a thread-safe ordered in-memory block store.
 type Store struct {
 	mu    sync.RWMutex
 	tree  btree.Tree[*Block]
 	bytes int64 // data bytes actually stored (pointers excluded)
+	// ttls and ptrs count entries carrying a TTL deadline / pointer
+	// entries, so SweepExpired and StalePointers can skip their full-tree
+	// scans when there is nothing they could find — the common case on
+	// nodes that never see TTL writes or balance moves.
+	ttls int
+	ptrs int
 }
+
+var _ Engine = (*Store)(nil)
 
 // New creates an empty store.
 func New() *Store { return &Store{} }
@@ -59,6 +142,18 @@ func (s *Store) Bytes() int64 {
 	return s.bytes
 }
 
+// dropCounts adjusts the cheap-scan counters for a removed entry.
+func (s *Store) dropCounts(b *Block) {
+	if b.IsPointer() {
+		s.ptrs--
+	} else {
+		s.bytes -= b.Size
+	}
+	if !b.Expires.IsZero() {
+		s.ttls--
+	}
+}
+
 // Put stores block data, replacing any previous entry (including a
 // pointer: the data has arrived). A zero ttl means no expiry.
 func (s *Store) Put(k keys.Key, data []byte, ttl time.Duration, now time.Time) {
@@ -67,9 +162,10 @@ func (s *Store) Put(k keys.Key, data []byte, ttl time.Duration, now time.Time) {
 	b := &Block{Data: data, Size: int64(len(data))}
 	if ttl > 0 {
 		b.Expires = now.Add(ttl)
+		s.ttls++
 	}
-	if prev, had := s.tree.Set(k, b); had && !prev.IsPointer() {
-		s.bytes -= prev.Size
+	if prev, had := s.tree.Set(k, b); had {
+		s.dropCounts(prev)
 	}
 	s.bytes += b.Size
 }
@@ -81,7 +177,10 @@ func (s *Store) PutPointer(k keys.Key, target transport.Addr, size int64, now ti
 	if prev, ok := s.tree.Get(k); ok && !prev.IsPointer() {
 		return // real data wins over a pointer
 	}
-	s.tree.Set(k, &Block{Pointer: target, Size: size, PointerSince: now})
+	if prev, had := s.tree.Set(k, &Block{Pointer: target, Size: size, PointerSince: now}); had {
+		s.dropCounts(prev)
+	}
+	s.ptrs++
 }
 
 // Get returns the entry under k.
@@ -111,8 +210,8 @@ func (s *Store) Delete(k keys.Key) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	prev, ok := s.tree.Delete(k)
-	if ok && !prev.IsPointer() {
-		s.bytes -= prev.Size
+	if ok {
+		s.dropCounts(prev)
 	}
 	return ok
 }
@@ -125,18 +224,29 @@ func (s *Store) Refresh(k keys.Key, ttl time.Duration, now time.Time) bool {
 	if !ok {
 		return false
 	}
+	had := !b.Expires.IsZero()
 	if ttl > 0 {
 		b.Expires = now.Add(ttl)
+		if !had {
+			s.ttls++
+		}
 	} else {
 		b.Expires = time.Time{}
+		if had {
+			s.ttls--
+		}
 	}
 	return true
 }
 
 // SweepExpired removes entries whose TTL passed, returning the count.
+// When no live entry carries a TTL the scan is skipped entirely.
 func (s *Store) SweepExpired(now time.Time) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.ttls == 0 {
+		return 0
+	}
 	var dead []keys.Key
 	s.tree.AscendRange(keys.Zero, keys.MaxKey, func(k keys.Key, b *Block) bool {
 		if !b.Expires.IsZero() && b.Expires.Before(now) {
@@ -145,17 +255,11 @@ func (s *Store) SweepExpired(now time.Time) int {
 		return true
 	})
 	for _, k := range dead {
-		if prev, ok := s.tree.Delete(k); ok && !prev.IsPointer() {
-			s.bytes -= prev.Size
+		if prev, ok := s.tree.Delete(k); ok {
+			s.dropCounts(prev)
 		}
 	}
 	return len(dead)
-}
-
-// Item pairs a key with its entry in scan results.
-type Item struct {
-	Key   keys.Key
-	Block *Block
 }
 
 // Arc returns the entries in the circular arc (lo, hi], in key order.
@@ -226,10 +330,14 @@ func (s *Store) MedianKey(lo, hi keys.Key) (keys.Key, bool) {
 
 // StalePointers returns pointers installed before the deadline, due for
 // stabilization (§6: a node retrieves the block for a pointer it has held
-// longer than the pointer stabilization time).
+// longer than the pointer stabilization time). When no pointer entries
+// exist the scan is skipped entirely.
 func (s *Store) StalePointers(deadline time.Time) []Item {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.ptrs == 0 {
+		return nil
+	}
 	var out []Item
 	s.tree.AscendRange(keys.Zero, keys.MaxKey, func(k keys.Key, b *Block) bool {
 		if b.IsPointer() && b.PointerSince.Before(deadline) {
@@ -251,3 +359,9 @@ func (s *Store) Keys() []keys.Key {
 	})
 	return out
 }
+
+// Flush is a no-op: the in-memory store has no durability to wait for.
+func (s *Store) Flush() error { return nil }
+
+// Close is a no-op for the in-memory store.
+func (s *Store) Close() error { return nil }

@@ -1,10 +1,15 @@
-package store
+// Engine-parametrized store suite: every behavioural case runs against
+// both the in-memory store and the durable disk engine through the same
+// store.Engine table, so the two implementations cannot drift apart.
+package store_test
 
 import (
 	"testing"
 	"time"
 
 	"github.com/defragdht/d2/internal/keys"
+	"github.com/defragdht/d2/internal/store"
+	"github.com/defragdht/d2/internal/store/disk"
 )
 
 func k(v uint64) keys.Key {
@@ -17,202 +22,236 @@ func k(v uint64) keys.Key {
 
 var t0 = time.Unix(1000, 0)
 
+// engines is the implementation table: each test below runs once per row.
+var engines = []struct {
+	name string
+	open func(t *testing.T) store.Engine
+}{
+	{"memory", func(t *testing.T) store.Engine { return store.New() }},
+	{"disk", func(t *testing.T) store.Engine {
+		s, err := disk.Open(t.TempDir(), disk.Options{Fsync: disk.FsyncNever})
+		if err != nil {
+			t.Fatalf("disk.Open: %v", err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	}},
+}
+
+// forEachEngine runs fn once per engine implementation.
+func forEachEngine(t *testing.T, fn func(t *testing.T, s store.Engine)) {
+	for _, eng := range engines {
+		t.Run(eng.name, func(t *testing.T) {
+			fn(t, eng.open(t))
+		})
+	}
+}
+
 func TestPutGetDelete(t *testing.T) {
-	s := New()
-	s.Put(k(1), []byte("hello"), 0, t0)
-	b, ok := s.Get(k(1))
-	if !ok || string(b.Data) != "hello" || b.IsPointer() {
-		t.Fatalf("Get = (%+v, %v)", b, ok)
-	}
-	if s.Bytes() != 5 || s.Len() != 1 {
-		t.Errorf("Bytes=%d Len=%d", s.Bytes(), s.Len())
-	}
-	s.Put(k(1), []byte("hi"), 0, t0) // replace shrinks accounting
-	if s.Bytes() != 2 {
-		t.Errorf("Bytes after replace = %d", s.Bytes())
-	}
-	if !s.Delete(k(1)) || s.Bytes() != 0 || s.Len() != 0 {
-		t.Error("Delete accounting wrong")
-	}
-	if s.Delete(k(1)) {
-		t.Error("double delete succeeded")
-	}
+	forEachEngine(t, func(t *testing.T, s store.Engine) {
+		s.Put(k(1), []byte("hello"), 0, t0)
+		b, ok := s.Get(k(1))
+		if !ok || string(b.Data) != "hello" || b.IsPointer() {
+			t.Fatalf("Get = (%+v, %v)", b, ok)
+		}
+		if s.Bytes() != 5 || s.Len() != 1 {
+			t.Errorf("Bytes=%d Len=%d", s.Bytes(), s.Len())
+		}
+		s.Put(k(1), []byte("hi"), 0, t0) // replace shrinks accounting
+		if s.Bytes() != 2 {
+			t.Errorf("Bytes after replace = %d", s.Bytes())
+		}
+		if !s.Delete(k(1)) || s.Bytes() != 0 || s.Len() != 0 {
+			t.Error("Delete accounting wrong")
+		}
+		if s.Delete(k(1)) {
+			t.Error("double delete succeeded")
+		}
+	})
 }
 
 func TestPointerSemantics(t *testing.T) {
-	s := New()
-	s.PutPointer(k(1), "addr-a", 8192, t0)
-	b, ok := s.Get(k(1))
-	if !ok || !b.IsPointer() || b.Size != 8192 {
-		t.Fatalf("pointer entry = %+v", b)
-	}
-	if s.Bytes() != 0 {
-		t.Errorf("pointers must not count as stored bytes, got %d", s.Bytes())
-	}
-	// Data replaces the pointer.
-	s.Put(k(1), make([]byte, 100), 0, t0)
-	b, _ = s.Get(k(1))
-	if b.IsPointer() || s.Bytes() != 100 {
-		t.Error("data did not replace pointer cleanly")
-	}
-	// A later pointer must not clobber real data.
-	s.PutPointer(k(1), "addr-b", 50, t0)
-	if b, _ = s.Get(k(1)); b.IsPointer() {
-		t.Error("pointer overwrote data")
-	}
+	forEachEngine(t, func(t *testing.T, s store.Engine) {
+		s.PutPointer(k(1), "addr-a", 8192, t0)
+		b, ok := s.Get(k(1))
+		if !ok || !b.IsPointer() || b.Size != 8192 {
+			t.Fatalf("pointer entry = %+v", b)
+		}
+		if s.Bytes() != 0 {
+			t.Errorf("pointers must not count as stored bytes, got %d", s.Bytes())
+		}
+		// Data replaces the pointer.
+		s.Put(k(1), make([]byte, 100), 0, t0)
+		b, _ = s.Get(k(1))
+		if b.IsPointer() || s.Bytes() != 100 {
+			t.Error("data did not replace pointer cleanly")
+		}
+		// A later pointer must not clobber real data.
+		s.PutPointer(k(1), "addr-b", 50, t0)
+		if b, _ = s.Get(k(1)); b.IsPointer() {
+			t.Error("pointer overwrote data")
+		}
+	})
 }
 
 func TestTTLSweep(t *testing.T) {
-	s := New()
-	s.Put(k(1), []byte("a"), time.Minute, t0)
-	s.Put(k(2), []byte("b"), time.Hour, t0)
-	s.Put(k(3), []byte("c"), 0, t0)
-	if n := s.SweepExpired(t0.Add(10 * time.Minute)); n != 1 {
-		t.Fatalf("swept %d, want 1", n)
-	}
-	if _, ok := s.Get(k(1)); ok {
-		t.Error("expired block survived sweep")
-	}
-	if _, ok := s.Get(k(3)); !ok {
-		t.Error("no-TTL block swept")
-	}
-	// Refresh extends life.
-	s.Refresh(k(2), time.Hour, t0.Add(50*time.Minute))
-	if n := s.SweepExpired(t0.Add(90 * time.Minute)); n != 0 {
-		t.Errorf("refreshed block swept (%d)", n)
-	}
-	if s.Refresh(k(99), time.Hour, t0) {
-		t.Error("Refresh of absent key succeeded")
-	}
+	forEachEngine(t, func(t *testing.T, s store.Engine) {
+		s.Put(k(1), []byte("a"), time.Minute, t0)
+		s.Put(k(2), []byte("b"), time.Hour, t0)
+		s.Put(k(3), []byte("c"), 0, t0)
+		if n := s.SweepExpired(t0.Add(10 * time.Minute)); n != 1 {
+			t.Fatalf("swept %d, want 1", n)
+		}
+		if _, ok := s.Get(k(1)); ok {
+			t.Error("expired block survived sweep")
+		}
+		if _, ok := s.Get(k(3)); !ok {
+			t.Error("no-TTL block swept")
+		}
+		// Refresh extends life.
+		s.Refresh(k(2), time.Hour, t0.Add(50*time.Minute))
+		if n := s.SweepExpired(t0.Add(90 * time.Minute)); n != 0 {
+			t.Errorf("refreshed block swept (%d)", n)
+		}
+		if s.Refresh(k(99), time.Hour, t0) {
+			t.Error("Refresh of absent key succeeded")
+		}
+	})
 }
 
 func TestArcAndBytes(t *testing.T) {
-	s := New()
-	for i := uint64(1); i <= 10; i++ {
-		s.Put(k(i*10), make([]byte, 100), 0, t0)
-	}
-	items := s.Arc(k(25), k(55))
-	if len(items) != 3 { // 30, 40, 50
-		t.Fatalf("Arc returned %d items", len(items))
-	}
-	if got := s.ArcBytes(k(25), k(55)); got != 300 {
-		t.Errorf("ArcBytes = %d", got)
-	}
-	// Wrapping arc.
-	if got := len(s.Arc(k(85), k(25))); got != 4 { // 90, 100, 10, 20
-		t.Errorf("wrap arc = %d items", got)
-	}
+	forEachEngine(t, func(t *testing.T, s store.Engine) {
+		for i := uint64(1); i <= 10; i++ {
+			s.Put(k(i*10), make([]byte, 100), 0, t0)
+		}
+		items := s.Arc(k(25), k(55))
+		if len(items) != 3 { // 30, 40, 50
+			t.Fatalf("Arc returned %d items", len(items))
+		}
+		if got := s.ArcBytes(k(25), k(55)); got != 300 {
+			t.Errorf("ArcBytes = %d", got)
+		}
+		// Wrapping arc.
+		if got := len(s.Arc(k(85), k(25))); got != 4 { // 90, 100, 10, 20
+			t.Errorf("wrap arc = %d items", got)
+		}
+	})
 }
 
 func TestMedianKey(t *testing.T) {
-	s := New()
-	for i := uint64(1); i <= 4; i++ {
-		s.Put(k(i*10), make([]byte, 100), 0, t0)
-	}
-	m, ok := s.MedianKey(k(5), k(45))
-	if !ok || m != k(20) {
-		t.Fatalf("MedianKey = (%s, %v), want 20", m.Short(), ok)
-	}
-	if _, ok := s.MedianKey(k(200), k(300)); ok {
-		t.Error("median of empty arc")
-	}
+	forEachEngine(t, func(t *testing.T, s store.Engine) {
+		for i := uint64(1); i <= 4; i++ {
+			s.Put(k(i*10), make([]byte, 100), 0, t0)
+		}
+		m, ok := s.MedianKey(k(5), k(45))
+		if !ok || m != k(20) {
+			t.Fatalf("MedianKey = (%s, %v), want 20", m.Short(), ok)
+		}
+		if _, ok := s.MedianKey(k(200), k(300)); ok {
+			t.Error("median of empty arc")
+		}
+	})
 }
 
 func TestStalePointers(t *testing.T) {
-	s := New()
-	s.PutPointer(k(1), "a", 10, t0)
-	s.PutPointer(k(2), "b", 10, t0.Add(time.Hour))
-	s.Put(k(3), []byte("x"), 0, t0)
-	stale := s.StalePointers(t0.Add(30 * time.Minute))
-	if len(stale) != 1 || stale[0].Key != k(1) {
-		t.Fatalf("StalePointers = %v", stale)
-	}
+	forEachEngine(t, func(t *testing.T, s store.Engine) {
+		s.PutPointer(k(1), "a", 10, t0)
+		s.PutPointer(k(2), "b", 10, t0.Add(time.Hour))
+		s.Put(k(3), []byte("x"), 0, t0)
+		stale := s.StalePointers(t0.Add(30 * time.Minute))
+		if len(stale) != 1 || stale[0].Key != k(1) {
+			t.Fatalf("StalePointers = %v", stale)
+		}
+	})
 }
 
 func TestKeysSnapshot(t *testing.T) {
-	s := New()
-	s.Put(k(2), []byte("b"), 0, t0)
-	s.Put(k(1), []byte("a"), 0, t0)
-	ks := s.Keys()
-	if len(ks) != 2 || !ks[0].Less(ks[1]) {
-		t.Fatalf("Keys = %v", ks)
-	}
+	forEachEngine(t, func(t *testing.T, s store.Engine) {
+		s.Put(k(2), []byte("b"), 0, t0)
+		s.Put(k(1), []byte("a"), 0, t0)
+		ks := s.Keys()
+		if len(ks) != 2 || !ks[0].Less(ks[1]) {
+			t.Fatalf("Keys = %v", ks)
+		}
+	})
 }
 
 func TestGetBatch(t *testing.T) {
-	s := New()
-	s.Put(k(1), []byte("a"), 0, t0)
-	s.Put(k(3), []byte("c"), 0, t0)
-	s.PutPointer(k(5), "addr-p", 64, t0)
+	forEachEngine(t, func(t *testing.T, s store.Engine) {
+		s.Put(k(1), []byte("a"), 0, t0)
+		s.Put(k(3), []byte("c"), 0, t0)
+		s.PutPointer(k(5), "addr-p", 64, t0)
 
-	got := s.GetBatch([]keys.Key{k(1), k(2), k(3), k(5), k(1)})
-	if len(got) != 5 {
-		t.Fatalf("GetBatch returned %d entries, want 5", len(got))
-	}
-	if got[0] == nil || string(got[0].Data) != "a" {
-		t.Errorf("entry 0 = %+v", got[0])
-	}
-	if got[1] != nil {
-		t.Errorf("absent key returned %+v", got[1])
-	}
-	if got[2] == nil || string(got[2].Data) != "c" {
-		t.Errorf("entry 2 = %+v", got[2])
-	}
-	if got[3] == nil || !got[3].IsPointer() {
-		t.Errorf("pointer entry = %+v", got[3])
-	}
-	if got[4] != got[0] {
-		t.Error("duplicate key resolved to a different entry")
-	}
-	if out := s.GetBatch(nil); len(out) != 0 {
-		t.Errorf("empty batch returned %d entries", len(out))
-	}
+		got := s.GetBatch([]keys.Key{k(1), k(2), k(3), k(5), k(1)})
+		if len(got) != 5 {
+			t.Fatalf("GetBatch returned %d entries, want 5", len(got))
+		}
+		if got[0] == nil || string(got[0].Data) != "a" {
+			t.Errorf("entry 0 = %+v", got[0])
+		}
+		if got[1] != nil {
+			t.Errorf("absent key returned %+v", got[1])
+		}
+		if got[2] == nil || string(got[2].Data) != "c" {
+			t.Errorf("entry 2 = %+v", got[2])
+		}
+		if got[3] == nil || !got[3].IsPointer() {
+			t.Errorf("pointer entry = %+v", got[3])
+		}
+		if got[4] == nil || string(got[4].Data) != "a" {
+			t.Error("duplicate key did not resolve")
+		}
+		if out := s.GetBatch(nil); len(out) != 0 {
+			t.Errorf("empty batch returned %d entries", len(out))
+		}
+	})
 }
 
 func TestArcLimit(t *testing.T) {
-	s := New()
-	for i := uint64(1); i <= 10; i++ {
-		s.Put(k(i*10), []byte{byte(i)}, 0, t0)
-	}
+	forEachEngine(t, func(t *testing.T, s store.Engine) {
+		for i := uint64(1); i <= 10; i++ {
+			s.Put(k(i*10), []byte{byte(i)}, 0, t0)
+		}
 
-	// Truncated scan, resumed from the last returned key, walks the whole
-	// arc in order without duplicates.
-	var all []Item
-	lo := k(5)
-	for {
-		items, more := s.ArcLimit(lo, k(95), 3)
-		all = append(all, items...)
-		if !more {
-			break
+		// Truncated scan, resumed from the last returned key, walks the whole
+		// arc in order without duplicates.
+		var all []store.Item
+		lo := k(5)
+		for {
+			items, more := s.ArcLimit(lo, k(95), 3)
+			all = append(all, items...)
+			if !more {
+				break
+			}
+			if len(items) != 3 {
+				t.Fatalf("truncated page had %d items", len(items))
+			}
+			lo = items[len(items)-1].Key
 		}
-		if len(items) != 3 {
-			t.Fatalf("truncated page had %d items", len(items))
+		if len(all) != 9 { // 10..90
+			t.Fatalf("paged walk saw %d items, want 9", len(all))
 		}
-		lo = items[len(items)-1].Key
-	}
-	if len(all) != 9 { // 10..90
-		t.Fatalf("paged walk saw %d items, want 9", len(all))
-	}
-	for i, it := range all {
-		if !it.Key.Equal(k(uint64(i+1) * 10)) {
-			t.Fatalf("page order broken at %d: %s", i, it.Key.Short())
+		for i, it := range all {
+			if !it.Key.Equal(k(uint64(i+1) * 10)) {
+				t.Fatalf("page order broken at %d: %s", i, it.Key.Short())
+			}
 		}
-	}
 
-	// limit <= 0 means no cap; a wrapping arc pages the same way.
-	if items, more := s.ArcLimit(k(5), k(95), 0); more || len(items) != 9 {
-		t.Errorf("uncapped scan = (%d items, more=%v)", len(items), more)
-	}
-	items, more := s.ArcLimit(k(85), k(25), 3)
-	if !more || len(items) != 3 || !items[0].Key.Equal(k(90)) {
-		t.Fatalf("wrap page 1 = (%d items, more=%v)", len(items), more)
-	}
-	items2, more2 := s.ArcLimit(items[len(items)-1].Key, k(25), 3)
-	if more2 || len(items2) != 1 || !items2[0].Key.Equal(k(20)) {
-		t.Fatalf("wrap page 2 = (%d items, more=%v)", len(items2), more2)
-	}
-	// Exact fit: limit equal to the remaining entries reports no more.
-	if _, more := s.ArcLimit(k(5), k(95), 9); more {
-		t.Error("exact-fit scan reported more")
-	}
+		// limit <= 0 means no cap; a wrapping arc pages the same way.
+		if items, more := s.ArcLimit(k(5), k(95), 0); more || len(items) != 9 {
+			t.Errorf("uncapped scan = (%d items, more=%v)", len(items), more)
+		}
+		items, more := s.ArcLimit(k(85), k(25), 3)
+		if !more || len(items) != 3 || !items[0].Key.Equal(k(90)) {
+			t.Fatalf("wrap page 1 = (%d items, more=%v)", len(items), more)
+		}
+		items2, more2 := s.ArcLimit(items[len(items)-1].Key, k(25), 3)
+		if more2 || len(items2) != 1 || !items2[0].Key.Equal(k(20)) {
+			t.Fatalf("wrap page 2 = (%d items, more=%v)", len(items2), more2)
+		}
+		// Exact fit: limit equal to the remaining entries reports no more.
+		if _, more := s.ArcLimit(k(5), k(95), 9); more {
+			t.Error("exact-fit scan reported more")
+		}
+	})
 }

@@ -55,6 +55,18 @@ func (n *MemNetwork) NewEndpoint() *MemTransport {
 	return ep
 }
 
+// NewEndpointAt creates an endpoint bound to a specific address,
+// replacing any prior registration — the mem-network equivalent of a
+// restarted process rebinding its old port. Durable-restart tests need
+// the new incarnation reachable at the address the ring remembers.
+func (n *MemNetwork) NewEndpointAt(addr Addr) *MemTransport {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep := &MemTransport{net: n, addr: addr}
+	n.eps[addr] = ep
+	return ep
+}
+
 // lookupEndpoint finds a live endpoint.
 func (n *MemNetwork) lookupEndpoint(a Addr) (*MemTransport, bool) {
 	n.mu.RLock()

@@ -34,6 +34,13 @@
 #                            concurrent sampler soak, and the alloc gates
 #                            proving the sampling tick and the health
 #                            evaluation both stay zero-allocation
+#   scripts/verify.sh disk   disk tier: the durable-engine tests under
+#                            -race (recovery, checkpoint, torn tails, the
+#                            kill -9 process e2e), a 10 s crash-loop soak
+#                            (repeated recover cycles with checkpoints
+#                            interleaved), a 10 s WAL-replay fuzz pass,
+#                            and the alloc gate proving the indexed read
+#                            path (ReadInto) stays zero-allocation
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -114,6 +121,24 @@ if [ "${1:-}" = "obs" ]; then
 	}
 	echo "$out" | grep -q 'BenchmarkHealthEvaluate.* 0 B/op[[:space:]]*0 allocs/op' || {
 		echo "obs tier: health evaluation allocates" >&2
+		exit 1
+	}
+	exit 0
+fi
+
+if [ "${1:-}" = "disk" ]; then
+	echo "== disk tier: durable-engine tests under -race (incl. kill -9 e2e)"
+	go test -race ./internal/store/ ./internal/store/disk/
+	go test -race -run 'TestDiskNodeCrashRecovery' .
+	echo "== disk tier: 10s crash-loop soak"
+	D2_DISK_SOAK=10s go test -race -run 'TestCrashLoop' ./internal/store/disk/
+	echo "== disk tier: WAL replay fuzz (10s)"
+	go test -run '^$' -fuzz 'FuzzWALReplay' -fuzztime 10s ./internal/store/disk/
+	echo "== disk tier: indexed-read alloc gate (want 0 allocs/op)"
+	out=$(go test -run '^$' -bench 'BenchmarkDiskReadInto' -benchmem \
+		./internal/store/disk/ | tee /dev/stderr)
+	echo "$out" | grep -q 'BenchmarkDiskReadInto.* 0 B/op[[:space:]]*0 allocs/op' || {
+		echo "disk tier: indexed read path allocates" >&2
 		exit 1
 	}
 	exit 0
