@@ -13,14 +13,25 @@ import (
 // runDoctor prints a one-shot cluster health report: the overall
 // verdict, the §10 load-imbalance check, a per-node table, and — the
 // point of the exercise — every failing or degraded check with the node
-// responsible.
-func runDoctor(ctx context.Context, client *d2.Client) error {
+// responsible. Exits non-zero when the cluster is failing, so scripts
+// and CI can gate on it; -o json emits the raw report instead of the
+// rendered tables.
+func runDoctor(ctx context.Context, client *d2.Client, jsonOut bool) error {
 	report, err := client.ClusterDoctor(ctx)
 	if err != nil {
 		return err
 	}
 	if report.Nodes == 0 {
 		return fmt.Errorf("no reachable nodes")
+	}
+	if jsonOut {
+		if err := printJSON(report); err != nil {
+			return err
+		}
+		if report.State == "failing" {
+			return errClusterFailing
+		}
+		return nil
 	}
 
 	fmt.Printf("cluster state: %s (%d nodes)\n", strings.ToUpper(report.State), report.Nodes)
@@ -46,11 +57,14 @@ func runDoctor(ctx context.Context, client *d2.Client) error {
 
 	if len(report.Problems) == 0 {
 		fmt.Println("\nno problems found")
-		return nil
+	} else {
+		fmt.Printf("\nproblems (%d):\n", len(report.Problems))
+		for _, p := range report.Problems {
+			fmt.Printf("  [%s] %s: %s — %s\n", strings.ToUpper(p.State), p.Node, p.Check, p.Evidence)
+		}
 	}
-	fmt.Printf("\nproblems (%d):\n", len(report.Problems))
-	for _, p := range report.Problems {
-		fmt.Printf("  [%s] %s: %s — %s\n", strings.ToUpper(p.State), p.Node, p.Check, p.Evidence)
+	if report.State == "failing" {
+		return errClusterFailing
 	}
 	return nil
 }
@@ -86,13 +100,13 @@ func runWatch(ctx context.Context, client *d2.Client, interval time.Duration, n 
 // printWatchTable renders one watch refresh.
 func printWatchTable(nodes []d2.NodeHealth) {
 	fmt.Printf("d2 watch — %d nodes — %s\n\n", len(nodes), time.Now().Format("15:04:05"))
-	fmt.Printf("%-22s %-9s %8s %10s %9s %9s %6s %8s  %s\n",
-		"ADDR", "STATE", "BLOCKS", "STORED", "RPC/S", "WIRE/S", "POOL", "DEFICIT", "WORST CHECK")
+	fmt.Printf("%-22s %-9s %8s %10s %9s %9s %6s %8s %6s  %s\n",
+		"ADDR", "STATE", "BLOCKS", "STORED", "RPC/S", "WIRE/S", "POOL", "DEFICIT", "FRAG", "WORST CHECK")
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i].RespBytes > nodes[j].RespBytes })
 	for _, nd := range nodes {
 		var rps, wire float64
 		var pool, deficit int64
-		worst := "-"
+		worst, frag := "-", "-"
 		if nd.Rates != nil {
 			for name, v := range nd.Rates.Counters {
 				if strings.HasPrefix(name, "d2_rpc_server_total") {
@@ -104,6 +118,12 @@ func printWatchTable(nodes []d2.NodeHealth) {
 			}
 			pool = nd.Rates.Gauges["d2_tcp_pool_conns"]
 			deficit = nd.Rates.Gauges["d2_node_replica_deficit"]
+			// The census gauge rides the same history samples as every
+			// other metric, so successive refreshes show the locality
+			// trend as the balancer works.
+			if m := nd.Rates.Gauges["d2_census_frag_ratio_milli"]; m > 0 {
+				frag = fmt.Sprintf("%.2f", float64(m)/1000)
+			}
 		}
 		if nd.Status != nil {
 			for _, c := range nd.Status.Checks {
@@ -113,8 +133,8 @@ func printWatchTable(nodes []d2.NodeHealth) {
 				}
 			}
 		}
-		fmt.Printf("%-22s %-9s %8d %10s %9.1f %8s/s %6d %8d  %s\n",
+		fmt.Printf("%-22s %-9s %8d %10s %9.1f %8s/s %6d %8d %6s  %s\n",
 			nd.Self.Addr, nd.State, nd.Blocks, fmtBytes(nd.StoredBytes),
-			rps, fmtBytes(int64(wire)), pool, deficit, worst)
+			rps, fmtBytes(int64(wire)), pool, deficit, frag, worst)
 	}
 }

@@ -32,6 +32,18 @@
 //	d2ctl -seeds 127.0.0.1:7001 -interval 5s -n 3 watch
 //	d2ctl -seeds 127.0.0.1:7001 doctor
 //
+// Placement census (scrapes every ring member's census sweeper and
+// merges the reports; frag prints the §5 locality and fragmentation
+// scores with per-volume run-length distributions, map draws the ring
+// as ASCII keyspace arcs with per-node load and role heat; -o json
+// emits the merged report for scripts; doctor and frag exit non-zero
+// when the cluster is failing):
+//
+//	d2ctl -seeds 127.0.0.1:7001 frag
+//	d2ctl -seeds 127.0.0.1:7001 -vol home frag
+//	d2ctl -seeds 127.0.0.1:7001 -o json frag
+//	d2ctl -seeds 127.0.0.1:7001 map
+//
 // Request tracing (reads the file under a forced trace, scrapes every
 // ring member for its spans, and prints the assembled cross-node tree;
 // the optional second argument exports Perfetto-loadable JSON):
@@ -68,10 +80,15 @@ func run() error {
 	verbose := flag.Bool("v", false, "cat: print TTFB and throughput to stderr")
 	interval := flag.Duration("interval", 2*time.Second, "watch: refresh period")
 	count := flag.Int("n", 0, "watch: number of refreshes (0 = until interrupted)")
+	output := flag.String("o", "", "doctor/frag/map: output format (json = machine-readable report)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("usage: d2ctl [flags] mkvol|mkdir|write|cat|ls|stat|mv|rm|trace|stats|top|watch|doctor ...")
+		return fmt.Errorf("usage: d2ctl [flags] mkvol|mkdir|write|cat|ls|stat|mv|rm|trace|stats|top|watch|doctor|frag|map ...")
+	}
+	jsonOut := *output == "json"
+	if *output != "" && !jsonOut {
+		return fmt.Errorf("unknown output format %q (want json)", *output)
 	}
 
 	client, err := d2.ConnectTCP(strings.Split(*seeds, ","), 3)
@@ -100,9 +117,26 @@ func run() error {
 		}
 		return runTop(ctx, client)
 	case "doctor":
-		return runDoctor(ctx, client)
+		return runDoctor(ctx, client, jsonOut)
 	case "watch":
 		return runWatch(ctx, client, *interval, *count)
+	case "frag":
+		// The census labels volumes by volume-ID hex. A trailing argument
+		// filters on that label directly; -vol resolves the human name
+		// through the local keypair file instead.
+		volFilter := ""
+		if len(args) > 1 {
+			volFilter = args[1]
+		} else if *volName != "" {
+			vol, err := loadVolume(ctx, client, *volName, *keyFile)
+			if err != nil {
+				return err
+			}
+			volFilter = vol.VolumeID().String()
+		}
+		return runFrag(ctx, client, volFilter, jsonOut)
+	case "map":
+		return runMap(ctx, client, jsonOut)
 	}
 	if cmd == "mkvol" {
 		if len(args) != 2 {

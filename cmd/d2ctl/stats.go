@@ -43,6 +43,13 @@ func runStats(ctx context.Context, client *d2.Client) error {
 	fmt.Printf("load imbalance (stddev/mean of primary load, §10): %.3f\n",
 		stats.NormStdDev(loads))
 
+	// One extra scrape builds the cluster-level census view (§5 locality
+	// and frag ratio are cross-node properties a summed gauge can't give).
+	if _, cc, err := client.ClusterCensus(ctx); err == nil && cc != nil && cc.TotalFiles > 0 {
+		fmt.Printf("placement census: %.3f runs/file, locality %.3f, %d files, %d stale pointers (%s)\n",
+			cc.FragRatio, cc.Locality, cc.TotalFiles, cc.StalePointers, cc.State)
+	}
+
 	hits := merged.Counters["d2_client_cache_hits_total"]
 	misses := merged.Counters["d2_client_cache_misses_total"]
 	if hits+misses > 0 {
@@ -57,6 +64,7 @@ func runStats(ctx context.Context, client *d2.Client) error {
 	printCounterGroup(merged, "d2_store_", "durable store")
 	printGaugeGroup(merged, "connection pools / streams", "d2_tcp_pool_", "d2_stream_")
 	printGaugeGroup(merged, "durable store", "d2_store_")
+	printGaugeGroup(merged, "placement census (summed across nodes)", "d2_census_")
 	printLatencies(merged)
 	return nil
 }
@@ -72,8 +80,8 @@ func runTop(ctx context.Context, client *d2.Client) error {
 	}
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i].RespBytes > nodes[j].RespBytes })
 
-	fmt.Printf("%-22s %-10s %8s %10s %10s %10s %10s %6s %9s %9s\n",
-		"ADDR", "ID", "BLOCKS", "STORED", "PRIMARY", "SERVED", "REDIRECTS", "POOL", "FAILFAST", "WAL")
+	fmt.Printf("%-22s %-10s %8s %10s %10s %10s %10s %6s %9s %9s %8s\n",
+		"ADDR", "ID", "BLOCKS", "STORED", "PRIMARY", "SERVED", "REDIRECTS", "POOL", "FAILFAST", "WAL", "LOCALITY")
 	for _, n := range nodes {
 		var served uint64
 		for name, v := range n.Snapshot.Counters {
@@ -83,13 +91,21 @@ func runTop(ctx context.Context, client *d2.Client) error {
 		}
 		// In-memory nodes carry no d2_store_ series; the column reads 0B.
 		wal := fmtBytes(n.Snapshot.Gauges["d2_store_wal_size_bytes"])
-		fmt.Printf("%-22s %-10s %8d %10s %10s %10d %10d %6d %9d %9s\n",
+		// Per-node locality from the census gauges: owner switches a
+		// sequential scan of this node's files would incur, per file
+		// (0.00 = every local file is one contiguous run).
+		locality := "-"
+		if files := n.Snapshot.Gauges["d2_census_files"]; files > 0 {
+			sw := n.Snapshot.Gauges["d2_census_owner_switches"]
+			locality = fmt.Sprintf("%.2f", float64(sw)/float64(files))
+		}
+		fmt.Printf("%-22s %-10s %8d %10s %10s %10d %10d %6d %9d %9s %8s\n",
 			n.Self.Addr, n.Self.ID.Short(), n.Blocks,
 			fmtBytes(n.StoredBytes), fmtBytes(n.RespBytes),
 			served, n.Snapshot.Counters["d2_node_ptr_redirects_total"],
 			n.Snapshot.Gauges["d2_tcp_pool_conns"],
 			n.Snapshot.Counters["d2_tcp_pool_failfast_total"],
-			wal)
+			wal, locality)
 	}
 	return nil
 }

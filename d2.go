@@ -32,6 +32,7 @@ import (
 	"github.com/defragdht/d2/internal/keys"
 	"github.com/defragdht/d2/internal/node"
 	"github.com/defragdht/d2/internal/obs"
+	"github.com/defragdht/d2/internal/obs/census"
 	"github.com/defragdht/d2/internal/obs/history"
 	"github.com/defragdht/d2/internal/obs/tracing"
 	"github.com/defragdht/d2/internal/store/disk"
@@ -94,6 +95,11 @@ type NodeOptions struct {
 	// 2 s). The engine always runs on TCP nodes; the interval only tunes
 	// its resolution.
 	HistoryInterval time.Duration
+	// CensusInterval is the placement-census sweep period (default 5 s;
+	// negative disables the census). The sweeper walks the store index
+	// once per tick and publishes the d2_census_* gauges behind
+	// /censusz, d2ctl frag/map, and the fragmentation health check.
+	CensusInterval time.Duration
 	// FlightDir enables the flight recorder: on health transitions, slow
 	// requests, and peer deaths the node dumps a JSON diagnostic bundle
 	// there. Empty disables dumps.
@@ -141,6 +147,7 @@ func (o NodeOptions) toConfig(seed uint64) node.Config {
 		RemoveDelay:          o.RemoveDelay,
 		StabilizeInterval:    o.StabilizeInterval,
 		RepairInterval:       o.RepairInterval,
+		CensusInterval:       o.CensusInterval,
 		Seed:                 seed,
 	}
 }
@@ -409,7 +416,8 @@ func (n *Node) Health() string { return n.engine.State().String() }
 // /statsz (JSON snapshot), /eventz (structured event log), /tracez
 // (retained request traces), /healthz (the health engine's status
 // document), /historyz (the retained sample ring and derived rates),
-// /ringz (the node's ring view), and net/http/pprof under /debug/pprof/.
+// /censusz (the placement census's latest report), /ringz (the node's
+// ring view), and net/http/pprof under /debug/pprof/.
 // Serve it on a loopback or otherwise-protected port; it is
 // unauthenticated.
 func (n *Node) AdminHandler() http.Handler {
@@ -433,6 +441,17 @@ func (n *Node) AdminHandler() http.Handler {
 			return
 		}
 		_ = enc.Encode(n.engine.DumpHistory(0))
+	})
+	mux.HandleFunc("/censusz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		sw := n.inner.Census()
+		if sw == nil {
+			http.Error(w, `{"error":"census disabled"}`, http.StatusNotFound)
+			return
+		}
+		_ = enc.Encode(sw.Snapshot())
 	})
 	mux.HandleFunc("/ringz", func(w http.ResponseWriter, r *http.Request) {
 		pred, succs := n.inner.Neighbors()
@@ -640,6 +659,25 @@ func (c *Client) ClusterHealth(ctx context.Context) ([]NodeHealth, error) {
 // check, naming the node responsible (the d2ctl doctor data source).
 func (c *Client) ClusterDoctor(ctx context.Context) (ClusterReport, error) {
 	return c.inner.ClusterReport(ctx)
+}
+
+// NodeCensus is one ring member's placement-census report.
+type NodeCensus = node.NodeCensus
+
+// CensusReport is a single node's placement census (blocks and bytes by
+// role, per-volume run-length histograms).
+type CensusReport = census.Report
+
+// ClusterCensusReport is the merged cluster-wide census with the §5
+// locality score, per-volume fragmentation ratios, §10 load imbalance,
+// and replica-placement spread.
+type ClusterCensusReport = census.Cluster
+
+// ClusterCensus scrapes every ring member's placement census and merges
+// the reports into cluster-wide placement metrics (the d2ctl frag/map
+// data source).
+func (c *Client) ClusterCensus(ctx context.Context) ([]NodeCensus, *ClusterCensusReport, error) {
+	return c.inner.ClusterCensus(ctx)
 }
 
 // Close releases the client.

@@ -134,6 +134,19 @@ func (k Key) FileLimit() Key {
 	return lim
 }
 
+// SameFile reports whether two keys address blocks of the same file:
+// identical volume, path slots, and path remainder — everything before
+// the block number. Combined with BlockNum arithmetic this is how the
+// placement census detects contiguous runs in a sorted key walk.
+func SameFile(a, b Key) bool {
+	for i := 0; i < blockOff; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // VolumeRange returns the inclusive lower and exclusive upper bounds of all
 // keys belonging to a volume.
 func VolumeRange(vol VolumeID) (lo, hi Key) {

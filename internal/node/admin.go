@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"github.com/defragdht/d2/internal/obs"
+	"github.com/defragdht/d2/internal/obs/census"
 	"github.com/defragdht/d2/internal/obs/history"
 	"github.com/defragdht/d2/internal/obs/tracing"
 	"github.com/defragdht/d2/internal/transport"
@@ -195,6 +196,56 @@ func (c *Client) ClusterReport(ctx context.Context) (history.ClusterReport, erro
 		})
 	}
 	return history.BuildClusterReport(members), nil
+}
+
+// NodeCensus is one ring member's scraped placement census.
+type NodeCensus struct {
+	Self        transport.PeerInfo
+	Pred        transport.PeerInfo
+	RespBytes   int64
+	StoredBytes int64
+	Blocks      int64
+	// Report is the node's census document (nil when the node runs
+	// without a sweeper).
+	Report *census.Report
+}
+
+// ClusterCensus scrapes every ring member's placement census via the
+// CensusReq RPC and merges the per-node reports into the §5-style
+// cluster metrics (locality score, per-volume fragmentation, §10
+// imbalance, replica spread). Per-node details ride along in ID order;
+// unreachable members are skipped.
+func (c *Client) ClusterCensus(ctx context.Context) ([]NodeCensus, *census.Cluster, error) {
+	members, err := c.WalkRing(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []NodeCensus
+	for _, m := range members {
+		resp, err := transport.Expect[*transport.CensusResp](
+			c.call(ctx, m.Self.Addr, &transport.CensusReq{}))
+		if err != nil {
+			continue
+		}
+		out = append(out, NodeCensus{
+			Self:        resp.Self,
+			Pred:        resp.Pred,
+			RespBytes:   resp.RespBytes,
+			StoredBytes: resp.StoredBytes,
+			Blocks:      resp.Blocks,
+			Report:      census.ParseReport(resp.ReportJSON),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Self.ID.Less(out[j].Self.ID) })
+	reports := make([]census.NodeReport, 0, len(out))
+	for _, n := range out {
+		reports = append(reports, census.NodeReport{
+			Addr: string(n.Self.Addr),
+			ID:   n.Self.ID.Short(),
+			Rep:  n.Report,
+		})
+	}
+	return out, census.BuildCluster(reports), nil
 }
 
 // FetchClusterTrace scrapes every ring member's span sink for one trace

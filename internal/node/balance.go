@@ -2,6 +2,7 @@ package node
 
 import (
 	"context"
+	"strconv"
 	"time"
 
 	"github.com/defragdht/d2/internal/obs"
@@ -44,6 +45,15 @@ func (n *Node) moveTo(ctx context.Context, a transport.PeerInfo) {
 		n.call(ctx, a.Addr, &transport.SplitReq{}))
 	if err != nil || !split.Ok {
 		return
+	}
+	// Census baseline: measure placement before the move so the delta
+	// event below can answer "did this migration step improve locality"
+	// from the live ring rather than a simulator.
+	var fragBefore, runsBefore int64
+	if n.census != nil {
+		n.census.SweepNow()
+		fragBefore = n.census.FragMilli()
+		runsBefore, _ = n.census.Totals()
 	}
 	n.mu.Lock()
 	oldSelf := n.self
@@ -138,4 +148,17 @@ func (n *Node) moveTo(ctx context.Context, a transport.PeerInfo) {
 		"succ", string(a.Addr))
 	_, _ = transport.Expect[*transport.NotifyResp](
 		n.call(ctx, a.Addr, &transport.NotifyReq{Cand: newSelf}))
+
+	// Census delta: resweep against the new arc immediately instead of
+	// waiting out the sweep cadence, and log the before/after pair.
+	if n.census != nil {
+		n.census.SweepNow()
+		runsAfter, _ := n.census.Totals()
+		n.events.Log(obs.LevelInfo, "census.delta",
+			"op", "balance.move",
+			"frag_before_milli", strconv.FormatInt(fragBefore, 10),
+			"frag_after_milli", strconv.FormatInt(n.census.FragMilli(), 10),
+			"runs_before", strconv.FormatInt(runsBefore, 10),
+			"runs_after", strconv.FormatInt(runsAfter, 10))
+	}
 }

@@ -18,6 +18,7 @@ import (
 
 	"github.com/defragdht/d2/internal/keys"
 	"github.com/defragdht/d2/internal/obs"
+	"github.com/defragdht/d2/internal/obs/census"
 	"github.com/defragdht/d2/internal/obs/history"
 	"github.com/defragdht/d2/internal/obs/tracing"
 	"github.com/defragdht/d2/internal/store"
@@ -70,6 +71,10 @@ type Config struct {
 	// RPCs answer with its status and rates documents (nil nodes answer
 	// State "unknown"). The engine's lifecycle belongs to the caller.
 	Health *history.Engine
+	// CensusInterval drives the placement-census sweep (default 5 s;
+	// negative disables the census entirely). The sweeper walks the
+	// store index once per tick and publishes the d2_census_* gauges.
+	CensusInterval time.Duration
 	// Store is the node's block store; nil creates an in-memory one. The
 	// engine's lifecycle belongs to the caller (Close flushes but does
 	// not close it). An engine that also implements store.IdentityStore
@@ -107,6 +112,9 @@ func (c *Config) applyDefaults() {
 	if c.MaxLinks == 0 {
 		c.MaxLinks = 16
 	}
+	if c.CensusInterval == 0 {
+		c.CensusInterval = 5 * time.Second
+	}
 }
 
 // Node is one live DHT participant.
@@ -136,6 +144,7 @@ type Node struct {
 	metrics *nodeMetrics
 	events  *obs.EventLog
 	tracer  *tracing.Tracer
+	census  *census.Sweeper
 }
 
 // Start creates a node on the transport and begins serving. The node
@@ -191,6 +200,14 @@ func Start(tr transport.Transport, cfg Config) *Node {
 		tracer:       cfg.Tracer,
 	}
 	n.metrics = newNodeMetrics(reg, n)
+	if cfg.CensusInterval >= 0 {
+		n.census = census.New(census.Config{
+			Store:      st,
+			Bounds:     n.censusBounds,
+			Registry:   reg,
+			StaleAfter: cfg.PointerStabilization,
+		})
+	}
 	n.succs = []transport.PeerInfo{n.self}
 	if cfg.Tracer != nil {
 		if ut, ok := tr.(interface{ UseTracer(*tracing.Tracer) }); ok {
@@ -213,6 +230,9 @@ func (n *Node) startLoops() {
 	})
 	if n.cfg.BalanceInterval > 0 {
 		n.loop(n.cfg.BalanceInterval, n.balanceProbe)
+	}
+	if n.census != nil {
+		n.loop(n.cfg.CensusInterval, n.census.Sweep)
 	}
 }
 
@@ -290,6 +310,19 @@ func (n *Node) RespBytes() int64 {
 		return n.st.Bytes()
 	}
 	return n.st.ArcBytes(pred.ID, self.ID)
+}
+
+// Census returns the node's placement-census sweeper (nil when
+// disabled), for the admin plane and tests.
+func (n *Node) Census() *census.Sweeper { return n.census }
+
+// censusBounds supplies the census sweeper with the node's current ring
+// position, so the sweep can classify entries as primary or replica.
+func (n *Node) censusBounds() census.Bounds {
+	n.mu.Lock()
+	self, pred := n.self, n.pred
+	n.mu.Unlock()
+	return census.Bounds{Self: self.ID, Pred: pred.ID, Ok: true}
 }
 
 // Join enters the ring known to the seed address.

@@ -54,6 +54,8 @@ func (n *Node) dispatch(ctx context.Context, from transport.Addr, req transport.
 		return n.handleStats(), nil
 	case *transport.HealthReq:
 		return n.handleHealth(), nil
+	case *transport.CensusReq:
+		return n.handleCensus(), nil
 	case *transport.TraceFetchReq:
 		return n.handleTraceFetch(r), nil
 	default:
@@ -95,6 +97,24 @@ func (n *Node) handleHealth() transport.Message {
 		resp.State = e.State().String()
 		resp.StatusJSON = e.StatusJSON()
 		resp.RatesJSON = e.RatesJSON()
+	}
+	return resp
+}
+
+// handleCensus answers the placement-census scrape: the node's latest
+// sweep report plus the load summary, so d2ctl frag/map can compute
+// the §5 locality metrics and §10 imbalance in one ring walk. Nodes
+// without a sweeper (census disabled) answer with a nil report.
+func (n *Node) handleCensus() transport.Message {
+	resp := &transport.CensusResp{
+		Self:        n.Self(),
+		Pred:        n.Predecessor(),
+		RespBytes:   n.RespBytes(),
+		StoredBytes: n.StoredBytes(),
+		Blocks:      int64(n.st.Len()),
+	}
+	if n.census != nil {
+		resp.ReportJSON = n.census.ReportJSON()
 	}
 	return resp
 }

@@ -45,11 +45,15 @@ func (c *Client) GetSegment(ctx context.Context, ks []keys.Key) (map[keys.Key][]
 func (c *Client) getSegment(ctx context.Context, ks []keys.Key) (map[keys.Key][]byte, error) {
 	c.segments.Inc()
 	out, err := c.getMany(ctx, ks)
-	if err != nil {
-		return out, err
-	}
-	if len(out) == len(ks) {
+	if err == nil && len(out) == len(ks) {
 		return out, nil
+	}
+	// A transport error (a batch aimed at a just-killed owner answers
+	// "unreachable") burns retry budget like a missing key: the next
+	// round re-resolves ownership after repair has had time to run,
+	// instead of aborting the stream on the first dead peer.
+	if out == nil {
+		out = make(map[keys.Key][]byte)
 	}
 	missing := missingKeys(ks, out)
 	backoff := segmentRetryBackoff
@@ -69,14 +73,15 @@ func (c *Client) getSegment(ctx context.Context, ks []keys.Key) (map[keys.Key][]
 			c.invalidate(k)
 			c.segRetries.Inc()
 		}
-		got, err := c.getMany(ctx, missing)
-		if err != nil {
-			return out, err
-		}
+		got, gerr := c.getMany(ctx, missing)
+		err = gerr
 		for k, data := range got {
 			out[k] = data
 		}
 		missing = missingKeys(missing, out)
+	}
+	if len(missing) > 0 && err != nil {
+		return out, err
 	}
 	return out, nil
 }

@@ -2,6 +2,7 @@ package node
 
 import (
 	"context"
+	"strconv"
 	"time"
 
 	"github.com/defragdht/d2/internal/keys"
@@ -188,6 +189,19 @@ func (n *Node) handleSplit(ctx context.Context) transport.Message {
 	n.mu.Unlock()
 	n.metrics.splitHandouts.Inc()
 	n.events.LogCtx(ctx, obs.LevelInfo, "balance.split_handout", "median", m.Short())
+	// Census baseline for the split: the prober rejoining as our
+	// predecessor will shrink our primary range, and its own delta event
+	// records the after-state; logging ours here gives the event log both
+	// ends of the migration round.
+	if n.census != nil {
+		n.census.SweepNow()
+		runs, files := n.census.Totals()
+		n.events.LogCtx(ctx, obs.LevelInfo, "census.delta",
+			"op", "balance.split_handout",
+			"frag_milli", strconv.FormatInt(n.census.FragMilli(), 10),
+			"runs", strconv.FormatInt(runs, 10),
+			"files", strconv.FormatInt(files, 10))
+	}
 	return &transport.SplitResp{Ok: true, Median: m}
 }
 

@@ -1,0 +1,7 @@
+//go:build race
+
+package census
+
+// raceEnabled reports whether the race detector instruments this build;
+// the zero-alloc assertion skips under it (see TestSweepZeroAllocs).
+const raceEnabled = true

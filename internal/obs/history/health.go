@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"github.com/defragdht/d2/internal/obs/census"
 )
 
 // State is a health verdict, ordered by severity.
@@ -201,6 +203,9 @@ func (v *View) DeltaQuantile(name string, q float64) float64 {
 //     than the stall threshold for their group fsync — the device can't
 //     keep up with the write load (0 on in-memory nodes, which never
 //     carry the series).
+//   - fragmentation: the placement census's runs-per-file ratio — the
+//     paper's defrag invariant measured live (0 on nodes without a
+//     census sweeper, which never carry the series).
 //
 // §10 load imbalance is a cluster-level property and is evaluated by
 // BuildClusterReport over per-node loads, not here.
@@ -254,6 +259,13 @@ func DefaultChecks() []Check {
 			Value:    func(v *View) float64 { return v.Rate("d2_store_wal_stalls_total") },
 			Warn:     1,
 			Fail:     50,
+		},
+		{
+			Name:     "fragmentation",
+			Describe: "placement-census runs per file (1.0 = fully defragmented)",
+			Value:    func(v *View) float64 { return v.Gauge("d2_census_frag_ratio_milli") / 1000 },
+			Warn:     census.FragWarn,
+			Fail:     census.FragFail,
 		},
 	}
 }

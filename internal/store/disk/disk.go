@@ -758,6 +758,19 @@ func (s *Store) ArcBytes(lo, hi keys.Key) int64 {
 	return total
 }
 
+// ArcVisit walks the index metadata of the arc (lo, hi] in key order —
+// entry headers only, no payload materialization, no disk reads, no
+// per-entry allocation. This is the census sweep path: unlike ArcLimit
+// it never calls blockFor, so a full-store sweep costs just the tree
+// walk even when every payload lives in segment files.
+func (s *Store) ArcVisit(lo, hi keys.Key, fn func(k keys.Key, m store.Meta) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.tree.AscendArc(lo, hi, func(k keys.Key, e *entry) bool {
+		return fn(k, store.Meta{Size: e.size, Pointer: e.ptr, PointerSince: e.ptrSince})
+	})
+}
+
 // MedianKey returns the key splitting the arc (lo, hi] into two
 // byte-balanced halves — index metadata only.
 func (s *Store) MedianKey(lo, hi keys.Key) (keys.Key, bool) {

@@ -43,6 +43,22 @@ type Item struct {
 	Block *Block
 }
 
+// Meta is the index-resident metadata of one stored entry, handed to
+// ArcVisit callbacks without materializing block payloads. It is a plain
+// value so visitors can run allocation-free.
+type Meta struct {
+	// Size is the data size (pointers report the pointed-to size).
+	Size int64
+	// Pointer, when set, names the node holding the data.
+	Pointer transport.Addr
+	// PointerSince is the pointer install time in Unix nanoseconds
+	// (zero for data entries), for staleness accounting.
+	PointerSince int64
+}
+
+// IsPointer reports whether the entry is a block pointer.
+func (m Meta) IsPointer() bool { return m.Pointer != "" }
+
 // Engine is the block-store contract a D2 node runs against. Two
 // implementations exist: the in-memory Store below (fast, volatile) and
 // the durable disk engine in store/disk (WAL + segment files + crash
@@ -79,6 +95,12 @@ type Engine interface {
 	// arc (lo, hi] — the primary-responsibility load the balancer
 	// compares (§6).
 	ArcBytes(lo, hi keys.Key) int64
+	// ArcVisit walks the index metadata of the circular arc (lo, hi] in
+	// key order, calling fn for each entry until it returns false. The
+	// walk is index-only — implementations must not touch block payloads
+	// or allocate per entry — so the placement census can sweep the whole
+	// store every tick with zero allocations.
+	ArcVisit(lo, hi keys.Key, fn func(k keys.Key, m Meta) bool)
 	// MedianKey returns the key splitting the arc (lo, hi] into two
 	// byte-balanced halves (false when the arc is empty).
 	MedianKey(lo, hi keys.Key) (keys.Key, bool)
@@ -302,6 +324,22 @@ func (s *Store) ArcBytes(lo, hi keys.Key) int64 {
 		return true
 	})
 	return total
+}
+
+// ArcVisit walks the index metadata of the arc (lo, hi] in key order.
+// Only the entry header is exposed — no payload reference escapes — and
+// nothing is allocated per entry, so a census sweep over the whole store
+// costs just the tree walk.
+func (s *Store) ArcVisit(lo, hi keys.Key, fn func(k keys.Key, m Meta) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.tree.AscendArc(lo, hi, func(k keys.Key, b *Block) bool {
+		m := Meta{Size: b.Size, Pointer: b.Pointer}
+		if !b.PointerSince.IsZero() {
+			m.PointerSince = b.PointerSince.UnixNano()
+		}
+		return fn(k, m)
+	})
 }
 
 // MedianKey returns the key splitting the arc (lo, hi] into two

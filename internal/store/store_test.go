@@ -138,6 +138,66 @@ func TestArcAndBytes(t *testing.T) {
 	})
 }
 
+// TestArcVisit pins the index-only walk the placement census sweeps
+// with: key order, arc bounds (including the whole-ring lo==hi form and
+// wrapping arcs), pointer metadata, and early termination.
+func TestArcVisit(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, s store.Engine) {
+		for i := uint64(1); i <= 5; i++ {
+			s.Put(k(i*10), make([]byte, int(i)), 0, t0)
+		}
+		s.PutPointer(k(60), "peer:1", 99, t0)
+
+		collect := func(lo, hi keys.Key) (ks []keys.Key, ms []store.Meta) {
+			s.ArcVisit(lo, hi, func(key keys.Key, m store.Meta) bool {
+				ks = append(ks, key)
+				ms = append(ms, m)
+				return true
+			})
+			return
+		}
+
+		// Whole ring (lo == hi): every entry once, in ascending key order.
+		ks, ms := collect(k(10), k(10))
+		if len(ks) != 6 {
+			t.Fatalf("whole-ring visit saw %d entries, want 6", len(ks))
+		}
+		for i := 1; i < len(ks); i++ {
+			if !ks[i-1].Less(ks[i]) {
+				t.Fatalf("visit out of order at %d: %s !< %s", i, ks[i-1].Short(), ks[i].Short())
+			}
+		}
+		if ms[0].Size != 1 || ms[0].IsPointer() {
+			t.Fatalf("first meta = %+v, want size-1 data entry", ms[0])
+		}
+		last := ms[len(ms)-1]
+		if !last.IsPointer() || last.Pointer != "peer:1" || last.Size != 99 {
+			t.Fatalf("pointer meta = %+v", last)
+		}
+		if last.PointerSince != t0.UnixNano() {
+			t.Fatalf("PointerSince = %d, want %d", last.PointerSince, t0.UnixNano())
+		}
+
+		// Sub-arc (25, 45]: entries 30 and 40 only.
+		if ks, _ := collect(k(25), k(45)); len(ks) != 2 || ks[0] != k(30) || ks[1] != k(40) {
+			t.Fatalf("sub-arc visit = %v", ks)
+		}
+		// Wrapping arc (45, 25]: 50, 60, then 10, 20.
+		if ks, _ := collect(k(45), k(25)); len(ks) != 4 || ks[0] != k(50) || ks[3] != k(20) {
+			t.Fatalf("wrap visit = %v", ks)
+		}
+		// Early termination: fn returning false stops the walk.
+		n := 0
+		s.ArcVisit(k(10), k(10), func(keys.Key, store.Meta) bool {
+			n++
+			return n < 3
+		})
+		if n != 3 {
+			t.Fatalf("terminated visit saw %d entries, want 3", n)
+		}
+	})
+}
+
 func TestMedianKey(t *testing.T) {
 	forEachEngine(t, func(t *testing.T, s store.Engine) {
 		for i := uint64(1); i <= 4; i++ {

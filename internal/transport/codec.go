@@ -109,6 +109,8 @@ const (
 	tErrResp
 	tHealthReq
 	tHealthResp
+	tCensusReq
+	tCensusResp
 	numWireTypes
 )
 
@@ -185,6 +187,10 @@ func wireType(m Message) byte {
 		return tHealthReq
 	case *HealthResp:
 		return tHealthResp
+	case *CensusReq:
+		return tCensusReq
+	case *CensusResp:
+		return tCensusResp
 	default:
 		return tInvalid
 	}
@@ -203,6 +209,7 @@ var borrows = [numWireTypes]bool{
 	tRangeResp:      true,
 	tStatsResp:      true,
 	tHealthResp:     true,
+	tCensusResp:     true,
 }
 
 // --- message struct pools ---
@@ -247,6 +254,8 @@ var msgPools = [numWireTypes]*sync.Pool{
 	tErrResp:        {New: func() any { return new(ErrResp) }},
 	tHealthReq:      {New: func() any { return new(HealthReq) }},
 	tHealthResp:     {New: func() any { return new(HealthResp) }},
+	tCensusReq:      {New: func() any { return new(CensusReq) }},
+	tCensusResp:     {New: func() any { return new(CensusResp) }},
 }
 
 // recycleMessage returns a decoded message struct to its type pool. Safe
@@ -460,7 +469,7 @@ func (e *frameEncoder) body(typ byte, m Message) {
 	b := e.buf
 	switch typ {
 	case tPingReq, tNeighborsReq, tNotifyResp, tPutResp, tRemoveResp,
-		tLoadReq, tSplitReq, tPutPtrResp, tStatsReq, tHealthReq:
+		tLoadReq, tSplitReq, tPutPtrResp, tStatsReq, tHealthReq, tCensusReq:
 		return // empty bodies
 	case tPingResp:
 		v := m.(*PingResp)
@@ -639,6 +648,16 @@ func (e *frameEncoder) body(typ byte, m Message) {
 		e.blob(v.StatusJSON)
 		e.blob(v.RatesJSON)
 		return
+	case tCensusResp:
+		v := m.(*CensusResp)
+		e.peer(&v.Self)
+		e.peer(&v.Pred)
+		b = wire.AppendI64(e.buf, v.RespBytes)
+		b = wire.AppendI64(b, v.StoredBytes)
+		b = wire.AppendI64(b, v.Blocks)
+		e.buf = b
+		e.blob(v.ReportJSON)
+		return
 	}
 }
 
@@ -748,7 +767,7 @@ func decodeBody(typ byte, r *wire.Reader) Message {
 	m := msgPools[typ].Get().(Message)
 	switch typ {
 	case tPingReq, tNeighborsReq, tNotifyResp, tPutResp, tRemoveResp,
-		tLoadReq, tSplitReq, tPutPtrResp, tStatsReq, tHealthReq:
+		tLoadReq, tSplitReq, tPutPtrResp, tStatsReq, tHealthReq, tCensusReq:
 		return m
 	case tPingResp:
 		v := m.(*PingResp)
@@ -893,6 +912,14 @@ func decodeBody(typ byte, r *wire.Reader) Message {
 		v.State = r.ShortString()
 		v.StatusJSON = r.Bytes()
 		v.RatesJSON = r.Bytes()
+	case tCensusResp:
+		v := m.(*CensusResp)
+		readPeer(r, &v.Self)
+		readPeer(r, &v.Pred)
+		v.RespBytes = r.I64()
+		v.StoredBytes = r.I64()
+		v.Blocks = r.I64()
+		v.ReportJSON = r.Bytes()
 	}
 	return m
 }

@@ -31,6 +31,7 @@ const (
 	kindStats
 	kindTraceFetch
 	kindHealth
+	kindCensus
 	kindOther
 	numKinds
 )
@@ -38,7 +39,8 @@ const (
 var kindNames = [numKinds]string{
 	"ping", "find_succ", "neighbors", "notify", "put", "get",
 	"multi_get", "fetch_range", "remove", "load", "split", "range",
-	"put_ptr", "sample", "stats", "trace_fetch", "health", "other",
+	"put_ptr", "sample", "stats", "trace_fetch", "health", "census",
+	"other",
 }
 
 // kindOf classifies a request message.
@@ -78,6 +80,8 @@ func kindOf(m Message) rpcKind {
 		return kindTraceFetch
 	case *HealthReq:
 		return kindHealth
+	case *CensusReq:
+		return kindCensus
 	default:
 		return kindOther
 	}
@@ -104,6 +108,7 @@ var wireKinds = [numWireTypes]rpcKind{
 	tStatsReq: kindStats, tStatsResp: kindStats,
 	tTraceFetchReq: kindTraceFetch, tTraceFetchResp: kindTraceFetch,
 	tHealthReq: kindHealth, tHealthResp: kindHealth,
+	tCensusReq: kindCensus, tCensusResp: kindCensus,
 	tErrResp: kindOther,
 }
 
@@ -138,6 +143,8 @@ func payloadBytes(m Message) int64 {
 		return int64(len(v.SnapshotJSON))
 	case *HealthResp:
 		return int64(len(v.StatusJSON) + len(v.RatesJSON))
+	case *CensusResp:
+		return int64(len(v.ReportJSON))
 	default:
 		return 0
 	}

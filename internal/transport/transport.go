@@ -304,6 +304,26 @@ type HealthResp struct {
 	RatesJSON  []byte
 }
 
+// CensusReq asks a node for its placement census — per-role block
+// tallies and per-volume run-length stats from its background sweeper.
+// d2ctl frag/map aggregate the reports over WalkRing into the §5
+// cluster locality metrics.
+type CensusReq struct{}
+
+// CensusResp carries one node's placement census.
+type CensusResp struct {
+	Self PeerInfo
+	Pred PeerInfo
+	// RespBytes/StoredBytes/Blocks mirror StatsResp so the census walk
+	// can compute §10 load imbalance without a second scrape.
+	RespBytes   int64
+	StoredBytes int64
+	Blocks      int64
+	// ReportJSON is the node's census.Report, JSON-encoded; nil on
+	// nodes without a census sweeper.
+	ReportJSON []byte
+}
+
 // ErrResp carries an application-level error back to the caller.
 type ErrResp struct{ Err string }
 
@@ -342,6 +362,8 @@ func (*TraceFetchResp) isMessage() {}
 func (*ErrResp) isMessage()        {}
 func (*HealthReq) isMessage()      {}
 func (*HealthResp) isMessage()     {}
+func (*CensusReq) isMessage()      {}
+func (*CensusResp) isMessage()     {}
 
 // AsError converts an ErrResp into a Go error, passing other messages
 // through.

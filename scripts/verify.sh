@@ -34,6 +34,12 @@
 #                            concurrent sampler soak, and the alloc gates
 #                            proving the sampling tick and the health
 #                            evaluation both stay zero-allocation
+#   scripts/verify.sh census census tier: the placement-census tests under
+#                            -race (golden layouts, merge associativity,
+#                            the live balance-improves-locality e2e, the
+#                            store ArcVisit walk), a 10 s sweep-during-
+#                            churn soak, and the alloc gate proving the
+#                            steady-state sweep tick stays zero-allocation
 #   scripts/verify.sh disk   disk tier: the durable-engine tests under
 #                            -race (recovery, checkpoint, torn tails, the
 #                            kill -9 process e2e), a 10 s crash-loop soak
@@ -121,6 +127,23 @@ if [ "${1:-}" = "obs" ]; then
 	}
 	echo "$out" | grep -q 'BenchmarkHealthEvaluate.* 0 B/op[[:space:]]*0 allocs/op' || {
 		echo "obs tier: health evaluation allocates" >&2
+		exit 1
+	}
+	exit 0
+fi
+
+if [ "${1:-}" = "census" ]; then
+	echo "== census tier: census + store-walk tests under -race"
+	go test -race ./internal/obs/census/
+	go test -race -run 'TestArcVisit' ./internal/store/
+	go test -race -run 'TestCensusLocalityImprovesAfterBalance' .
+	echo "== census tier: 10s sweep-during-churn soak under -race"
+	D2_CENSUS_SOAK=10s go test -race -run 'TestSweepDuringChurn' ./internal/obs/census/
+	echo "== census tier: sweep-tick alloc gate (want 0 allocs/op)"
+	out=$(go test -run '^$' -bench 'BenchmarkSweepTick' -benchmem \
+		./internal/obs/census/ | tee /dev/stderr)
+	echo "$out" | grep -q 'BenchmarkSweepTick.* 0 B/op[[:space:]]*0 allocs/op' || {
+		echo "census tier: steady-state sweep tick allocates" >&2
 		exit 1
 	}
 	exit 0
